@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproducing bench binaries: standard run
+ * lengths, per-scheme sweeps and normalised-time tables.
+ */
+
+#ifndef MTRAP_BENCH_COMMON_HH
+#define MTRAP_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/report.hh"
+#include "sim/runner.hh"
+#include "workload/parsec_profiles.hh"
+#include "workload/spec_profiles.hh"
+
+namespace mtrap::bench
+{
+
+/** Standard run lengths for figure benches (kept modest so the whole
+ *  suite finishes in minutes on one core). */
+inline RunOptions
+figureRunOptions()
+{
+    RunOptions opt;
+    opt.warmupInstructions = 30'000;
+    opt.measureInstructions = 100'000;
+    return opt;
+}
+
+/**
+ * Run `w` under each scheme and return execution time normalised to
+ * Scheme::Baseline.
+ */
+inline std::vector<double>
+normalizedSweep(const Workload &w, const std::vector<Scheme> &schemes,
+                const RunOptions &opt)
+{
+    const RunResult base = runScheme(w, Scheme::Baseline, opt);
+    std::vector<double> out;
+    out.reserve(schemes.size());
+    for (Scheme s : schemes)
+        out.push_back(normalizedTime(runScheme(w, s, opt), base));
+    return out;
+}
+
+/** Emit the table as text and echo a CSV block for plotting. */
+inline void
+emit(const ReportTable &t)
+{
+    t.print(std::cout);
+    std::printf("--- csv ---\n");
+    t.printCsv(std::cout);
+    std::printf("-----------\n");
+}
+
+} // namespace mtrap::bench
+
+#endif // MTRAP_BENCH_COMMON_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 3 reproduction: normalised execution time on the SPEC
+ * CPU2006-like suite for MuonTrap vs InvisiSpec-Spectre/Future and
+ * STT-Spectre/Future (lower is better; 1.0 = unprotected baseline).
+ *
+ * Paper reference points: MuonTrap geomean ~1.04 (worst case bwaves
+ * ~1.47); InvisiSpec-Spectre ~1.097; InvisiSpec-Future ~1.185; STT low
+ * on compute-bound workloads but high on astar/omnetpp-like ones.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace mtrap;
+    using namespace mtrap::bench;
+
+    const std::vector<Scheme> schemes = {
+        Scheme::MuonTrap,
+        Scheme::InvisiSpecSpectre,
+        Scheme::InvisiSpecFuture,
+        Scheme::SttSpectre,
+        Scheme::SttFuture,
+    };
+
+    ReportTable t("Figure 3: SPEC CPU2006 normalised execution time");
+    std::vector<std::string> hdr = {"benchmark"};
+    for (Scheme s : schemes)
+        hdr.push_back(schemeName(s));
+    t.header(hdr);
+
+    const RunOptions opt = figureRunOptions();
+    for (const std::string &name : specBenchmarkNames()) {
+        const Workload w = buildSpecWorkload(name);
+        t.rowNumeric(name, normalizedSweep(w, schemes, opt));
+        std::fprintf(stderr, "fig3: %s done\n", name.c_str());
+    }
+    t.geomeanRow();
+    emit(t);
+    return 0;
+}

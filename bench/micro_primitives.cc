@@ -1,0 +1,119 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library primitives: cache
+ * lookup/fill, filter-cache flash clear (the constant-time claim of
+ * §4.3), predictor prediction, bus snoops and whole-system stepping.
+ * These measure the *simulator's* speed, useful for keeping the figure
+ * benches fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "cpu/branch_predictor.hh"
+#include "muontrap/filter_cache.hh"
+#include "sim/runner.hh"
+#include "workload/spec_profiles.hh"
+
+namespace
+{
+
+using namespace mtrap;
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    StatGroup g("g");
+    Cache c(CacheParams{"c", 64 * 1024, 2, 2, 4}, &g);
+    c.fill(0x1000, CoherState::Shared);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.lookup(0x1000));
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_CacheLookupMiss(benchmark::State &state)
+{
+    StatGroup g("g");
+    Cache c(CacheParams{"c", 64 * 1024, 2, 2, 4}, &g);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.lookup(0x123456));
+}
+BENCHMARK(BM_CacheLookupMiss);
+
+void
+BM_CacheFillEvict(benchmark::State &state)
+{
+    StatGroup g("g");
+    Cache c(CacheParams{"c", 2048, 4, 1, 4}, &g);
+    Addr a = 0;
+    for (auto _ : state) {
+        c.fill(a, CoherState::Shared);
+        a += kLineBytes;
+    }
+}
+BENCHMARK(BM_CacheFillEvict);
+
+void
+BM_FilterFlashClear(benchmark::State &state)
+{
+    // The flash clear must not scale with occupancy: benchmarked at
+    // both extremes (arg 0 = empty, arg 1 = full).
+    StatGroup g("g");
+    FilterCache f(FilterCacheParams{}, &g);
+    const bool full = state.range(0) != 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        if (full) {
+            for (Addr a = 0; a < 32 * kLineBytes; a += kLineBytes)
+                f.fillVirt(1, 0x1000 + a, 0x9000 + a, true, 1, false);
+        }
+        state.ResumeTiming();
+        f.flashClear();
+    }
+}
+BENCHMARK(BM_FilterFlashClear)->Arg(0)->Arg(1);
+
+void
+BM_FilterLookupVirt(benchmark::State &state)
+{
+    StatGroup g("g");
+    FilterCache f(FilterCacheParams{}, &g);
+    f.fillVirt(1, 0x1000, 0x9000, true, 1, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.lookupVirt(1, 0x1000, 0x9000));
+}
+BENCHMARK(BM_FilterLookupVirt);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    StatGroup g("g");
+    BranchPredictor bp(BranchPredictorParams{}, &g);
+    Addr pc = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.predictDirection(pc));
+        bp.trainDirection(pc, (pc & 3) != 0);
+        ++pc;
+    }
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_SystemStep(benchmark::State &state)
+{
+    // Whole-simulator throughput: instructions per second of simulation.
+    const Workload w = buildSpecWorkload("hmmer");
+    SystemConfig cfg = SystemConfig::forScheme(Scheme::MuonTrap, 1);
+    System sys(cfg);
+    sys.loadWorkload(w);
+    sys.run(10'000); // warm
+    for (auto _ : state)
+        sys.run(100);
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_SystemStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 1 reproduction: print the simulated system configuration so it
+ * can be diffed against the paper's table.
+ */
+
+#include <cstdio>
+
+#include "sim/system.hh"
+
+int
+main()
+{
+    using namespace mtrap;
+    const SystemConfig cfg = SystemConfig::forScheme(Scheme::MuonTrap, 4);
+    const CoreParams &c = cfg.core;
+    const MemSystemParams &m = cfg.mem;
+
+    std::printf("== Table 1: Core and memory experimental setup ==\n\n");
+    std::printf("Main cores\n");
+    std::printf("  Core            %u-wide, out-of-order\n", c.fetchWidth);
+    std::printf("  Pipeline        %u-entry ROB, %u-entry LQ, %u-entry "
+                "SQ,\n                  %u int ALUs, %u FP ALUs, %u "
+                "mult/div ALUs\n",
+                c.robSize, c.lqSize, c.sqSize, c.intAlus, c.fpAlus,
+                c.mulDivs);
+    std::printf("  Tournament      %u-entry local, %u-entry global,\n"
+                "  branch pred.    %u-entry chooser, %u-entry BTB, "
+                "%u-entry RAS\n",
+                c.bpred.localEntries, c.bpred.globalEntries,
+                c.bpred.chooserEntries, c.bpred.btbEntries,
+                c.bpred.rasEntries);
+    std::printf("\nPrivate core memory\n");
+    std::printf("  L1 ICache       %lluKiB, %u-way, %llu-cycle hit lat, "
+                "%u MSHRs\n",
+                static_cast<unsigned long long>(m.l1i.sizeBytes / 1024),
+                m.l1i.assoc,
+                static_cast<unsigned long long>(m.l1i.hitLatency),
+                m.l1i.mshrs);
+    std::printf("  L1 DCache       %lluKiB, %u-way, %llu-cycle hit lat, "
+                "%u MSHRs\n",
+                static_cast<unsigned long long>(m.l1d.sizeBytes / 1024),
+                m.l1d.assoc,
+                static_cast<unsigned long long>(m.l1d.hitLatency),
+                m.l1d.mshrs);
+    std::printf("  TLBs            %u-entry, fully associative, split "
+                "I/D\n", m.dtlb.entries);
+    std::printf("  Data fcache     %lluB, %u-way, %llu-cycle hit lat, "
+                "%u MSHRs\n",
+                static_cast<unsigned long long>(m.mt.dataParams.sizeBytes),
+                m.mt.dataParams.assoc,
+                static_cast<unsigned long long>(
+                    m.mt.dataParams.hitLatency),
+                m.mt.dataParams.mshrs);
+    std::printf("  Inst fcache     %lluB, %u-way, %llu-cycle hit lat, "
+                "%u MSHRs\n",
+                static_cast<unsigned long long>(m.mt.instParams.sizeBytes),
+                m.mt.instParams.assoc,
+                static_cast<unsigned long long>(
+                    m.mt.instParams.hitLatency),
+                m.mt.instParams.mshrs);
+    std::printf("  Filter TLB      %u-entry\n", m.mt.filterTlbEntries);
+    std::printf("\nShared system state\n");
+    std::printf("  L2 Cache        %lluMiB, %u-way, %llu-cycle hit lat, "
+                "%u MSHRs, stride prefetcher\n",
+                static_cast<unsigned long long>(m.l2.sizeBytes
+                                                / (1024 * 1024)),
+                m.l2.assoc,
+                static_cast<unsigned long long>(m.l2.hitLatency),
+                m.l2.mshrs);
+    std::printf("  Memory          row hit %llu cycles / row miss %llu "
+                "cycles, %u banks\n",
+                static_cast<unsigned long long>(m.mem.rowHitLatency),
+                static_cast<unsigned long long>(m.mem.rowMissLatency),
+                m.mem.banks);
+    std::printf("  Core count      %u cores\n", cfg.cores);
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Within-process sandbox scenario (paper §4.9): a "browser" process
+ * hosts untrusted sandboxed code. MuonTrap clears the filter caches at
+ * sandbox boundaries via SandboxEnter/SandboxExit (a flush instruction
+ * behind a non-speculation barrier), so sandboxed code cannot observe
+ * the host's speculative footprint — even though it shares the host's
+ * address space and no kernel-level protection applies.
+ *
+ * The host runs a classic Spectre-v1 gadget: a bounds-checked array read
+ * whose out-of-bounds (speculative) execution touches probe page 0 or 1
+ * depending on a secret bit. The sandboxed code then times both pages:
+ *  - Baseline: the secret-selected page sits in the L1 -> fast -> leak.
+ *  - MuonTrap: it only ever reached the filter cache, which the sandbox
+ *    entry flushed -> both pages slow -> no leak.
+ */
+
+#include <cstdio>
+
+#include "sim/system.hh"
+
+int
+main()
+{
+    using namespace mtrap;
+
+    constexpr Asid kProc = 1;
+    constexpr Addr kArray = 0x70'0000'0000ull;
+    constexpr Addr kProbe = 0x71'0000'0000ull;
+    constexpr Addr kBoundPP = 0x72'0000'0000ull;
+    constexpr Addr kBoundP = 0x73'0000'0000ull;
+    constexpr std::int64_t kBound = 64;
+    constexpr std::int64_t kSecretIndex = 128;
+
+    for (Scheme s : {Scheme::Baseline, Scheme::MuonTrap}) {
+        System sys(SystemConfig::forScheme(s, 1));
+        MemSystem &mem = sys.mem();
+        mem.write(kProc, kBoundPP, kBoundP);
+        mem.write(kProc, kBoundP, static_cast<std::uint64_t>(kBound));
+        for (std::int64_t i = 0; i < kBound; i += 8)
+            mem.write(kProc, kArray + static_cast<Addr>(i), 0);
+        mem.write(kProc, kArray + kSecretIndex, 1); // the secret bit
+
+        // Host gadget: bounds-checked array read; the secret selects a
+        // probe page on the speculative path; then the sandbox entry.
+        ProgramBuilder hb("host");
+        hb.movi(21, static_cast<std::int64_t>(kBoundPP));
+        hb.load(3, 21, 0);
+        hb.load(3, 3, 0);              // dependent (slow) bound
+        hb.braUge("done", 1, 3);
+        hb.movi(20, static_cast<std::int64_t>(kArray));
+        hb.load(4, 20, 0, 1, 0);       // array[r1] (secret when OOB)
+        hb.andi(5, 4, 1);
+        hb.shli(5, 5, 12);
+        hb.movi(22, static_cast<std::int64_t>(kProbe));
+        hb.load(6, 22, 0, 5, 0);       // touch probe[bit]
+        hb.label("done");
+        hb.sandboxEnter();             // MuonTrap: filter flush here
+        hb.halt();
+        const Program host = hb.take();
+
+        Core &core = sys.core(0);
+        auto run_host = [&](std::uint64_t r1) {
+            ArchContext ctx;
+            ctx.program = &host;
+            ctx.asid = kProc;
+            ctx.regs[1] = r1;
+            core.setContext(ctx);
+            core.run(1'000'000);
+            core.drain();
+        };
+        // Train the bounds check with in-bounds inputs (touches probe
+        // page 0 architecturally — the attack reads page 1).
+        for (std::uint64_t i = 0; i < 64; i += 8)
+            run_host(i);
+
+        // The sandboxed code evicts the host's bound chain by conflict
+        // (same L1/L2 sets) so the malicious run gets a long speculation
+        // window. It shares the address space, so it just scans for
+        // virtual lines whose physical set matches.
+        {
+            AddressSpace &vm = mem.addressSpace();
+            // Matching the L2 set (4096 sets) also matches the L1 set
+            // (512 sets: its index bits are a subset).
+            auto l2set = [&vm, kProc](Addr v) {
+                return (vm.translate(kProc, v) >> 6) & 4095;
+            };
+            ProgramBuilder eb("sandbox_evict");
+            for (Addr target : {kBoundPP, kBoundP}) {
+                unsigned found = 0;
+                for (Addr cand = 0x60'0000'0000ull;
+                     found < 12 && cand < 0x61'0000'0000ull;
+                     cand += kLineBytes) {
+                    if (l2set(cand) != l2set(target))
+                        continue;
+                    eb.movi(2, static_cast<std::int64_t>(cand));
+                    eb.load(3, 2, 0);
+                    ++found;
+                }
+            }
+            eb.halt();
+            const Program evict = eb.take();
+            ArchContext ctx;
+            ctx.program = &evict;
+            ctx.asid = kProc;
+            core.setContext(ctx);
+            core.run(2'000'000);
+            core.drain();
+        }
+
+        // Malicious run: out-of-bounds index.
+        run_host(static_cast<std::uint64_t>(kSecretIndex));
+
+        // "Sandboxed code" probes the secret-selected page (same
+        // process, same page tables — only MuonTrap's flush stands in
+        // the way).
+        const Cycle t1 = sys.mem().timeProbe(0, kProc,
+                                             kProbe + 4096);
+        std::printf("%-22s sandbox probe of probe[secret=1] page: "
+                    "%3llu cycles -> %s\n",
+                    schemeName(s), static_cast<unsigned long long>(t1),
+                    t1 < 60 ? "LEAK (secret bit = 1 recovered)"
+                            : "blocked (filter flushed at sandbox entry)");
+    }
+    return 0;
+}

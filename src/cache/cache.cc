@@ -1,0 +1,224 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+Cache::Cache(const CacheParams &params, StatGroup *parent)
+    : params_(params),
+      stats_(params.name, parent),
+      hits(&stats_, "hits", "demand hits"),
+      misses(&stats_, "misses", "demand misses"),
+      fills(&stats_, "fills", "lines installed"),
+      evictions(&stats_, "evictions", "valid lines evicted by fills"),
+      invalidations(&stats_, "invalidations", "lines invalidated"),
+      mshrStalls(&stats_, "mshr_stalls", "misses delayed by full MSHRs"),
+      mshrMerges(&stats_, "mshr_merges",
+                 "misses merged into an outstanding same-line fill"),
+      missRate(&stats_, "miss_rate", "misses / (hits+misses)",
+               [this] {
+                   const double h = static_cast<double>(hits.value());
+                   const double m = static_cast<double>(misses.value());
+                   return (h + m) > 0 ? m / (h + m) : 0.0;
+               })
+{
+    if (params.sizeBytes % (static_cast<std::uint64_t>(params.assoc)
+                            * kLineBytes) != 0) {
+        fatal("%s: size %llu not divisible by assoc %u * line %u",
+              params.name.c_str(),
+              static_cast<unsigned long long>(params.sizeBytes),
+              params.assoc, kLineBytes);
+    }
+    sets_ = static_cast<unsigned>(params.sizeBytes
+                                  / (params.assoc * kLineBytes));
+    if (!isPow2(sets_))
+        fatal("%s: set count %u must be a power of two",
+              params.name.c_str(), sets_);
+    lines_.resize(static_cast<std::size_t>(sets_) * params.assoc);
+    repl_ = Replacement::create(params.repl, sets_, params.assoc,
+                                params.seed);
+    mshrFree_.assign(std::max(1u, params.mshrs), 0);
+}
+
+unsigned
+Cache::setIndex(Addr paddr) const
+{
+    return static_cast<unsigned>(lineNum(paddr) & (sets_ - 1));
+}
+
+CacheLine *
+Cache::lookup(Addr paddr)
+{
+    const Addr ln = lineNum(paddr);
+    const unsigned set = setIndex(paddr);
+    CacheLine *base = &lines_[static_cast<std::size_t>(set)
+                              * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        CacheLine &l = base[w];
+        if (l.valid() && l.ptag == ln) {
+            repl_->touched(set, w, l);
+            return &l;
+        }
+    }
+    return nullptr;
+}
+
+CacheLine *
+Cache::peek(Addr paddr)
+{
+    const Addr ln = lineNum(paddr);
+    const unsigned set = setIndex(paddr);
+    CacheLine *base = &lines_[static_cast<std::size_t>(set)
+                              * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (base[w].valid() && base[w].ptag == ln)
+            return &base[w];
+    return nullptr;
+}
+
+const CacheLine *
+Cache::peek(Addr paddr) const
+{
+    return const_cast<Cache *>(this)->peek(paddr);
+}
+
+CacheLine &
+Cache::fill(Addr paddr, CoherState st, Eviction *ev)
+{
+    if (st == CoherState::Invalid)
+        panic("%s: filling with Invalid state", params_.name.c_str());
+
+    const Addr ln = lineNum(paddr);
+    const unsigned set = setIndex(paddr);
+    CacheLine *base = &lines_[static_cast<std::size_t>(set)
+                              * params_.assoc];
+
+    // Refill of a line already present just updates state.
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid() && base[w].ptag == ln) {
+            base[w].state = st;
+            repl_->touched(set, w, base[w]);
+            if (ev)
+                *ev = Eviction{};
+            return base[w];
+        }
+    }
+
+    // Prefer an invalid way.
+    unsigned way = params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid()) {
+            way = w;
+            break;
+        }
+    }
+
+    Eviction local{};
+    if (way == params_.assoc) {
+        std::vector<CacheLine *> view(params_.assoc);
+        for (unsigned w = 0; w < params_.assoc; ++w)
+            view[w] = &base[w];
+        way = repl_->victim(set, view);
+        CacheLine &v = base[way];
+        local.valid = true;
+        local.ptag = v.ptag;
+        local.state = v.state;
+        local.dirty = v.dirty;
+        local.committed = v.committed;
+        ++evictions;
+    }
+    if (ev)
+        *ev = local;
+
+    CacheLine &l = base[way];
+    l.clear();
+    l.ptag = ln;
+    l.state = st;
+    repl_->filled(set, way, l);
+    ++fills;
+    return l;
+}
+
+bool
+Cache::invalidate(Addr paddr)
+{
+    CacheLine *l = peek(paddr);
+    if (!l)
+        return false;
+    l->clear();
+    ++invalidations;
+    return true;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : lines_) {
+        if (l.valid()) {
+            l.clear();
+            ++invalidations;
+        }
+    }
+}
+
+void
+Cache::forEachLine(const std::function<void(CacheLine &)> &fn)
+{
+    for (auto &l : lines_)
+        if (l.valid())
+            fn(l);
+}
+
+unsigned
+Cache::validLineCount() const
+{
+    unsigned n = 0;
+    for (const auto &l : lines_)
+        if (l.valid())
+            ++n;
+    return n;
+}
+
+Cycle
+Cache::reserveMshr(Addr paddr, Cycle when, Cycle miss_latency)
+{
+    const Addr line = lineNum(paddr);
+
+    // Merge with an outstanding fill of the same line: the data arrives
+    // with the first fill, no new slot is consumed.
+    auto inf = inflightFills_.find(line);
+    if (inf != inflightFills_.end() && inf->second > when) {
+        ++mshrMerges;
+        const Cycle arrival = inf->second;
+        return arrival > when + miss_latency
+                   ? arrival - when - miss_latency
+                   : 0;
+    }
+
+    // Pick the slot that frees earliest.
+    auto it = std::min_element(mshrFree_.begin(), mshrFree_.end());
+    Cycle delay = 0;
+    if (*it > when) {
+        delay = *it - when;
+        ++mshrStalls;
+    }
+    *it = when + delay + miss_latency;
+    inflightFills_[line] = *it;
+
+    // Bound the tracking map (stale entries are harmless but wasteful).
+    if (inflightFills_.size() > 8 * mshrFree_.size()) {
+        for (auto f = inflightFills_.begin();
+             f != inflightFills_.end();) {
+            if (f->second <= when)
+                f = inflightFills_.erase(f);
+            else
+                ++f;
+        }
+    }
+    return delay;
+}
+
+} // namespace mtrap

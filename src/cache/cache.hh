@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Generic physically-indexed set-associative cache tag array.
+ *
+ * This class provides the mechanics every cache level shares: lookup,
+ * fill with victim selection, invalidation, and MSHR occupancy
+ * accounting. It takes no coherence decisions — the bus (coherence/) and
+ * the MuonTrap controller (muontrap/) drive state transitions through
+ * the accessors here.
+ */
+
+#ifndef MTRAP_CACHE_CACHE_HH
+#define MTRAP_CACHE_CACHE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/line.hh"
+#include "cache/replacement.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mtrap
+{
+
+/** Geometry and timing of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 2;
+    Cycle hitLatency = 1;
+    unsigned mshrs = 4;
+    ReplPolicy repl = ReplPolicy::Lru;
+    std::uint64_t seed = 1;
+};
+
+/** Description of a line pushed out by a fill. */
+struct Eviction
+{
+    bool valid = false;
+    Addr ptag = kAddrInvalid;
+    CoherState state = CoherState::Invalid;
+    bool dirty = false;
+    bool committed = true;
+};
+
+/**
+ * Set-associative tag array with statistics and MSHR accounting.
+ */
+class Cache
+{
+  public:
+    Cache(const CacheParams &params, StatGroup *parent);
+
+    const CacheParams &params() const { return params_; }
+    unsigned numSets() const { return sets_; }
+    unsigned numWays() const { return params_.assoc; }
+
+    /**
+     * Look up a physical address. Returns the line (updating replacement
+     * state) or nullptr on miss. `paddr` is a full byte address.
+     */
+    CacheLine *lookup(Addr paddr);
+
+    /** Look up without perturbing replacement state (for probes and
+     *  snoops). */
+    CacheLine *peek(Addr paddr);
+    const CacheLine *peek(Addr paddr) const;
+
+    /**
+     * Install a line for `paddr` with state `st`. If the set is full the
+     * replacement policy evicts; the victim is described in `ev` (may be
+     * nullptr if the caller doesn't care). Returns the filled line.
+     */
+    CacheLine &fill(Addr paddr, CoherState st, Eviction *ev = nullptr);
+
+    /** Invalidate a specific address if present. True if it was.
+     *  Virtual so the filter cache can clear its register valid bit. */
+    virtual bool invalidate(Addr paddr);
+
+    /** Invalidate the whole cache (slow path; the filter cache overrides
+     *  this with a flash clear). */
+    virtual void invalidateAll();
+
+    /** Iterate over every valid line (snoop helpers, verification). */
+    void forEachLine(const std::function<void(CacheLine &)> &fn);
+
+    /** Number of currently valid lines. */
+    unsigned validLineCount() const;
+
+    /**
+     * MSHR contention: reserve a miss-handling slot for a miss to
+     * `paddr`'s line starting at `when` that would complete after
+     * `miss_latency`. Returns the extra queueing delay (0 when a slot is
+     * free). A miss to a line that already has an outstanding fill is
+     * *merged* into the existing MSHR (no new slot; the data arrives
+     * when the first fill does).
+     */
+    Cycle reserveMshr(Addr paddr, Cycle when, Cycle miss_latency);
+
+    virtual ~Cache() = default;
+
+  protected:
+    unsigned setIndex(Addr paddr) const;
+
+    CacheParams params_;
+    unsigned sets_;
+    std::vector<CacheLine> lines_;
+    std::unique_ptr<Replacement> repl_;
+    std::vector<Cycle> mshrFree_;
+    /** Outstanding fills: line number -> data-arrival cycle. */
+    std::unordered_map<Addr, Cycle> inflightFills_;
+
+    StatGroup stats_;
+
+  public:
+    Counter hits;
+    Counter misses;
+    Counter fills;
+    Counter evictions;
+    Counter invalidations;
+    Counter mshrStalls;
+    Counter mshrMerges;
+    Formula missRate;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_CACHE_CACHE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Cache-line metadata shared by non-speculative caches and the
+ * speculative filter caches.
+ *
+ * Data values are never stored in lines (see mem/memory.hh); a line is
+ * pure metadata: tag(s), MESI state, and the MuonTrap additions — the
+ * *committed* bit, the fill-level tag used for prefetch-commit
+ * notifications, and the SE pseudo-state marker (paper §4.2, §4.5, §4.6).
+ */
+
+#ifndef MTRAP_CACHE_LINE_HH
+#define MTRAP_CACHE_LINE_HH
+
+#include "common/types.hh"
+
+namespace mtrap
+{
+
+/** MESI coherence state. Filter caches may only ever be I or S (with the
+ *  SE annotation riding on top of S). */
+enum class CoherState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Human-readable state name. */
+const char *coherStateName(CoherState s);
+
+/** Metadata for one cache line. */
+struct CacheLine
+{
+    /** Physical line number (paddr >> kLineShift); tag+index combined. */
+    Addr ptag = kAddrInvalid;
+    /** Virtual line number, used only by filter caches (VIPT, §4.4). */
+    Addr vtag = kAddrInvalid;
+    /** Owning address space, used only by filter caches. */
+    Asid asid = 0;
+    CoherState state = CoherState::Invalid;
+    /**
+     * MuonTrap committed bit (§4.2): false while the line was brought in
+     * by a still-speculative instruction. Always true in non-speculative
+     * caches.
+     */
+    bool committed = true;
+    /**
+     * SE pseudo-state (§4.5): the line behaves as Shared, but when the
+     * owning load commits the L1 launches an asynchronous upgrade to E.
+     */
+    bool sePending = false;
+    /** Dirty bit for write-back caches. */
+    bool dirty = false;
+    /** Deepest hierarchy level the fill came from (1=L1,2=L2,3=mem);
+     *  selects the prefetch-commit notification target (§4.6). */
+    std::uint8_t fillLevel = 0;
+    /** True if the line was installed by a prefetch and not yet demand
+     *  referenced (prefetcher accuracy accounting). */
+    bool prefetched = false;
+    /** Replacement bookkeeping: last-touch stamp (LRU). */
+    std::uint64_t lastUse = 0;
+    /** Replacement bookkeeping: fill stamp (FIFO). */
+    std::uint64_t fillStamp = 0;
+
+    bool valid() const { return state != CoherState::Invalid; }
+
+    /** Reset to an empty line. */
+    void
+    clear()
+    {
+        *this = CacheLine();
+    }
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_CACHE_LINE_HH

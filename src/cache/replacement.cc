@@ -1,0 +1,161 @@
+#include "cache/replacement.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+const char *
+coherStateName(CoherState s)
+{
+    switch (s) {
+      case CoherState::Invalid: return "I";
+      case CoherState::Shared: return "S";
+      case CoherState::Exclusive: return "E";
+      case CoherState::Modified: return "M";
+    }
+    return "?";
+}
+
+const char *
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::Lru: return "lru";
+      case ReplPolicy::Fifo: return "fifo";
+      case ReplPolicy::Random: return "random";
+      case ReplPolicy::TreePlru: return "tree-plru";
+    }
+    return "?";
+}
+
+void
+Replacement::touched(unsigned, unsigned, CacheLine &line)
+{
+    line.lastUse = ++stamp_;
+}
+
+void
+Replacement::filled(unsigned, unsigned, CacheLine &line)
+{
+    ++stamp_;
+    line.lastUse = stamp_;
+    line.fillStamp = stamp_;
+}
+
+std::unique_ptr<Replacement>
+Replacement::create(ReplPolicy p, unsigned sets, unsigned ways,
+                    std::uint64_t seed)
+{
+    switch (p) {
+      case ReplPolicy::Lru:
+        return std::make_unique<LruReplacement>();
+      case ReplPolicy::Fifo:
+        return std::make_unique<FifoReplacement>();
+      case ReplPolicy::Random:
+        return std::make_unique<RandomReplacement>(seed);
+      case ReplPolicy::TreePlru:
+        return std::make_unique<TreePlruReplacement>(sets, ways);
+    }
+    panic("unknown replacement policy");
+}
+
+unsigned
+LruReplacement::victim(unsigned, const std::vector<CacheLine *> &set)
+{
+    unsigned best = 0;
+    for (unsigned w = 1; w < set.size(); ++w)
+        if (set[w]->lastUse < set[best]->lastUse)
+            best = w;
+    return best;
+}
+
+unsigned
+FifoReplacement::victim(unsigned, const std::vector<CacheLine *> &set)
+{
+    unsigned best = 0;
+    for (unsigned w = 1; w < set.size(); ++w)
+        if (set[w]->fillStamp < set[best]->fillStamp)
+            best = w;
+    return best;
+}
+
+unsigned
+RandomReplacement::victim(unsigned, const std::vector<CacheLine *> &set)
+{
+    return static_cast<unsigned>(rng_.below(set.size()));
+}
+
+TreePlruReplacement::TreePlruReplacement(unsigned sets, unsigned ways)
+    : ways_(ways)
+{
+    if (!isPow2(ways))
+        fatal("tree-plru requires power-of-two associativity, got %u", ways);
+    nodesPerSet_ = ways > 1 ? ways - 1 : 1;
+    bits_.assign(static_cast<std::size_t>(sets) * nodesPerSet_, 0);
+}
+
+void
+TreePlruReplacement::mark(unsigned set_idx, unsigned way)
+{
+    if (ways_ <= 1)
+        return;
+    // Walk from the root, flipping each node to point *away* from `way`.
+    std::uint8_t *tree = &bits_[static_cast<std::size_t>(set_idx)
+                                * nodesPerSet_];
+    unsigned node = 0;
+    unsigned lo = 0, hi = ways_;
+    while (hi - lo > 1) {
+        unsigned mid = (lo + hi) / 2;
+        if (way < mid) {
+            tree[node] = 1;     // LRU side is the right half
+            node = 2 * node + 1;
+            hi = mid;
+        } else {
+            tree[node] = 0;     // LRU side is the left half
+            node = 2 * node + 2;
+            lo = mid;
+        }
+    }
+}
+
+unsigned
+TreePlruReplacement::victim(unsigned set_idx,
+                            const std::vector<CacheLine *> &set)
+{
+    if (ways_ <= 1)
+        return 0;
+    if (set.size() != ways_)
+        panic("tree-plru: set size %zu != ways %u", set.size(), ways_);
+    const std::uint8_t *tree = &bits_[static_cast<std::size_t>(set_idx)
+                                      * nodesPerSet_];
+    unsigned node = 0;
+    unsigned lo = 0, hi = ways_;
+    while (hi - lo > 1) {
+        unsigned mid = (lo + hi) / 2;
+        if (tree[node]) {       // 1 => LRU is on the right
+            node = 2 * node + 2;
+            lo = mid;
+        } else {                // 0 => LRU is on the left
+            node = 2 * node + 1;
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+void
+TreePlruReplacement::touched(unsigned set_idx, unsigned way, CacheLine &line)
+{
+    Replacement::touched(set_idx, way, line);
+    mark(set_idx, way);
+}
+
+void
+TreePlruReplacement::filled(unsigned set_idx, unsigned way, CacheLine &line)
+{
+    Replacement::filled(set_idx, way, line);
+    mark(set_idx, way);
+}
+
+} // namespace mtrap

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Replacement policies for set-associative caches.
+ *
+ * A policy sees one set (an array of CacheLine) and picks a victim way;
+ * touch/fill hooks keep per-line stamps. TreePLRU keeps per-set tree
+ * bits owned by the policy object.
+ */
+
+#ifndef MTRAP_CACHE_REPLACEMENT_HH
+#define MTRAP_CACHE_REPLACEMENT_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/line.hh"
+#include "common/rng.hh"
+
+namespace mtrap
+{
+
+/** Replacement-policy selector. */
+enum class ReplPolicy : std::uint8_t { Lru, Fifo, Random, TreePlru };
+
+/** Name for printing. */
+const char *replPolicyName(ReplPolicy p);
+
+/** Abstract replacement policy over a cache's geometry. */
+class Replacement
+{
+  public:
+    virtual ~Replacement() = default;
+
+    /**
+     * Choose a victim way in `set`. Invalid ways are preferred by the
+     * caller before this is consulted, so every way here is valid.
+     */
+    virtual unsigned victim(unsigned set_idx,
+                            const std::vector<CacheLine *> &set) = 0;
+
+    /** A hit touched `way`. */
+    virtual void touched(unsigned set_idx, unsigned way, CacheLine &line);
+
+    /** A fill installed into `way`. */
+    virtual void filled(unsigned set_idx, unsigned way, CacheLine &line);
+
+    /** Factory. `sets`/`ways` describe the cache geometry. */
+    static std::unique_ptr<Replacement> create(ReplPolicy p, unsigned sets,
+                                               unsigned ways,
+                                               std::uint64_t seed);
+
+  protected:
+    std::uint64_t stamp_ = 0;
+};
+
+/** Least-recently-used via per-line stamps. */
+class LruReplacement : public Replacement
+{
+  public:
+    unsigned victim(unsigned set_idx,
+                    const std::vector<CacheLine *> &set) override;
+};
+
+/** First-in-first-out via fill stamps. */
+class FifoReplacement : public Replacement
+{
+  public:
+    unsigned victim(unsigned set_idx,
+                    const std::vector<CacheLine *> &set) override;
+};
+
+/** Uniform-random victim. */
+class RandomReplacement : public Replacement
+{
+  public:
+    explicit RandomReplacement(std::uint64_t seed) : rng_(seed) {}
+    unsigned victim(unsigned set_idx,
+                    const std::vector<CacheLine *> &set) override;
+
+  private:
+    Rng rng_;
+};
+
+/** Tree pseudo-LRU (binary decision tree per set). */
+class TreePlruReplacement : public Replacement
+{
+  public:
+    TreePlruReplacement(unsigned sets, unsigned ways);
+
+    unsigned victim(unsigned set_idx,
+                    const std::vector<CacheLine *> &set) override;
+    void touched(unsigned set_idx, unsigned way, CacheLine &line) override;
+    void filled(unsigned set_idx, unsigned way, CacheLine &line) override;
+
+  private:
+    void mark(unsigned set_idx, unsigned way);
+
+    unsigned ways_;
+    unsigned nodesPerSet_;
+    std::vector<std::uint8_t> bits_;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_CACHE_REPLACEMENT_HH

@@ -1,0 +1,348 @@
+#include "coherence/bus.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+CoherenceBus::CoherenceBus(const BusParams &params, Cache *l2,
+                           MainMemory *mem, StatGroup *parent)
+    : params_(params), l2_(l2), mem_(mem),
+      stats_("bus", parent),
+      transactions(&stats_, "transactions", "bus transactions issued"),
+      nacks(&stats_, "nacks",
+            "speculative requests refused (reduced coherency speculation)"),
+      remoteSupplies(&stats_, "remote_supplies",
+                     "lines supplied by a remote private cache"),
+      memoryFetches(&stats_, "memory_fetches", "lines fetched from DRAM"),
+      writebacksToL2(&stats_, "writebacks_to_l2",
+                     "remote M lines written back to L2"),
+      storeUpgrades(&stats_, "store_upgrades",
+                    "commit-time store exclusive upgrades"),
+      storeUpgradeBroadcasts(&stats_, "store_upgrade_broadcasts",
+                             "store upgrades requiring a filter-cache "
+                             "invalidate broadcast"),
+      seUpgrades(&stats_, "se_upgrades",
+                 "asynchronous SE->E upgrades launched at commit"),
+      filterInvalidations(&stats_, "filter_invalidations",
+                          "filter-cache lines invalidated by upgrades"),
+      writeFilterInvalidateRate(
+          &stats_, "write_fcache_invalidate_rate",
+          "proportion of committed stores triggering a filter-cache "
+          "invalidate broadcast (paper figure 7)",
+          [this] {
+              const double t = static_cast<double>(storeUpgrades.value());
+              const double b =
+                  static_cast<double>(storeUpgradeBroadcasts.value());
+              return t > 0 ? b / t : 0.0;
+          })
+{
+    if (!l2_ || !mem_)
+        fatal("bus: l2 and memory must be non-null");
+}
+
+void
+CoherenceBus::addNode(const BusNode &node)
+{
+    if (!node.l1d || !node.l1i)
+        fatal("bus node must have L1 caches");
+    nodes_.push_back(node);
+}
+
+bool
+CoherenceBus::remoteHoldsExclusive(CoreId core, Addr paddr) const
+{
+    for (CoreId c = 0; c < nodes_.size(); ++c) {
+        if (c == core)
+            continue;
+        const CacheLine *l = nodes_[c].l1d->peek(paddr);
+        if (l && (l->state == CoherState::Modified ||
+                  l->state == CoherState::Exclusive))
+            return true;
+    }
+    return false;
+}
+
+bool
+CoherenceBus::anyOtherNonSpecHolder(CoreId core, Addr paddr) const
+{
+    for (CoreId c = 0; c < nodes_.size(); ++c) {
+        if (c == core)
+            continue;
+        const BusNode &n = nodes_[c];
+        if (n.l1d->peek(paddr) || n.l1i->peek(paddr))
+            return true;
+    }
+    return false;
+}
+
+bool
+CoherenceBus::anyOtherPrivateHolder(CoreId core, Addr paddr) const
+{
+    for (CoreId c = 0; c < nodes_.size(); ++c) {
+        if (c == core)
+            continue;
+        const BusNode &n = nodes_[c];
+        if (n.l1d->peek(paddr) || n.l1i->peek(paddr))
+            return true;
+        if (n.filterD && n.filterD->peek(paddr))
+            return true;
+        if (n.filterI && n.filterI->peek(paddr))
+            return true;
+    }
+    return false;
+}
+
+bool
+CoherenceBus::demoteRemotesToShared(CoreId core, Addr paddr)
+{
+    bool supplied = false;
+    for (CoreId c = 0; c < nodes_.size(); ++c) {
+        if (c == core)
+            continue;
+        CacheLine *l = nodes_[c].l1d->peek(paddr);
+        if (!l)
+            continue;
+        if (l->state == CoherState::Modified) {
+            // Remote owner supplies the data and writes it back to L2.
+            l->state = CoherState::Shared;
+            l->dirty = false;
+            CacheLine &wb = l2_->fill(paddr, CoherState::Modified);
+            wb.dirty = true;
+            ++writebacksToL2;
+            supplied = true;
+        } else if (l->state == CoherState::Exclusive) {
+            l->state = CoherState::Shared;
+            supplied = true;
+        }
+    }
+    return supplied;
+}
+
+void
+CoherenceBus::invalidateRemotes(CoreId core, Addr paddr,
+                                bool &remote_had_copy)
+{
+    remote_had_copy = false;
+    for (CoreId c = 0; c < nodes_.size(); ++c) {
+        if (c == core)
+            continue;
+        BusNode &n = nodes_[c];
+        CacheLine *l = n.l1d->peek(paddr);
+        if (l) {
+            remote_had_copy = true;
+            if (l->state == CoherState::Modified) {
+                CacheLine &wb = l2_->fill(paddr, CoherState::Modified);
+                wb.dirty = true;
+                ++writebacksToL2;
+            }
+            n.l1d->invalidate(paddr);
+        }
+        // Instruction caches hold read-only S copies.
+        if (n.l1i->peek(paddr)) {
+            remote_had_copy = true;
+            n.l1i->invalidate(paddr);
+        }
+    }
+}
+
+unsigned
+CoherenceBus::invalidateRemoteFilters(CoreId core, Addr paddr)
+{
+    unsigned count = 0;
+    for (CoreId c = 0; c < nodes_.size(); ++c) {
+        if (c == core)
+            continue;
+        BusNode &n = nodes_[c];
+        if (n.filterD && n.filterD->invalidate(paddr))
+            ++count;
+        if (n.filterI && n.filterI->invalidate(paddr))
+            ++count;
+    }
+    filterInvalidations += count;
+    return count;
+}
+
+SnoopOutcome
+CoherenceBus::readRequest(CoreId core, Addr paddr, bool speculative,
+                          bool muontrap_rules, bool fill_l2)
+{
+    ++transactions;
+    SnoopOutcome out;
+    out.latency = params_.transactionLatency;
+
+    const bool remote_excl = remoteHoldsExclusive(core, paddr);
+
+    if (muontrap_rules && speculative && remote_excl) {
+        // Reduced coherency speculation (§4.5, defends attack 3): a
+        // speculative read may not demote a remote private M/E line.
+        ++nacks;
+        out.nacked = true;
+        return out;
+    }
+
+    if (remote_excl) {
+        // Non-speculative (or unprotected) read: demote the remote owner
+        // and take the data from it.
+        demoteRemotesToShared(core, paddr);
+        ++remoteSupplies;
+        out.remoteSupplied = true;
+        out.latency += params_.remoteSupplyLatency;
+        out.serviceLevel = 2;
+        if (fill_l2 && !l2_->peek(paddr))
+            l2_->fill(paddr, CoherState::Shared);
+        return out;
+    }
+
+    // No remote exclusive owner; check the shared L2.
+    CacheLine *l2line = l2_->lookup(paddr);
+    if (l2line) {
+        out.l2Hit = true;
+        out.latency += l2_->params().hitLatency;
+        out.serviceLevel = 2;
+    } else {
+        // Fetch from memory.
+        Access macc;
+        macc.paddr = paddr;
+        macc.core = core;
+        out.latency += l2_->params().hitLatency; // L2 lookup (miss)
+        out.latency += mem_->access(macc);
+        ++memoryFetches;
+        out.serviceLevel = 3;
+        if (fill_l2) {
+            Eviction ev;
+            CacheLine &nl = l2_->fill(paddr, CoherState::Shared, &ev);
+            nl.dirty = false;
+            // A dirty L2 victim is written back to memory (functional
+            // data already lives there; this is latency-free for the
+            // requester, handled by the write buffer).
+        }
+    }
+
+    // The E-grant decision consults only non-speculative caches: a
+    // filter-cache copy elsewhere must not change this outcome or its
+    // timing (§4.5). Any such copies are invalidated later by the SE
+    // upgrade broadcast if the line commits.
+    out.wouldBeExclusive = !anyOtherNonSpecHolder(core, paddr);
+    return out;
+}
+
+SnoopOutcome
+CoherenceBus::writeRequest(CoreId core, Addr paddr, bool speculative,
+                           bool muontrap_rules, bool fill_l2)
+{
+    ++transactions;
+    SnoopOutcome out;
+    out.latency = params_.transactionLatency;
+
+    if (muontrap_rules && speculative) {
+        // Filter caches may never take E/M while speculative; the store
+        // may still prefetch the line in S via readRequest.
+        ++nacks;
+        out.nacked = true;
+        return out;
+    }
+
+    bool remote_had_copy = false;
+    invalidateRemotes(core, paddr, remote_had_copy);
+    if (remote_had_copy) {
+        ++remoteSupplies;
+        out.remoteSupplied = true;
+        out.latency += params_.remoteSupplyLatency;
+        out.serviceLevel = 2;
+    } else if (CacheLine *l2line = l2_->lookup(paddr)) {
+        (void)l2line;
+        out.l2Hit = true;
+        out.latency += l2_->params().hitLatency;
+        out.serviceLevel = 2;
+    } else {
+        Access macc;
+        macc.paddr = paddr;
+        macc.core = core;
+        out.latency += l2_->params().hitLatency;
+        out.latency += mem_->access(macc);
+        ++memoryFetches;
+        out.serviceLevel = 3;
+        if (fill_l2)
+            l2_->fill(paddr, CoherState::Shared);
+    }
+
+    // Exclusive requests always invalidate filter copies elsewhere: the
+    // requester is about to own the line.
+    invalidateRemoteFilters(core, paddr);
+
+    out.wouldBeExclusive = true;
+    return out;
+}
+
+bool
+CoherenceBus::commitUpgrade(CoreId core, Addr paddr, bool is_store,
+                            bool to_modified)
+{
+    if (core >= nodes_.size())
+        panic("commitUpgrade: bad core %u", core);
+    BusNode &n = nodes_[core];
+
+    if (is_store)
+        ++storeUpgrades;
+    else
+        ++seUpgrades;
+
+    CacheLine *own = n.l1d->peek(paddr);
+    const bool already_exclusive =
+        own && (own->state == CoherState::Exclusive ||
+                own->state == CoherState::Modified);
+
+    if (already_exclusive) {
+        // Typical case (§4.5): we already own the line; no broadcast.
+        if (to_modified) {
+            own->state = CoherState::Modified;
+            own->dirty = true;
+        }
+        return false;
+    }
+
+    // Broadcast: invalidate every other private copy, including remote
+    // filter caches, to keep their timing invisible.
+    ++transactions;
+    bool remote_had_copy = false;
+    invalidateRemotes(core, paddr, remote_had_copy);
+    invalidateRemoteFilters(core, paddr);
+    if (is_store)
+        ++storeUpgradeBroadcasts;
+
+    if (own) {
+        own->state = to_modified ? CoherState::Modified
+                                 : CoherState::Exclusive;
+        own->dirty = to_modified;
+    } else {
+        CacheLine &l = n.l1d->fill(paddr, to_modified
+                                              ? CoherState::Modified
+                                              : CoherState::Exclusive);
+        l.dirty = to_modified;
+    }
+    return true;
+}
+
+bool
+CoherenceBus::prefetchFill(Addr paddr)
+{
+    if (l2_->peek(paddr))
+        return false;
+    // Never demote a remote owner on behalf of a prefetch.
+    for (CoreId c = 0; c < nodes_.size(); ++c) {
+        const CacheLine *l = nodes_[c].l1d->peek(paddr);
+        if (l && (l->state == CoherState::Modified ||
+                  l->state == CoherState::Exclusive))
+            return false;
+    }
+    Access macc;
+    macc.paddr = paddr;
+    macc.kind = AccessKind::Prefetch;
+    mem_->access(macc);
+    CacheLine &l = l2_->fill(paddr, CoherState::Shared);
+    l.prefetched = true;
+    return true;
+}
+
+} // namespace mtrap

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Snooping MESI coherence bus connecting per-core private cache
+ * clusters, the shared L2, and main memory.
+ *
+ * The bus implements both conventional MESI and the MuonTrap
+ * restrictions from paper §4.5:
+ *
+ *  - *Reduced coherency speculation*: a speculative request that would
+ *    demote a remote private non-speculative line out of M/E is NACKed;
+ *    the core retries once the instruction is non-speculative.
+ *  - *Filter-cache state reduction*: filter fills are granted S only.
+ *    When an unprotected system would have granted E, the outcome is
+ *    flagged `wouldBeExclusive` so the filter can record the SE
+ *    pseudo-state and launch an asynchronous upgrade at commit.
+ *  - *Commit upgrades*: exclusive upgrades at commit broadcast
+ *    invalidations to remote filter caches whenever the requesting core
+ *    does not already hold the line exclusively (the figure-7 metric).
+ *
+ * Filter caches are registered per node and are snooped physically like
+ * any other cache (paper §4.4), but they can only ever contain S lines.
+ */
+
+#ifndef MTRAP_COHERENCE_BUS_HH
+#define MTRAP_COHERENCE_BUS_HH
+
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/access.hh"
+#include "mem/memory.hh"
+
+namespace mtrap
+{
+
+/** Timing of bus transactions. */
+struct BusParams
+{
+    /** Arbitration + transfer cost of any bus transaction. */
+    Cycle transactionLatency = 10;
+    /** Extra cost when a remote private cache supplies the data. */
+    Cycle remoteSupplyLatency = 15;
+};
+
+/** One core's private caches as seen by the bus. */
+struct BusNode
+{
+    Cache *l1d = nullptr;
+    Cache *l1i = nullptr;
+    /** Filter caches; nullptr when the scheme doesn't use them. */
+    Cache *filterD = nullptr;
+    Cache *filterI = nullptr;
+};
+
+/** Outcome of a bus read/write request. */
+struct SnoopOutcome
+{
+    /** Request refused under MuonTrap reduced coherency speculation. */
+    bool nacked = false;
+    /** Data was supplied by a remote private cache. */
+    bool remoteSupplied = false;
+    /** Data was found in the shared L2. */
+    bool l2Hit = false;
+    /** No other private non-speculative cache held the line, so an
+     *  unprotected MESI system would have granted E. */
+    bool wouldBeExclusive = false;
+    /** Latency of the bus portion of the access (excludes the local
+     *  lookup the caller already performed). */
+    Cycle latency = 0;
+    /** 2 = serviced by L2 or a remote cache, 3 = main memory. */
+    unsigned serviceLevel = 2;
+};
+
+/**
+ * The snooping bus. One instance per simulated system.
+ */
+class CoherenceBus
+{
+  public:
+    CoherenceBus(const BusParams &params, Cache *l2, MainMemory *mem,
+                 StatGroup *parent);
+
+    /** Register core `id`'s private caches. Must be called in id order. */
+    void addNode(const BusNode &node);
+
+    unsigned numNodes() const { return static_cast<unsigned>(nodes_.size()); }
+
+    /**
+     * Read request (GetShared) from `core` for the line of `paddr`.
+     *
+     * @param speculative   the issuing instruction may still squash
+     * @param muontrap_rules enforce NACK / S-only-grant restrictions
+     * @param fill_l2       install the line in L2 on the way (baseline
+     *                      behaviour; MuonTrap speculative fills skip it)
+     */
+    SnoopOutcome readRequest(CoreId core, Addr paddr, bool speculative,
+                             bool muontrap_rules, bool fill_l2);
+
+    /**
+     * Exclusive request (GetExclusive) from `core` — a baseline store, a
+     * non-speculative retried store, or a commit-time upgrade.
+     * Invalidates every other copy (writing back remote M data to L2).
+     * Under muontrap_rules a *speculative* exclusive request is always
+     * NACKed (filter caches may not take E/M).
+     */
+    SnoopOutcome writeRequest(CoreId core, Addr paddr, bool speculative,
+                              bool muontrap_rules, bool fill_l2);
+
+    /**
+     * MuonTrap commit-time asynchronous upgrade (store commit or SE
+     * upgrade). Never blocks the pipeline; returns the bus latency for
+     * accounting only. Counts the figure-7 broadcast metric when
+     * `is_store`.
+     *
+     * @return true if a broadcast (remote filter invalidation) was
+     *         required, i.e. the core did not already hold the line
+     *         exclusively in its private non-speculative cache.
+     */
+    bool commitUpgrade(CoreId core, Addr paddr, bool is_store,
+                       bool to_modified);
+
+    /**
+     * Prefetcher-initiated fill into the shared L2. Refuses to disturb
+     * remote M/E lines (the prefetcher must never demote anyone).
+     * @return true if the line was installed.
+     */
+    bool prefetchFill(Addr paddr);
+
+    /** Functional check used by tests: is `paddr` in any remote private
+     *  non-speculative cache of a core other than `core`, in state M or
+     *  E? */
+    bool remoteHoldsExclusive(CoreId core, Addr paddr) const;
+
+    /** True if any private cache (L1 or filter) of a core other than
+     *  `core` holds `paddr` in any valid state. */
+    bool anyOtherPrivateHolder(CoreId core, Addr paddr) const;
+
+    /**
+     * True if any *non-speculative* private cache (L1D/L1I only) of
+     * another core holds `paddr`. This is the E-grant check: filter
+     * caches must be invisible to it, or their contents would leak
+     * through the grant decision and its timing (§4.5, attack 4).
+     */
+    bool anyOtherNonSpecHolder(CoreId core, Addr paddr) const;
+
+  private:
+    /** Demote remote M/E copies of `paddr` to S (writing M data back to
+     *  L2); returns true if any remote supplied data. */
+    bool demoteRemotesToShared(CoreId core, Addr paddr);
+
+    /** Invalidate all remote copies; true if a remote M line was written
+     *  back. */
+    void invalidateRemotes(CoreId core, Addr paddr, bool &remote_had_copy);
+
+    /** Invalidate copies of `paddr` in every filter cache except
+     *  `core`'s; returns number invalidated. */
+    unsigned invalidateRemoteFilters(CoreId core, Addr paddr);
+
+    BusParams params_;
+    Cache *l2_;
+    MainMemory *mem_;
+    std::vector<BusNode> nodes_;
+
+    StatGroup stats_;
+
+  public:
+    Counter transactions;
+    Counter nacks;
+    Counter remoteSupplies;
+    Counter memoryFetches;
+    Counter writebacksToL2;
+    Counter storeUpgrades;
+    Counter storeUpgradeBroadcasts;
+    Counter seUpgrades;
+    Counter filterInvalidations;
+    Formula writeFilterInvalidateRate;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_COHERENCE_BUS_HH

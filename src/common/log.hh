@@ -1,0 +1,54 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic/fatal/warn/inform.
+ *
+ * `panic()` marks simulator bugs (aborts); `fatal()` marks user/config
+ * errors (clean exit). `warn()`/`inform()` are non-fatal notices. All
+ * accept printf-style formatting.
+ */
+
+#ifndef MTRAP_COMMON_LOG_HH
+#define MTRAP_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mtrap
+{
+
+/** Verbosity filter for inform(); warnings and errors always print. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Set the global verbosity (default Normal). */
+void setLogLevel(LogLevel lvl);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal simulator bug and abort. Use when an invariant the
+ * simulator itself must maintain has been violated.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1). Use when
+ * the simulation cannot continue due to caller-supplied parameters.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report suspicious but survivable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status (suppressed under LogLevel::Quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string (helper for messages). */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace mtrap
+
+#endif // MTRAP_COMMON_LOG_HH

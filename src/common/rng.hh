@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Every stochastic choice in the simulator (random replacement, workload
+ * generation) draws from an explicitly seeded Rng so whole experiments
+ * are bit-reproducible.
+ */
+
+#ifndef MTRAP_COMMON_RNG_HH
+#define MTRAP_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace mtrap
+{
+
+/** Seedable xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound) ; bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return real() < p; }
+
+    /** Uniform in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_COMMON_RNG_HH

@@ -1,0 +1,135 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+StatBase::StatBase(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (group)
+        group->registerStat(this);
+}
+
+std::string
+Counter::format() const
+{
+    return strfmt("%llu", static_cast<unsigned long long>(value_));
+}
+
+std::string
+Average::format() const
+{
+    return strfmt("%.4f (n=%llu)", mean(),
+                  static_cast<unsigned long long>(count_));
+}
+
+Histogram::Histogram(StatGroup *group, std::string name, std::string desc,
+                     std::uint64_t bucket_width, unsigned num_buckets)
+    : StatBase(group, std::move(name), std::move(desc)),
+      bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+{
+    if (bucket_width == 0 || num_buckets == 0)
+        fatal("histogram %s: zero bucket width or count", this->name().c_str());
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    ++samples_;
+    std::uint64_t idx = v / bucketWidth_;
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+std::string
+Histogram::format() const
+{
+    std::string out = strfmt("n=%llu [",
+                             static_cast<unsigned long long>(samples_));
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        out += strfmt("%llu",
+                      static_cast<unsigned long long>(buckets_[i]));
+        if (i + 1 < buckets_.size())
+            out += " ";
+    }
+    out += strfmt("] ovf=%llu", static_cast<unsigned long long>(overflow_));
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    overflow_ = 0;
+    samples_ = 0;
+}
+
+std::string
+Formula::format() const
+{
+    return strfmt("%.6f", value());
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+std::string
+StatGroup::path() const
+{
+    if (!parent_)
+        return name_;
+    return parent_->path() + "." + name_;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const StatBase *s : stats_) {
+        os << path() << "." << s->name() << " = " << s->format()
+           << "   # " << s->desc() << "\n";
+    }
+    for (const StatGroup *c : children_)
+        c->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : stats_)
+        s->reset();
+    for (StatGroup *c : children_)
+        c->resetAll();
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const StatBase *s : stats_)
+        if (s->name() == name)
+            return s;
+    return nullptr;
+}
+
+void
+StatGroup::visit(const std::function<void(const std::string &,
+                                          const StatBase &)> &fn) const
+{
+    const std::string prefix = path();
+    for (const StatBase *s : stats_)
+        fn(prefix + "." + s->name(), *s);
+    for (const StatGroup *c : children_)
+        c->visit(fn);
+}
+
+} // namespace mtrap

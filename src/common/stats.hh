@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages,
+ * distributions and derived formulas, grouped per component.
+ *
+ * Components own a StatGroup; stats register themselves with the group
+ * at construction, so `dump()` can print every stat without manual
+ * bookkeeping. Modelled on (a tiny fraction of) gem5's stats package.
+ */
+
+#ifndef MTRAP_COMMON_STATS_HH
+#define MTRAP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mtrap
+{
+
+class StatGroup;
+
+/** Base class for all statistics: a name, description and reset hook. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render the current value(s) as a printable string. */
+    virtual std::string format() const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic (well, signed-adjustable) event counter. */
+class Counter : public StatBase
+{
+  public:
+    Counter(StatGroup *group, std::string name, std::string desc)
+        : StatBase(group, std::move(name), std::move(desc)) {}
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
+    std::uint64_t value() const { return value_; }
+
+    std::string format() const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running average of samples (mean latency, occupancy, ...). */
+class Average : public StatBase
+{
+  public:
+    Average(StatGroup *group, std::string name, std::string desc)
+        : StatBase(group, std::move(name), std::move(desc)) {}
+
+    void sample(double v) { sum_ += v; ++count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+
+    std::string format() const override;
+    void reset() override { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, max) plus an overflow bucket. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup *group, std::string name, std::string desc,
+              std::uint64_t bucket_width, unsigned num_buckets);
+
+    void sample(std::uint64_t v);
+    std::uint64_t bucketCount(unsigned i) const { return buckets_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t samples() const { return samples_; }
+
+    std::string format() const override;
+    void reset() override;
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+/** Derived value computed on demand from other stats. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *group, std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(group, std::move(name), std::move(desc)),
+          fn_(std::move(fn)) {}
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+    std::string format() const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of statistics belonging to one component.
+ * Groups can nest; dump() walks the subtree in registration order.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Fully qualified dotted name, e.g. "system.core0.l1d". */
+    std::string path() const;
+
+    /** Called by StatBase's constructor. */
+    void registerStat(StatBase *s) { stats_.push_back(s); }
+
+    /** Print every stat in this group and its children. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every stat in this group and its children. */
+    void resetAll();
+
+    /** Find a stat by local name (nullptr if absent); for tests. */
+    const StatBase *find(const std::string &name) const;
+
+    /** Visit every stat in this subtree with its fully qualified path
+     *  (serialisation, custom reporting). */
+    void visit(const std::function<void(const std::string &path,
+                                        const StatBase &stat)> &fn) const;
+
+  private:
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_COMMON_STATS_HH

@@ -1,0 +1,153 @@
+#include "cpu/branch_predictor.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorParams &params,
+                                 StatGroup *parent)
+    : params_(params),
+      localHistory_(params.localEntries, 0),
+      localCounters_(1u << params.localHistoryBits, 1),
+      globalCounters_(params.globalEntries, 1),
+      chooser_(params.chooserEntries, 1),
+      btb_(params.btbEntries),
+      ras_(params.rasEntries, kAddrInvalid),
+      stats_("bpred", parent),
+      lookups(&stats_, "lookups", "conditional-branch predictions"),
+      mispredicts(&stats_, "mispredicts", "direction mispredictions"),
+      btbHits(&stats_, "btb_hits", "indirect predictions with a BTB entry"),
+      btbMisses(&stats_, "btb_misses", "indirect predictions without one"),
+      mispredictRate(&stats_, "mispredict_rate",
+                     "mispredicts / lookups",
+                     [this] {
+                         const double l =
+                             static_cast<double>(lookups.value());
+                         return l > 0 ? mispredicts.value() / l : 0.0;
+                     })
+{
+    if (!isPow2(params.localEntries) || !isPow2(params.globalEntries) ||
+        !isPow2(params.chooserEntries) || !isPow2(params.btbEntries))
+        fatal("branch predictor tables must be powers of two");
+}
+
+void
+BranchPredictor::bump(std::uint8_t &c, bool up)
+{
+    if (up) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+unsigned
+BranchPredictor::counterIndexLocal(Addr pc)
+{
+    const unsigned hist_idx =
+        static_cast<unsigned>(pc) & (params_.localEntries - 1);
+    const std::uint16_t hist = localHistory_[hist_idx];
+    return hist & ((1u << params_.localHistoryBits) - 1);
+}
+
+unsigned
+BranchPredictor::counterIndexGlobal(Addr pc) const
+{
+    return static_cast<unsigned>(pc ^ globalHistory_)
+           & (params_.globalEntries - 1);
+}
+
+bool
+BranchPredictor::predictDirection(Addr pc)
+{
+    ++lookups;
+    const bool local_pred = taken2bit(localCounters_[counterIndexLocal(pc)]);
+    const bool global_pred =
+        taken2bit(globalCounters_[counterIndexGlobal(pc)]);
+    const unsigned ch_idx =
+        static_cast<unsigned>(pc) & (params_.chooserEntries - 1);
+    const bool use_global = taken2bit(chooser_[ch_idx]);
+    return use_global ? global_pred : local_pred;
+}
+
+void
+BranchPredictor::trainDirection(Addr pc, bool taken)
+{
+    const unsigned hist_idx =
+        static_cast<unsigned>(pc) & (params_.localEntries - 1);
+    const unsigned local_idx = counterIndexLocal(pc);
+    const unsigned global_idx = counterIndexGlobal(pc);
+    const unsigned ch_idx =
+        static_cast<unsigned>(pc) & (params_.chooserEntries - 1);
+
+    const bool local_pred = taken2bit(localCounters_[local_idx]);
+    const bool global_pred = taken2bit(globalCounters_[global_idx]);
+
+    // Chooser trains towards whichever component was right.
+    if (local_pred != global_pred)
+        bump(chooser_[ch_idx], global_pred == taken);
+
+    bump(localCounters_[local_idx], taken);
+    bump(globalCounters_[global_idx], taken);
+
+    localHistory_[hist_idx] = static_cast<std::uint16_t>(
+        (localHistory_[hist_idx] << 1) | (taken ? 1 : 0));
+    globalHistory_ = (globalHistory_ << 1) | (taken ? 1 : 0);
+}
+
+Addr
+BranchPredictor::predictTarget(Addr pc)
+{
+    const BtbEntry &e = btb_[static_cast<unsigned>(pc)
+                             & (params_.btbEntries - 1)];
+    if (e.pc == pc) {
+        ++btbHits;
+        return e.target;
+    }
+    ++btbMisses;
+    return kAddrInvalid;
+}
+
+void
+BranchPredictor::trainTarget(Addr pc, Addr target)
+{
+    BtbEntry &e = btb_[static_cast<unsigned>(pc)
+                       & (params_.btbEntries - 1)];
+    e.pc = pc;
+    e.target = target;
+}
+
+void
+BranchPredictor::pushReturn(Addr return_pc)
+{
+    ras_[rasTop_] = return_pc;
+    rasTop_ = (rasTop_ + 1) % params_.rasEntries;
+}
+
+Addr
+BranchPredictor::popReturn()
+{
+    rasTop_ = (rasTop_ + params_.rasEntries - 1) % params_.rasEntries;
+    const Addr r = ras_[rasTop_];
+    ras_[rasTop_] = kAddrInvalid;
+    return r;
+}
+
+BranchPredictor::Snapshot
+BranchPredictor::snapshot() const
+{
+    return Snapshot{globalHistory_, ras_, rasTop_};
+}
+
+void
+BranchPredictor::restore(const Snapshot &s)
+{
+    globalHistory_ = s.globalHistory;
+    ras_ = s.ras;
+    rasTop_ = s.rasTop;
+}
+
+} // namespace mtrap

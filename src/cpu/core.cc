@@ -1,0 +1,838 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+namespace
+{
+
+/** Mask applied to data virtual addresses (44-bit VA space). */
+constexpr Addr kVaMask = (1ull << 44) - 1;
+
+} // namespace
+
+const char *
+coreDefenseName(CoreDefense d)
+{
+    switch (d) {
+      case CoreDefense::None: return "none";
+      case CoreDefense::SttSpectre: return "stt-spectre";
+      case CoreDefense::SttFuture: return "stt-future";
+      case CoreDefense::InvisiSpecSpectre: return "invisispec-spectre";
+      case CoreDefense::InvisiSpecFuture: return "invisispec-future";
+    }
+    return "?";
+}
+
+Core::Core(CoreId id, const CoreParams &params, MemIface *mem,
+           StatGroup *parent)
+    : id_(id), params_(params), mem_(mem),
+      bpred_(params.bpred, parent),
+      intUnits_(params.intAlus, 0),
+      fpUnits_(params.fpAlus, 0),
+      mulUnits_(params.mulDivs, 0),
+      memUnits_(params.memPorts, 0),
+      stats_(strfmt("core%u", id), parent),
+      committed(&stats_, "committed", "instructions committed"),
+      committedLoads(&stats_, "committed_loads", "loads committed"),
+      committedStores(&stats_, "committed_stores", "stores committed"),
+      fetched(&stats_, "fetched", "instructions fetched (any path)"),
+      wrongPathFetched(&stats_, "wrong_path_fetched",
+                       "wrong-path instructions fetched"),
+      wrongPathLoads(&stats_, "wrong_path_loads",
+                     "wrong-path loads that accessed memory"),
+      squashes(&stats_, "squashes", "pipeline squashes"),
+      nackRetries(&stats_, "nack_retries",
+                  "loads retried after a coherence NACK"),
+      contextSwitches(&stats_, "context_switches", "context switches"),
+      forwardedLoads(&stats_, "forwarded_loads",
+                     "loads forwarded from the store buffer"),
+      exposures(&stats_, "exposures", "InvisiSpec exposure accesses"),
+      loadLatency(&stats_, "load_latency", "demand load latency"),
+      ipc(&stats_, "ipc", "committed instructions per cycle",
+          [this] {
+              return lastCommitC_ > 0
+                         ? static_cast<double>(committed.value())
+                               / static_cast<double>(lastCommitC_)
+                         : 0.0;
+          })
+{
+    if (!mem_)
+        fatal("core%u: null memory interface", id);
+    if (params.robSize < params.lqSize || params.robSize < params.sqSize)
+        fatal("core%u: ROB smaller than LQ/SQ", id);
+}
+
+void
+Core::setContext(const ArchContext &ctx)
+{
+    ctx_ = ctx;
+    regDone_.fill(fetchCycle_);
+    regTaint_.fill(0);
+    lastIfetchLine_ = kAddrInvalid;
+    specStack_.clear();
+    olderDoneMax_ = fetchCycle_;
+    lastBranchDone_ = 0;
+}
+
+ArchContext
+Core::saveContext()
+{
+    drain();
+    return ctx_;
+}
+
+void
+Core::contextSwitch(const ArchContext &next)
+{
+    drain();
+    mem_->onContextSwitch(id_, fetchCycle_);
+    fetchCycle_ += params_.contextSwitchCost;
+    fetchedThisCycle_ = 0;
+    ++contextSwitches;
+    setContext(next);
+}
+
+// --------------------------------------------------------------------------
+// Register / value helpers
+// --------------------------------------------------------------------------
+
+Cycle
+Core::regReady(std::uint8_t r) const
+{
+    return r == kNoReg ? 0 : regDone_[r];
+}
+
+Cycle
+Core::regTaintClear(std::uint8_t r) const
+{
+    return r == kNoReg ? 0 : regTaint_[r];
+}
+
+std::uint64_t
+Core::regValue(std::uint8_t r) const
+{
+    return r == kNoReg ? 0 : ctx_.regs[r];
+}
+
+void
+Core::writeReg(std::uint8_t r, std::uint64_t v, Cycle done, Cycle taint)
+{
+    if (r == kNoReg)
+        return;
+    ctx_.regs[r] = v;
+    regDone_[r] = done;
+    regTaint_[r] = taint;
+}
+
+Addr
+Core::effectiveAddress(const MicroOp &op) const
+{
+    Addr a = regValue(op.base) + static_cast<Addr>(op.imm);
+    if (op.index != kNoReg)
+        a += regValue(op.index) << op.scale;
+    return (a & kVaMask) & ~static_cast<Addr>(7);
+}
+
+bool
+Core::evalBranch(const MicroOp &op) const
+{
+    const std::int64_t a = static_cast<std::int64_t>(regValue(op.src1));
+    const std::int64_t b = static_cast<std::int64_t>(regValue(op.src2));
+    const std::uint64_t ua = regValue(op.src1);
+    const std::uint64_t ub = regValue(op.src2);
+    switch (op.cond) {
+      case BranchCond::Eq: return a == b;
+      case BranchCond::Ne: return a != b;
+      case BranchCond::Lt: return a < b;
+      case BranchCond::Ge: return a >= b;
+      case BranchCond::Ult: return ua < ub;
+      case BranchCond::Uge: return ua >= ub;
+      case BranchCond::Always: return true;
+    }
+    return true;
+}
+
+std::uint64_t
+Core::aluResult(const MicroOp &op) const
+{
+    const std::uint64_t a = regValue(op.src1);
+    const std::uint64_t b = op.src2 != kNoReg
+                                ? regValue(op.src2)
+                                : static_cast<std::uint64_t>(op.imm);
+    switch (op.alu) {
+      case AluOp::Add: return a + b;
+      case AluOp::Sub: return a - b;
+      case AluOp::And: return a & b;
+      case AluOp::Or: return a | b;
+      case AluOp::Xor: return a ^ b;
+      case AluOp::Shl: return a << (b & 63);
+      case AluOp::Shr: return a >> (b & 63);
+      case AluOp::Mov: return a;
+      case AluOp::MovImm: return static_cast<std::uint64_t>(op.imm);
+      case AluOp::Mul: return a * b;
+      case AluOp::Div: return b ? a / b : a;
+    }
+    return 0;
+}
+
+// --------------------------------------------------------------------------
+// Store buffer (functional wrong-path isolation + forwarding)
+// --------------------------------------------------------------------------
+
+std::uint64_t
+Core::functionalLoad(Addr vaddr)
+{
+    auto it = storeBuffer_.find(vaddr);
+    if (it != storeBuffer_.end() && !it->second.empty())
+        return it->second.back().value;
+    return mem_->read(ctx_.asid, vaddr);
+}
+
+void
+Core::bufferStore(Addr vaddr, std::uint64_t value, SeqNum seq)
+{
+    storeBuffer_[vaddr].push_back(BufferedStore{seq, value});
+}
+
+void
+Core::unbufferStoresAfter(SeqNum first_squashed)
+{
+    for (auto it = storeBuffer_.begin(); it != storeBuffer_.end();) {
+        auto &vec = it->second;
+        while (!vec.empty() && vec.back().seq >= first_squashed)
+            vec.pop_back();
+        if (vec.empty())
+            it = storeBuffer_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Core::releaseStore(Addr vaddr, SeqNum seq, std::uint64_t value)
+{
+    mem_->write(ctx_.asid, vaddr, value);
+    auto it = storeBuffer_.find(vaddr);
+    if (it != storeBuffer_.end()) {
+        auto &vec = it->second;
+        auto pos = std::find_if(vec.begin(), vec.end(),
+                                [seq](const BufferedStore &s) {
+                                    return s.seq == seq;
+                                });
+        if (pos != vec.end())
+            vec.erase(pos);
+        if (vec.empty())
+            storeBuffer_.erase(it);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Structural helpers
+// --------------------------------------------------------------------------
+
+Cycle
+Core::allocFetchSlot()
+{
+    if (fetchedThisCycle_ >= params_.fetchWidth) {
+        ++fetchCycle_;
+        fetchedThisCycle_ = 0;
+    }
+    ++fetchedThisCycle_;
+    return fetchCycle_;
+}
+
+Cycle
+Core::fuAvailable(std::vector<Cycle> &units, Cycle ready)
+{
+    auto it = std::min_element(units.begin(), units.end());
+    const Cycle start = std::max(*it, ready);
+    *it = start + 1; // units accept one op per cycle (pipelined)
+    return start;
+}
+
+// --------------------------------------------------------------------------
+// Window management
+// --------------------------------------------------------------------------
+
+void
+Core::appendEntry(WinEntry e)
+{
+    // In-order commit: 'commitWidth' per cycle, after commitReadyC.
+    Cycle c = std::max(e.commitReadyC + 1, lastCommitC_);
+    if (c == commitSlotCycle_ && commitsInSlot_ >= params_.commitWidth)
+        ++c;
+    if (c != commitSlotCycle_) {
+        commitSlotCycle_ = c;
+        commitsInSlot_ = 0;
+    }
+    ++commitsInSlot_;
+    e.commitC = c;
+    lastCommitC_ = c;
+
+    if (e.isLoad)
+        ++loadsInFlight_;
+    if (e.isStore)
+        ++storesInFlight_;
+    window_.push_back(std::move(e));
+}
+
+void
+Core::popHead()
+{
+    WinEntry &e = window_.front();
+    commitActions(e);
+    if (e.isLoad)
+        --loadsInFlight_;
+    if (e.isStore)
+        --storesInFlight_;
+    window_.pop_front();
+}
+
+void
+Core::commitActions(const WinEntry &e)
+{
+    ++committed;
+    if (e.isLoad)
+        ++committedLoads;
+    if (e.isStore) {
+        ++committedStores;
+        releaseStore(e.vaddr, e.seq, e.storeValue);
+    }
+    if (e.accessedMemory) {
+        mem_->commitData(id_, ctx_.asid, e.vaddr, e.pcIndex, e.isStore,
+                         e.tlbMiss, e.commitC);
+    }
+    if (e.newIfetchLine)
+        mem_->commitIfetch(id_, ctx_.asid, e.ifetchVaddr, e.commitC);
+}
+
+void
+Core::drain()
+{
+    while (!window_.empty())
+        popHead();
+    if (lastCommitC_ > fetchCycle_) {
+        fetchCycle_ = lastCommitC_;
+        fetchedThisCycle_ = 0;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Speculation
+// --------------------------------------------------------------------------
+
+void
+Core::enterWrongPath(std::uint64_t correct_pc, Cycle resolve_at)
+{
+    Checkpoint chk;
+    chk.regs = ctx_.regs;
+    chk.regDone = regDone_;
+    chk.regTaint = regTaint_;
+    chk.callStack = ctx_.callStack;
+    chk.correctPc = correct_pc;
+    chk.resolveAt = resolve_at;
+    chk.firstWrongSeq = nextSeq_;
+    chk.lastCommitC = lastCommitC_;
+    chk.commitSlotCycle = commitSlotCycle_;
+    chk.commitsInSlot = commitsInSlot_;
+    chk.olderDoneMax = olderDoneMax_;
+    chk.lastBranchDone = lastBranchDone_;
+    chk.lastIfetchLine = lastIfetchLine_;
+    chk.bpred = bpred_.snapshot();
+    specStack_.push_back(std::move(chk));
+}
+
+void
+Core::squash()
+{
+    // Restore to the *oldest* checkpoint: the first mispredicted branch
+    // wins; anything younger (including nested checkpoints) is wrong
+    // path.
+    Checkpoint &chk = specStack_.front();
+
+    // Discard wrong-path entries from the window tail, fixing up the
+    // in-flight load/store occupancy as they go.
+    while (!window_.empty() &&
+           window_.back().seq >= chk.firstWrongSeq) {
+        const WinEntry &e = window_.back();
+        if (e.isLoad)
+            --loadsInFlight_;
+        if (e.isStore)
+            --storesInFlight_;
+        window_.pop_back();
+    }
+    unbufferStoresAfter(chk.firstWrongSeq);
+
+    ctx_.regs = chk.regs;
+    regDone_ = chk.regDone;
+    regTaint_ = chk.regTaint;
+    ctx_.callStack = chk.callStack;
+    ctx_.pc = chk.correctPc;
+    lastCommitC_ = chk.lastCommitC;
+    commitSlotCycle_ = chk.commitSlotCycle;
+    commitsInSlot_ = chk.commitsInSlot;
+    olderDoneMax_ = chk.olderDoneMax;
+    lastBranchDone_ = std::max(chk.lastBranchDone, chk.resolveAt);
+    lastIfetchLine_ = chk.lastIfetchLine;
+    bpred_.restore(chk.bpred);
+
+    fetchCycle_ = std::max(fetchCycle_, chk.resolveAt);
+    fetchedThisCycle_ = 0;
+
+    ++squashes;
+    mem_->onSquash(id_, fetchCycle_);
+    specStack_.clear();
+}
+
+// --------------------------------------------------------------------------
+// Serializing ops
+// --------------------------------------------------------------------------
+
+void
+Core::drainAndApplySerializing(const MicroOp &op, Cycle done_c)
+{
+    drain();
+    const Cycle when = std::max(done_c, lastCommitC_);
+    switch (op.type) {
+      case OpType::Syscall:
+        mem_->onSyscall(id_, when);
+        break;
+      case OpType::SandboxEnter:
+      case OpType::SandboxExit:
+        mem_->onSandboxSwitch(id_, when);
+        break;
+      case OpType::FlushBarrier:
+        mem_->onFlushBarrier(id_, when);
+        break;
+      case OpType::Halt:
+        ctx_.halted = true;
+        break;
+      default:
+        panic("not a serializing op: %s", opTypeName(op.type));
+    }
+    fetchCycle_ = std::max(fetchCycle_, when + opLatency(op.type));
+    fetchedThisCycle_ = 0;
+    lastCommitC_ = std::max(lastCommitC_, fetchCycle_);
+    ++committed;
+}
+
+// --------------------------------------------------------------------------
+// Instruction fetch (I-side access)
+// --------------------------------------------------------------------------
+
+void
+Core::chargeIfetch(std::uint64_t pc_index, WinEntry &e)
+{
+    const Addr va = ctx_.program->pcToVaddr(pc_index);
+    const Addr line = lineNum(va);
+    if (line == lastIfetchLine_)
+        return;
+    lastIfetchLine_ = line;
+    const Cycle lat = mem_->ifetchAccess(id_, ctx_.asid, va, fetchCycle_);
+    // A 1-cycle hit is hidden by the pipelined front end; anything more
+    // stalls fetch.
+    if (lat > 1) {
+        fetchCycle_ += lat - 1;
+        fetchedThisCycle_ = 0;
+    }
+    e.newIfetchLine = true;
+    e.ifetchVaddr = va;
+}
+
+// --------------------------------------------------------------------------
+// Main fetch-execute step
+// --------------------------------------------------------------------------
+
+void
+Core::retireEligible()
+{
+    // Retire entries whose commit time has passed the front-end clock.
+    // This keeps the *simulation order* of commit actions (filter-line
+    // write-throughs, prefetch notifications) aligned with their time
+    // stamps: without it, a whole ROB's worth of younger accesses would
+    // hit the caches before an older instruction's commit actions ran.
+    // Never retire wrong-path entries — they are squashed, not
+    // committed.
+    const SeqNum barrier = inWrongPath()
+                               ? specStack_.front().firstWrongSeq
+                               : nextSeq_;
+    while (!window_.empty() && window_.front().seq < barrier &&
+           window_.front().commitC <= fetchCycle_) {
+        popHead();
+    }
+}
+
+bool
+Core::stepOne()
+{
+    if (ctx_.halted || !ctx_.program)
+        return false;
+
+    // Wrong-path termination: once the front end's clock passes the
+    // resolve point of the oldest mispredicted branch, squash.
+    if (inWrongPath() && fetchCycle_ >= specStack_.front().resolveAt) {
+        squash();
+        return true;
+    }
+
+    retireEligible();
+    fetchOne();
+    return !ctx_.halted;
+}
+
+std::uint64_t
+Core::run(std::uint64_t max_commits)
+{
+    const std::uint64_t start = committed.value();
+    while (!ctx_.halted && committed.value() - start < max_commits)
+        stepOne();
+    return committed.value() - start;
+}
+
+void
+Core::fetchOne()
+{
+    const Program &prog = *ctx_.program;
+    if (ctx_.pc >= prog.size()) {
+        warn("core%u: pc %llu fell off program %s; halting", id_,
+             static_cast<unsigned long long>(ctx_.pc), prog.name.c_str());
+        drain();
+        ctx_.halted = true;
+        return;
+    }
+
+    const MicroOp op = prog.ops[ctx_.pc];
+    const std::uint64_t pc = ctx_.pc;
+
+    // Serializing ops never execute speculatively: on the wrong path
+    // they stall fetch until the squash; on the correct path they drain
+    // and apply their effect in program order.
+    if (op.isSerializing()) {
+        if (inWrongPath()) {
+            fetchCycle_ = specStack_.front().resolveAt;
+            squash();
+            return;
+        }
+        // Timing: the op issues after its fetch and all older work.
+        const Cycle fc = allocFetchSlot();
+        ++fetched;
+        drainAndApplySerializing(op, std::max(fc, lastCommitC_));
+        ctx_.pc = pc + 1;
+        return;
+    }
+
+    // Structural stalls: ROB, LQ, SQ.
+    while (window_.size() >= params_.robSize ||
+           (op.type == OpType::Load && loadsInFlight_ >= params_.lqSize) ||
+           (op.type == OpType::Store && storesInFlight_ >= params_.sqSize)) {
+        if (window_.empty())
+            panic("core%u: structural stall with empty window", id_);
+        if (fetchCycle_ < window_.front().commitC) {
+            fetchCycle_ = window_.front().commitC;
+            fetchedThisCycle_ = 0;
+            // The stall may have pushed us past a pending resolve point.
+            if (inWrongPath() &&
+                fetchCycle_ >= specStack_.front().resolveAt) {
+                squash();
+                return;
+            }
+        }
+        popHead();
+    }
+
+    const Cycle fc = allocFetchSlot();
+    ++fetched;
+    if (inWrongPath())
+        ++wrongPathFetched;
+
+    WinEntry e;
+    e.seq = nextSeq_++;
+    e.pcIndex = pc;
+    e.type = op.type;
+
+    chargeIfetch(pc, e);
+
+    const Cycle dispatch = fc + params_.dispatchLatency;
+    std::uint64_t next_pc = pc + 1;
+
+    switch (op.type) {
+      case OpType::Nop:
+        e.doneC = dispatch;
+        break;
+
+      case OpType::IntAlu:
+      case OpType::IntMul:
+      case OpType::IntDiv:
+      case OpType::FpAlu: {
+        const Cycle ready = std::max({dispatch, regReady(op.src1),
+                                      regReady(op.src2)});
+        std::vector<Cycle> *units = &intUnits_;
+        if (op.type == OpType::FpAlu)
+            units = &fpUnits_;
+        else if (op.type != OpType::IntAlu)
+            units = &mulUnits_;
+        const Cycle start = fuAvailable(*units, ready);
+        e.doneC = start + opLatency(op.type);
+        const Cycle taint = std::max(regTaintClear(op.src1),
+                                     regTaintClear(op.src2));
+        writeReg(op.dst, aluResult(op), e.doneC, taint);
+        break;
+      }
+
+      case OpType::Load:
+      case OpType::Store: {
+        const Addr va = effectiveAddress(op);
+        e.vaddr = va;
+
+        Cycle addr_ready = std::max({dispatch, regReady(op.base),
+                                     regReady(op.index)});
+        // STT: transmitters (loads/stores) with tainted address operands
+        // are delayed until the taint clears.
+        if (params_.defense == CoreDefense::SttSpectre ||
+            params_.defense == CoreDefense::SttFuture) {
+            addr_ready = std::max({addr_ready, regTaintClear(op.base),
+                                   regTaintClear(op.index)});
+        }
+        const Cycle issue = fuAvailable(memUnits_, addr_ready);
+
+        // A wrong-path memory op whose issue time falls after the
+        // mispredicted branch resolves never reaches the cache: the
+        // squash kills it first. Modelling this matters — without it the
+        // wrong path would inject far more cache traffic than real
+        // hardware can.
+        const bool squashed_before_issue =
+            inWrongPath() && issue >= specStack_.front().resolveAt;
+
+        if (op.type == OpType::Store) {
+            e.isStore = true;
+            const Cycle data_ready = std::max(issue, regReady(op.src1));
+            e.storeValue = regValue(op.src1);
+            bufferStore(va, e.storeValue, e.seq);
+            if (!squashed_before_issue) {
+                // Execute-time line prefetch (exclusive in baseline,
+                // shared under MuonTrap); the write happens at commit.
+                DataAccessResult r = mem_->dataAccess(
+                    id_, ctx_.asid, va, pc, /*is_store=*/true,
+                    /*speculative=*/true, issue);
+                e.accessedMemory = true;
+                e.tlbMiss = r.tlbMiss;
+            }
+            // Store completion does not wait for the prefetch; address +
+            // data availability retire the op.
+            e.doneC = data_ready + 1;
+        } else {
+            e.isLoad = true;
+            // Store-to-load forwarding.
+            auto sbit = storeBuffer_.find(va);
+            if (sbit != storeBuffer_.end() && !sbit->second.empty()) {
+                ++forwardedLoads;
+                e.doneC = issue + 1;
+                writeReg(op.dst, sbit->second.back().value, e.doneC,
+                         regTaintClear(op.base));
+                break;
+            }
+
+            const std::uint64_t value = mem_->read(ctx_.asid, va);
+            Cycle done;
+            bool accessed = true;
+
+            if (squashed_before_issue) {
+                // Issues too late to beat the squash: no cache access.
+                e.accessedMemory = false;
+                e.doneC = specStack_.front().resolveAt;
+                writeReg(op.dst, value, e.doneC, 0);
+                break;
+            }
+
+            const bool is_invisispec =
+                params_.defense == CoreDefense::InvisiSpecSpectre ||
+                params_.defense == CoreDefense::InvisiSpecFuture;
+            if (is_invisispec && lastBranchDone_ > issue) {
+                // Speculative InvisiSpec load: non-mutating probe now,
+                // mutating exposure at the visibility point.
+                const Cycle probe_lat =
+                    mem_->dataProbe(id_, ctx_.asid, va, issue);
+                done = issue + probe_lat;
+                const Cycle expose_start =
+                    params_.defense == CoreDefense::InvisiSpecSpectre
+                        ? std::max(done, lastBranchDone_)
+                        : std::max(done, lastCommitC_);
+                DataAccessResult er = mem_->dataAccess(
+                    id_, ctx_.asid, va, pc, false, false, expose_start);
+                ++exposures;
+                e.commitReadyC = expose_start + er.latency;
+                e.tlbMiss = er.tlbMiss;
+            } else {
+                DataAccessResult r = mem_->dataAccess(
+                    id_, ctx_.asid, va, pc, false, /*speculative=*/true,
+                    issue);
+                if (r.nacked) {
+                    if (inWrongPath()) {
+                        // Never becomes non-speculative; completes only
+                        // notionally, squashed before commit.
+                        done = specStack_.front().resolveAt;
+                        accessed = false;
+                    } else {
+                        // Retry once the access is definitely going to
+                        // execute (§4.5: "at the front of the
+                        // instruction queue"): all older branches have
+                        // resolved by then.
+                        ++nackRetries;
+                        const Cycle retry =
+                            std::max(issue, lastBranchDone_) + 1;
+                        DataAccessResult r2 = mem_->dataAccess(
+                            id_, ctx_.asid, va, pc, false,
+                            /*speculative=*/false, retry);
+                        done = retry + r2.latency;
+                        e.tlbMiss = r2.tlbMiss;
+                    }
+                } else {
+                    done = issue + r.latency;
+                    e.tlbMiss = r.tlbMiss;
+                }
+            }
+            e.accessedMemory = accessed;
+            e.doneC = done;
+            loadLatency.sample(static_cast<double>(e.doneC - issue));
+            if (inWrongPath())
+                ++wrongPathLoads;
+
+            // STT taint: the loaded value is tainted until the load is
+            // no longer speculative.
+            Cycle taint = 0;
+            if (params_.defense == CoreDefense::SttSpectre)
+                taint = std::max(lastBranchDone_, done);
+            else if (params_.defense == CoreDefense::SttFuture)
+                taint = std::max(lastCommitC_, done);
+            writeReg(op.dst, value, done, taint);
+        }
+        break;
+      }
+
+      case OpType::Branch: {
+        const Cycle ready = std::max({dispatch, regReady(op.src1),
+                                      regReady(op.src2)});
+        const Cycle start = fuAvailable(intUnits_, ready);
+        e.doneC = start + 1;
+        const bool actual = evalBranch(op);
+        const std::uint64_t taken_pc =
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(pc)
+                                       + op.imm);
+        if (op.cond == BranchCond::Always) {
+            next_pc = taken_pc;
+            break;
+        }
+        const bool predicted = bpred_.predictDirection(pc);
+        if (!inWrongPath())
+            bpred_.trainDirection(pc, actual);
+        if (predicted == actual || inWrongPath()) {
+            next_pc = actual ? taken_pc : pc + 1;
+            lastBranchDone_ = std::max(lastBranchDone_, e.doneC);
+        } else {
+            ++bpred_.mispredicts;
+            const std::uint64_t correct = actual ? taken_pc : pc + 1;
+            const std::uint64_t wrong = actual ? pc + 1 : taken_pc;
+            const Cycle resolve = e.doneC + params_.redirectPenalty;
+            e.commitReadyC = e.doneC;
+            olderDoneMax_ = std::max(olderDoneMax_, e.doneC);
+            appendEntry(std::move(e));
+            enterWrongPath(correct, resolve);
+            ctx_.pc = wrong;
+            return;
+        }
+        break;
+      }
+
+      case OpType::Jump: {
+        const Cycle ready = std::max(dispatch, regReady(op.base));
+        const Cycle start = fuAvailable(intUnits_, ready);
+        e.doneC = start + 1;
+        std::uint64_t actual = regValue(op.base);
+        if (actual >= prog.size())
+            actual = prog.size() - 1; // clamp wrong-path garbage
+        const Addr predicted = bpred_.predictTarget(pc);
+        if (!inWrongPath())
+            bpred_.trainTarget(pc, actual);
+        if (predicted == kAddrInvalid) {
+            // No BTB entry: the front end stalls until resolution.
+            next_pc = actual;
+            fetchCycle_ = std::max(fetchCycle_,
+                                   e.doneC + params_.redirectPenalty);
+            fetchedThisCycle_ = 0;
+            lastBranchDone_ = std::max(lastBranchDone_, e.doneC);
+        } else if (predicted == actual || inWrongPath()) {
+            next_pc = actual;
+            lastBranchDone_ = std::max(lastBranchDone_, e.doneC);
+        } else {
+            ++bpred_.mispredicts;
+            const Cycle resolve = e.doneC + params_.redirectPenalty;
+            e.commitReadyC = e.doneC;
+            olderDoneMax_ = std::max(olderDoneMax_, e.doneC);
+            appendEntry(std::move(e));
+            enterWrongPath(actual, resolve);
+            ctx_.pc = predicted;   // speculate down the BTB target
+            return;
+        }
+        break;
+      }
+
+      case OpType::Call: {
+        const Cycle start = fuAvailable(intUnits_, dispatch);
+        e.doneC = start + 1;
+        bpred_.pushReturn(pc + 1);
+        ctx_.callStack.push_back(pc + 1);
+        next_pc = static_cast<std::uint64_t>(op.imm);
+        break;
+      }
+
+      case OpType::Ret: {
+        const Cycle start = fuAvailable(intUnits_, dispatch);
+        e.doneC = start + 1;
+        if (ctx_.callStack.empty()) {
+            warn("core%u: return with empty call stack; halting", id_);
+            drain();
+            ctx_.halted = true;
+            return;
+        }
+        const std::uint64_t actual = ctx_.callStack.back();
+        ctx_.callStack.pop_back();
+        const Addr predicted = bpred_.popReturn();
+        if (predicted == actual || inWrongPath() ||
+            predicted == kAddrInvalid) {
+            next_pc = actual;
+            if (predicted == kAddrInvalid) {
+                fetchCycle_ = std::max(fetchCycle_,
+                                       e.doneC + params_.redirectPenalty);
+                fetchedThisCycle_ = 0;
+            }
+            lastBranchDone_ = std::max(lastBranchDone_, e.doneC);
+        } else {
+            ++bpred_.mispredicts;
+            const Cycle resolve = e.doneC + params_.redirectPenalty;
+            e.commitReadyC = e.doneC;
+            olderDoneMax_ = std::max(olderDoneMax_, e.doneC);
+            appendEntry(std::move(e));
+            enterWrongPath(actual, resolve);
+            ctx_.pc = predicted;
+            return;
+        }
+        break;
+      }
+
+      default:
+        panic("unhandled op type %s", opTypeName(op.type));
+    }
+
+    if (e.commitReadyC < e.doneC)
+        e.commitReadyC = e.doneC;
+    olderDoneMax_ = std::max(olderDoneMax_, e.doneC);
+    appendEntry(std::move(e));
+    ctx_.pc = next_pc;
+}
+
+} // namespace mtrap

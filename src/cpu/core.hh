@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Execution-driven out-of-order core model.
+ *
+ * The core fetches down the *predicted* path, functionally executing
+ * each micro-op as it is fetched while computing its pipeline timing
+ * (fetch, ready, done, commit cycles) from data dependencies,
+ * functional-unit contention, memory latency and structural limits
+ * (fetch width, ROB/LQ/SQ occupancy). On a mispredicted branch the core
+ * checkpoints architectural state and keeps fetching and executing the
+ * *wrong path* — wrong-path loads genuinely access the memory hierarchy,
+ * which is the Spectre vector — until the branch resolves, then squashes
+ * and restores.
+ *
+ * Structural parameters default to the paper's Table 1 (8-wide, 192 ROB,
+ * 32 LQ, 32 SQ, 6 int ALUs, 4 FP ALUs, 2 mul/div, tournament predictor).
+ *
+ * Defence hooks:
+ *  - STT (Spectre/Future): register taint timestamps delay execution of
+ *    loads/stores whose *address* depends on a speculative load's
+ *    result.
+ *  - InvisiSpec (Spectre/Future): speculative loads probe the hierarchy
+ *    without mutating it and are *exposed* (replayed, mutating) at their
+ *    visibility point; commit waits for the exposure.
+ *  - MuonTrap lives in the memory system; the core only reports commit,
+ *    squash and domain-switch events through MemIface.
+ */
+
+#ifndef MTRAP_CPU_CORE_HH
+#define MTRAP_CPU_CORE_HH
+
+#include <array>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/mem_iface.hh"
+#include "isa/program.hh"
+
+namespace mtrap
+{
+
+/** Core-side defence model (memory-side schemes need no core change). */
+enum class CoreDefense : std::uint8_t
+{
+    None,
+    SttSpectre,
+    SttFuture,
+    InvisiSpecSpectre,
+    InvisiSpecFuture,
+};
+
+const char *coreDefenseName(CoreDefense d);
+
+/** Structural configuration (defaults = paper Table 1). */
+struct CoreParams
+{
+    unsigned fetchWidth = 8;
+    unsigned commitWidth = 8;
+    unsigned robSize = 192;
+    unsigned lqSize = 32;
+    unsigned sqSize = 32;
+    unsigned intAlus = 6;
+    unsigned fpAlus = 4;
+    unsigned mulDivs = 2;
+    unsigned memPorts = 2;
+    /** Front-end depth: fetch-to-issue latency. */
+    unsigned dispatchLatency = 4;
+    /** Squash-to-refetch penalty. */
+    unsigned redirectPenalty = 5;
+    /** Cost added to the clock on a context switch (kernel overhead). */
+    Cycle contextSwitchCost = 1000;
+    CoreDefense defense = CoreDefense::None;
+    BranchPredictorParams bpred;
+};
+
+/** Saved architectural state of one software context. */
+struct ArchContext
+{
+    const Program *program = nullptr;
+    Asid asid = 0;
+    std::uint64_t pc = 0;
+    std::array<std::uint64_t, kNumRegs> regs{};
+    std::vector<std::uint64_t> callStack;
+    bool halted = false;
+};
+
+/**
+ * One out-of-order core.
+ */
+class Core
+{
+  public:
+    Core(CoreId id, const CoreParams &params, MemIface *mem,
+         StatGroup *parent);
+
+    CoreId id() const { return id_; }
+    const CoreParams &params() const { return params_; }
+    BranchPredictor &predictor() { return bpred_; }
+
+    /** Install a context (resets per-context pipeline state, keeps the
+     *  clock running). */
+    void setContext(const ArchContext &ctx);
+
+    /** Save the current architectural state (drains the pipeline). */
+    ArchContext saveContext();
+
+    /**
+     * Perform a context switch: drain, notify the memory system (filter
+     * flush under MuonTrap), charge the switch cost, install `next`.
+     */
+    void contextSwitch(const ArchContext &next);
+
+    /** True once the running program executed Halt. */
+    bool halted() const { return ctx_.halted; }
+
+    /** Current front-end cycle (the core's clock). */
+    Cycle now() const { return fetchCycle_; }
+
+    /** Cycle at which the last instruction committed. */
+    Cycle lastCommitCycle() const { return lastCommitC_; }
+
+    /** Instructions committed since construction. */
+    std::uint64_t committedCount() const { return committed.value(); }
+
+    /**
+     * Fetch-execute one instruction (and retire anything that must leave
+     * the window). Returns false when halted.
+     */
+    bool stepOne();
+
+    /** Run until `max_commits` more instructions commit or Halt. */
+    std::uint64_t run(std::uint64_t max_commits);
+
+    /** Commit everything in flight. */
+    void drain();
+
+    /** Architectural register view (for tests and workload setup). */
+    std::uint64_t reg(unsigned idx) const { return ctx_.regs.at(idx); }
+    void setReg(unsigned idx, std::uint64_t v) { ctx_.regs.at(idx) = v; }
+
+  private:
+    /** Sliding-window record of one in-flight (or wrong-path)
+     *  instruction. */
+    struct WinEntry
+    {
+        SeqNum seq = 0;
+        std::uint64_t pcIndex = 0;
+        OpType type = OpType::Nop;
+        Cycle doneC = 0;
+        Cycle commitReadyC = 0;
+        Cycle commitC = 0;
+        bool isLoad = false;
+        bool isStore = false;
+        bool accessedMemory = false;
+        bool tlbMiss = false;
+        Addr vaddr = kAddrInvalid;
+        std::uint64_t storeValue = 0;
+        bool newIfetchLine = false;
+        Addr ifetchVaddr = kAddrInvalid;
+    };
+
+    /** Checkpoint taken at a mispredicted branch. */
+    struct Checkpoint
+    {
+        std::array<std::uint64_t, kNumRegs> regs{};
+        std::array<Cycle, kNumRegs> regDone{};
+        std::array<Cycle, kNumRegs> regTaint{};
+        std::vector<std::uint64_t> callStack;
+        std::uint64_t correctPc = 0;
+        Cycle resolveAt = 0;
+        /** Sequence number of the first wrong-path instruction; squash
+         *  discards every window entry with seq >= this. (A size-based
+         *  boundary would go stale when commits pop the window front
+         *  during wrong-path execution.) */
+        SeqNum firstWrongSeq = 0;
+        Cycle lastCommitC = 0;
+        Cycle commitSlotCycle = 0;
+        unsigned commitsInSlot = 0;
+        Cycle olderDoneMax = 0;
+        Cycle lastBranchDone = 0;
+        Addr lastIfetchLine = kAddrInvalid;
+        BranchPredictor::Snapshot bpred;
+    };
+
+    // --- pipeline helpers ------------------------------------------------
+    void fetchOne();
+    Cycle allocFetchSlot();
+    Cycle fuAvailable(std::vector<Cycle> &units, Cycle ready);
+    Cycle regReady(std::uint8_t r) const;
+    Cycle regTaintClear(std::uint8_t r) const;
+    std::uint64_t regValue(std::uint8_t r) const;
+    void writeReg(std::uint8_t r, std::uint64_t v, Cycle done, Cycle taint);
+    Addr effectiveAddress(const MicroOp &op) const;
+    bool evalBranch(const MicroOp &op) const;
+    std::uint64_t aluResult(const MicroOp &op) const;
+
+    void appendEntry(WinEntry e);
+    void popHead();
+    void retireEligible();
+    void commitActions(const WinEntry &e);
+    void squash();
+    void enterWrongPath(std::uint64_t correct_pc, Cycle resolve_at);
+    void drainAndApplySerializing(const MicroOp &op, Cycle done_c);
+    void chargeIfetch(std::uint64_t pc_index, WinEntry &e);
+
+    /** Functional memory read honouring the in-window store buffer. */
+    std::uint64_t functionalLoad(Addr vaddr);
+    void bufferStore(Addr vaddr, std::uint64_t value, SeqNum seq);
+    void unbufferStoresAfter(SeqNum first_squashed);
+    void releaseStore(Addr vaddr, SeqNum seq, std::uint64_t value);
+
+    bool inWrongPath() const { return !specStack_.empty(); }
+
+    // --- identity ---------------------------------------------------------
+    CoreId id_;
+    CoreParams params_;
+    MemIface *mem_;
+    BranchPredictor bpred_;
+
+    // --- architectural state -----------------------------------------------
+    ArchContext ctx_;
+    std::array<Cycle, kNumRegs> regDone_{};
+    std::array<Cycle, kNumRegs> regTaint_{};
+
+    // --- fetch / window state ----------------------------------------------
+    SeqNum nextSeq_ = 1;
+    Cycle fetchCycle_ = 0;
+    unsigned fetchedThisCycle_ = 0;
+    Addr lastIfetchLine_ = kAddrInvalid;
+    std::deque<WinEntry> window_;
+    unsigned loadsInFlight_ = 0;
+    unsigned storesInFlight_ = 0;
+    Cycle lastCommitC_ = 0;
+    Cycle commitSlotCycle_ = 0;
+    unsigned commitsInSlot_ = 0;
+    Cycle olderDoneMax_ = 0;
+    Cycle lastBranchDone_ = 0;
+
+    // --- wrong-path state ---------------------------------------------------
+    std::vector<Checkpoint> specStack_;
+
+    // --- functional units ----------------------------------------------------
+    std::vector<Cycle> intUnits_;
+    std::vector<Cycle> fpUnits_;
+    std::vector<Cycle> mulUnits_;
+    std::vector<Cycle> memUnits_;
+
+    // --- store buffer ----------------------------------------------------------
+    struct BufferedStore
+    {
+        SeqNum seq;
+        std::uint64_t value;
+    };
+    std::unordered_map<Addr, std::vector<BufferedStore>> storeBuffer_;
+
+    StatGroup stats_;
+
+  public:
+    Counter committed;
+    Counter committedLoads;
+    Counter committedStores;
+    Counter fetched;
+    Counter wrongPathFetched;
+    Counter wrongPathLoads;
+    Counter squashes;
+    Counter nackRetries;
+    Counter contextSwitches;
+    Counter forwardedLoads;
+    Counter exposures;
+    Average loadLatency;
+    Formula ipc;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_CPU_CORE_HH

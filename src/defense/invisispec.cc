@@ -1,0 +1,74 @@
+#include "defense/invisispec.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+SpecBuffer::SpecBuffer(const SpecBufferParams &params, CoreId core,
+                       StatGroup *parent)
+    : params_(params),
+      stats_(strfmt("specbuf%u", core), parent),
+      allocations(&stats_, "allocations", "speculative loads buffered"),
+      fullStalls(&stats_, "full_stalls", "loads delayed by a full buffer"),
+      wordHits(&stats_, "word_hits", "reuse of an exact buffered word"),
+      lineMissesWordGranularity(&stats_, "line_misses",
+                                "same-line different-word accesses that "
+                                "could not reuse a buffer entry")
+{
+    if (params.entries == 0)
+        fatal("spec buffer: zero entries");
+}
+
+Cycle
+SpecBuffer::allocate(Addr vaddr, Cycle when)
+{
+    (void)when;
+    ++allocations;
+
+    const Addr word = vaddr & ~static_cast<Addr>(7);
+    const bool word_hit = holdsWord(word);
+    const bool line_present =
+        std::any_of(slots_.begin(), slots_.end(), [word](Addr a) {
+            return lineNum(a) == lineNum(word);
+        });
+    if (word_hit)
+        ++wordHits;
+    else if (line_present)
+        ++lineMissesWordGranularity;
+
+    Cycle delay = 0;
+    if (slots_.size() >= params_.entries) {
+        ++fullStalls;
+        slots_.pop_front();
+        delay = 4; // drain penalty for the displaced exposure
+    }
+    slots_.push_back(word);
+    return delay;
+}
+
+void
+SpecBuffer::release(Addr vaddr)
+{
+    const Addr word = vaddr & ~static_cast<Addr>(7);
+    auto it = std::find(slots_.begin(), slots_.end(), word);
+    if (it != slots_.end())
+        slots_.erase(it);
+}
+
+void
+SpecBuffer::clear()
+{
+    slots_.clear();
+}
+
+bool
+SpecBuffer::holdsWord(Addr vaddr) const
+{
+    const Addr word = vaddr & ~static_cast<Addr>(7);
+    return std::find(slots_.begin(), slots_.end(), word) != slots_.end();
+}
+
+} // namespace mtrap

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Behavioural model of InvisiSpec's speculative buffer (Yan et al.,
+ * MICRO 2018), the paper's primary comparator (§6.2).
+ *
+ * InvisiSpec gives every load-queue entry a word-sized shadow slot;
+ * speculative loads fill the slot without touching the caches, and the
+ * access is replayed ("exposed") into the hierarchy once the load
+ * becomes safe (Spectre variant: no unresolved older branches; Future
+ * variant: the load can no longer be squashed, i.e. at commit).
+ *
+ * The timing consequences live in the core (cpu/core.cc) and the probe
+ * path (sim/mem_system.cc); this class models the buffer structure
+ * itself — word-granular occupancy, so spatial locality gives no reuse,
+ * unlike MuonTrap's line-granular filter cache (a contrast §6.2 calls
+ * out) — and collects the statistics the comparison discusses.
+ */
+
+#ifndef MTRAP_DEFENSE_INVISISPEC_HH
+#define MTRAP_DEFENSE_INVISISPEC_HH
+
+#include <deque>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mtrap
+{
+
+/** Speculative-buffer configuration. */
+struct SpecBufferParams
+{
+    /** One slot per load-queue entry (Table 1: 32-entry LQ). */
+    unsigned entries = 32;
+};
+
+/**
+ * Word-granular speculative load buffer.
+ */
+class SpecBuffer
+{
+  public:
+    SpecBuffer(const SpecBufferParams &params, CoreId core,
+               StatGroup *parent);
+
+    /**
+     * A speculative load allocates a slot for its word. Returns the
+     * extra delay (0 normally; a full buffer stalls the load until the
+     * oldest entry exposes — modelled as a fixed drain penalty).
+     */
+    Cycle allocate(Addr vaddr, Cycle when);
+
+    /** The load exposed or was squashed; release its slot. */
+    void release(Addr vaddr);
+
+    /** Drop everything (squash of the whole window). */
+    void clear();
+
+    std::size_t occupancy() const { return slots_.size(); }
+    unsigned capacity() const { return params_.entries; }
+
+    /**
+     * Word-granularity check: unlike a filter-cache hit, a second load
+     * to a *different word of the same line* cannot reuse an existing
+     * entry. True only for an exact word match.
+     */
+    bool holdsWord(Addr vaddr) const;
+
+  private:
+    SpecBufferParams params_;
+    std::deque<Addr> slots_;
+
+    StatGroup stats_;
+
+  public:
+    Counter allocations;
+    Counter fullStalls;
+    Counter wordHits;
+    Counter lineMissesWordGranularity;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_DEFENSE_INVISISPEC_HH

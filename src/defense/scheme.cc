@@ -1,0 +1,102 @@
+#include "defense/scheme.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+const std::vector<Scheme> &
+allSchemes()
+{
+    static const std::vector<Scheme> v = {
+        Scheme::Baseline,
+        Scheme::InsecureL0,
+        Scheme::MuonTrap,
+        Scheme::MuonTrapClearMisspec,
+        Scheme::MuonTrapParallel,
+        Scheme::InvisiSpecSpectre,
+        Scheme::InvisiSpecFuture,
+        Scheme::SttSpectre,
+        Scheme::SttFuture,
+    };
+    return v;
+}
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Baseline: return "Baseline";
+      case Scheme::InsecureL0: return "Insecure-L0";
+      case Scheme::MuonTrap: return "MuonTrap";
+      case Scheme::MuonTrapClearMisspec: return "MuonTrap-ClearMisspec";
+      case Scheme::MuonTrapParallel: return "MuonTrap-ParallelL1";
+      case Scheme::InvisiSpecSpectre: return "InvisiSpec-Spectre";
+      case Scheme::InvisiSpecFuture: return "InvisiSpec-Future";
+      case Scheme::SttSpectre: return "STT-Spectre";
+      case Scheme::SttFuture: return "STT-Future";
+    }
+    return "?";
+}
+
+CoreDefense
+schemeCoreDefense(Scheme s)
+{
+    switch (s) {
+      case Scheme::InvisiSpecSpectre: return CoreDefense::InvisiSpecSpectre;
+      case Scheme::InvisiSpecFuture: return CoreDefense::InvisiSpecFuture;
+      case Scheme::SttSpectre: return CoreDefense::SttSpectre;
+      case Scheme::SttFuture: return CoreDefense::SttFuture;
+      default: return CoreDefense::None;
+    }
+}
+
+MuonTrapConfig
+schemeMtConfig(Scheme s)
+{
+    switch (s) {
+      case Scheme::InsecureL0:
+        return MuonTrapConfig::insecureL0();
+      case Scheme::MuonTrap:
+        return MuonTrapConfig::full();
+      case Scheme::MuonTrapClearMisspec: {
+        MuonTrapConfig c = MuonTrapConfig::full();
+        c.clearOnMisspec = true;
+        return c;
+      }
+      case Scheme::MuonTrapParallel: {
+        MuonTrapConfig c = MuonTrapConfig::full();
+        c.parallelL0L1 = true;
+        return c;
+      }
+      default:
+        return MuonTrapConfig::off();
+    }
+}
+
+Scheme
+parseScheme(const std::string &name)
+{
+    std::string n;
+    for (char ch : name) {
+        if (ch == '_')
+            ch = '-';
+        n += static_cast<char>(std::tolower(
+            static_cast<unsigned char>(ch)));
+    }
+    for (Scheme s : allSchemes()) {
+        std::string cand = schemeName(s);
+        std::transform(cand.begin(), cand.end(), cand.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(std::tolower(c));
+                       });
+        if (cand == n)
+            return s;
+    }
+    fatal("unknown scheme '%s'", name.c_str());
+}
+
+} // namespace mtrap

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The defence schemes evaluated in the paper, as buildable
+ * configurations. One Scheme value selects both the core-side defence
+ * (CoreDefense) and the memory-side configuration (MuonTrapConfig), so
+ * experiment code can sweep schemes uniformly (figures 3 and 4).
+ */
+
+#ifndef MTRAP_DEFENSE_SCHEME_HH
+#define MTRAP_DEFENSE_SCHEME_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "muontrap/controller.hh"
+
+namespace mtrap
+{
+
+/** Every end-to-end configuration the evaluation compares. */
+enum class Scheme : std::uint8_t
+{
+    Baseline,            ///< unprotected, no L0
+    InsecureL0,          ///< L0 caches present, no protections
+    MuonTrap,            ///< full MuonTrap (figures 3/4 headline)
+    MuonTrapClearMisspec,///< + clear filters on every squash (§4.9)
+    MuonTrapParallel,    ///< full MuonTrap with parallel L0/L1 (§6.5)
+    InvisiSpecSpectre,
+    InvisiSpecFuture,
+    SttSpectre,
+    SttFuture,
+};
+
+/** All schemes, in presentation order. */
+const std::vector<Scheme> &allSchemes();
+
+/** Short display name ("MuonTrap", "InvisiSpec-Spectre", ...). */
+const char *schemeName(Scheme s);
+
+/** Core-side defence for a scheme. */
+CoreDefense schemeCoreDefense(Scheme s);
+
+/** Memory-side MuonTrap configuration for a scheme. */
+MuonTrapConfig schemeMtConfig(Scheme s);
+
+/** Parse a scheme name (case-insensitive, '-'/'_' equivalent); fatal on
+ *  unknown names. */
+Scheme parseScheme(const std::string &name);
+
+} // namespace mtrap
+
+#endif // MTRAP_DEFENSE_SCHEME_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reference implementation of Speculative Taint Tracking's register
+ * taint semantics (Yu et al., MICRO 2019), the paper's other main
+ * comparator (§6.3).
+ *
+ * STT taints the result of every speculative "access" instruction
+ * (load) and blocks *transmitters* (instructions whose operands could
+ * reveal the tainted value through a side channel — here, loads and
+ * stores whose address depends on a tainted register) until the taint
+ * source becomes safe. In the timing model a taint is simply the cycle
+ * at which it clears: Spectre variant = when all older branches have
+ * resolved; Future variant = when the producing load can no longer be
+ * squashed.
+ *
+ * The core keeps its own per-register taint timestamps for speed; this
+ * class is the documented, standalone semantics used by the property
+ * tests (tests/defense) to validate propagation rules, and by anyone
+ * reusing the library without the full core model.
+ */
+
+#ifndef MTRAP_DEFENSE_STT_HH
+#define MTRAP_DEFENSE_STT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/microop.hh"
+
+namespace mtrap
+{
+
+/** STT propagation variant. */
+enum class SttVariant : std::uint8_t { Spectre, Future };
+
+/**
+ * Per-register taint timestamps with STT propagation rules.
+ */
+class TaintTracker
+{
+  public:
+    explicit TaintTracker(SttVariant variant) : variant_(variant) {}
+
+    SttVariant variant() const { return variant_; }
+
+    /** Cycle at which register `r` becomes untainted (0 = never was). */
+    Cycle
+    taintClears(unsigned r) const
+    {
+        return r == kNoReg ? 0 : taint_.at(r);
+    }
+
+    /** True if `r` is still tainted at `now`. */
+    bool
+    isTainted(unsigned r, Cycle now) const
+    {
+        return taintClears(r) > now;
+    }
+
+    /**
+     * A load produced a value into `dst`.
+     * @param visible_at cycle the load stops being speculative under
+     *        this variant (caller computes it from pipeline state)
+     */
+    void
+    loadProduced(unsigned dst, Cycle visible_at)
+    {
+        if (dst != kNoReg)
+            taint_.at(dst) = visible_at;
+    }
+
+    /** An ALU-class op wrote `dst` from `src1`/`src2`: taint is the max
+     *  of the sources' (taint union). */
+    void
+    aluProduced(unsigned dst, unsigned src1, unsigned src2)
+    {
+        if (dst == kNoReg)
+            return;
+        taint_.at(dst) = std::max(taintClears(src1), taintClears(src2));
+    }
+
+    /**
+     * Earliest cycle a transmitter whose *address* uses `base`/`index`
+     * may execute: the max of its operands' taint-clear cycles.
+     */
+    Cycle
+    transmitterReady(unsigned base, unsigned index) const
+    {
+        return std::max(taintClears(base), taintClears(index));
+    }
+
+    /** Squash restore: copy back a checkpoint. */
+    using Snapshot = std::array<Cycle, kNumRegs>;
+    Snapshot snapshot() const { return taint_; }
+    void restore(const Snapshot &s) { taint_ = s; }
+
+    /** Context switch: everything architectural, nothing tainted. */
+    void
+    clearAll()
+    {
+        taint_.fill(0);
+    }
+
+  private:
+    SttVariant variant_;
+    Snapshot taint_{};
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_DEFENSE_STT_HH

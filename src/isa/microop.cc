@@ -1,0 +1,116 @@
+#include "isa/microop.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::Nop: return "nop";
+      case OpType::IntAlu: return "alu";
+      case OpType::IntMul: return "mul";
+      case OpType::IntDiv: return "div";
+      case OpType::FpAlu: return "fp";
+      case OpType::Load: return "ld";
+      case OpType::Store: return "st";
+      case OpType::Branch: return "br";
+      case OpType::Jump: return "jmp";
+      case OpType::Call: return "call";
+      case OpType::Ret: return "ret";
+      case OpType::Syscall: return "syscall";
+      case OpType::SandboxEnter: return "sbenter";
+      case OpType::SandboxExit: return "sbexit";
+      case OpType::FlushBarrier: return "fbar";
+      case OpType::Halt: return "halt";
+    }
+    return "?";
+}
+
+const char *
+aluOpName(AluOp o)
+{
+    switch (o) {
+      case AluOp::Add: return "add";
+      case AluOp::Sub: return "sub";
+      case AluOp::And: return "and";
+      case AluOp::Or: return "or";
+      case AluOp::Xor: return "xor";
+      case AluOp::Shl: return "shl";
+      case AluOp::Shr: return "shr";
+      case AluOp::Mov: return "mov";
+      case AluOp::MovImm: return "movi";
+      case AluOp::Mul: return "mul";
+      case AluOp::Div: return "div";
+    }
+    return "?";
+}
+
+const char *
+branchCondName(BranchCond c)
+{
+    switch (c) {
+      case BranchCond::Eq: return "eq";
+      case BranchCond::Ne: return "ne";
+      case BranchCond::Lt: return "lt";
+      case BranchCond::Ge: return "ge";
+      case BranchCond::Ult: return "ult";
+      case BranchCond::Uge: return "uge";
+      case BranchCond::Always: return "al";
+    }
+    return "?";
+}
+
+Cycle
+opLatency(OpType t)
+{
+    switch (t) {
+      case OpType::Nop: return 1;
+      case OpType::IntAlu: return 1;
+      case OpType::IntMul: return 3;
+      case OpType::IntDiv: return 12;
+      case OpType::FpAlu: return 3;
+      case OpType::Load: return 1;       // address generation only
+      case OpType::Store: return 1;
+      case OpType::Branch: return 1;
+      case OpType::Jump: return 1;
+      case OpType::Call: return 1;
+      case OpType::Ret: return 1;
+      case OpType::Syscall: return 50;   // trap overhead
+      case OpType::SandboxEnter: return 10;
+      case OpType::SandboxExit: return 10;
+      case OpType::FlushBarrier: return 2;
+      case OpType::Halt: return 1;
+    }
+    return 1;
+}
+
+std::string
+MicroOp::disassemble() const
+{
+    switch (type) {
+      case OpType::IntAlu:
+      case OpType::FpAlu:
+        return strfmt("%s r%u, r%u, r%u, #%lld", aluOpName(alu), dst, src1,
+                      src2, static_cast<long long>(imm));
+      case OpType::Load:
+        return strfmt("ld r%u, [r%u + %lld + r%u<<%u]", dst, base,
+                      static_cast<long long>(imm), index, scale);
+      case OpType::Store:
+        return strfmt("st r%u, [r%u + %lld + r%u<<%u]", src1, base,
+                      static_cast<long long>(imm), index, scale);
+      case OpType::Branch:
+        return strfmt("br.%s r%u, r%u, %+lld", branchCondName(cond), src1,
+                      src2, static_cast<long long>(imm));
+      case OpType::Jump:
+        return strfmt("jmp [r%u]", base);
+      case OpType::Call:
+        return strfmt("call %lld", static_cast<long long>(imm));
+      default:
+        return opTypeName(type);
+    }
+}
+
+} // namespace mtrap

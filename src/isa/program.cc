@@ -1,0 +1,346 @@
+#include "isa/program.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+ProgramBuilder::ProgramBuilder(std::string name, Addr code_base)
+{
+    prog_.name = std::move(name);
+    prog_.codeBase = code_base;
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("duplicate label '%s' in %s", name.c_str(),
+              prog_.name.c_str());
+    labels_[name] = here();
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(const MicroOp &op)
+{
+    ops_.push_back(op);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::movi(unsigned rd, std::int64_t value)
+{
+    MicroOp op;
+    op.type = OpType::IntAlu;
+    op.alu = AluOp::MovImm;
+    op.dst = static_cast<std::uint8_t>(rd);
+    op.imm = value;
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(unsigned rd, unsigned rs)
+{
+    MicroOp op;
+    op.type = OpType::IntAlu;
+    op.alu = AluOp::Mov;
+    op.dst = static_cast<std::uint8_t>(rd);
+    op.src1 = static_cast<std::uint8_t>(rs);
+    return emit(op);
+}
+
+namespace
+{
+
+MicroOp
+aluOp3(AluOp alu, unsigned rd, unsigned ra, unsigned rb, OpType t)
+{
+    MicroOp op;
+    op.type = t;
+    op.alu = alu;
+    op.dst = static_cast<std::uint8_t>(rd);
+    op.src1 = static_cast<std::uint8_t>(ra);
+    op.src2 = static_cast<std::uint8_t>(rb);
+    return op;
+}
+
+MicroOp
+aluOpImm(AluOp alu, unsigned rd, unsigned ra, std::int64_t imm)
+{
+    MicroOp op;
+    op.type = OpType::IntAlu;
+    op.alu = alu;
+    op.dst = static_cast<std::uint8_t>(rd);
+    op.src1 = static_cast<std::uint8_t>(ra);
+    op.imm = imm;
+    return op;
+}
+
+} // namespace
+
+ProgramBuilder &
+ProgramBuilder::add(unsigned rd, unsigned ra, unsigned rb)
+{
+    return emit(aluOp3(AluOp::Add, rd, ra, rb, OpType::IntAlu));
+}
+
+ProgramBuilder &
+ProgramBuilder::addi(unsigned rd, unsigned ra, std::int64_t imm)
+{
+    return emit(aluOpImm(AluOp::Add, rd, ra, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::sub(unsigned rd, unsigned ra, unsigned rb)
+{
+    return emit(aluOp3(AluOp::Sub, rd, ra, rb, OpType::IntAlu));
+}
+
+ProgramBuilder &
+ProgramBuilder::andi(unsigned rd, unsigned ra, std::int64_t imm)
+{
+    return emit(aluOpImm(AluOp::And, rd, ra, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::ori(unsigned rd, unsigned ra, std::int64_t imm)
+{
+    return emit(aluOpImm(AluOp::Or, rd, ra, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::xori(unsigned rd, unsigned ra, std::int64_t imm)
+{
+    return emit(aluOpImm(AluOp::Xor, rd, ra, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::shli(unsigned rd, unsigned ra, unsigned amount)
+{
+    return emit(aluOpImm(AluOp::Shl, rd, ra,
+                         static_cast<std::int64_t>(amount)));
+}
+
+ProgramBuilder &
+ProgramBuilder::shri(unsigned rd, unsigned ra, unsigned amount)
+{
+    return emit(aluOpImm(AluOp::Shr, rd, ra,
+                         static_cast<std::int64_t>(amount)));
+}
+
+ProgramBuilder &
+ProgramBuilder::mul(unsigned rd, unsigned ra, unsigned rb)
+{
+    return emit(aluOp3(AluOp::Mul, rd, ra, rb, OpType::IntMul));
+}
+
+ProgramBuilder &
+ProgramBuilder::div(unsigned rd, unsigned ra, unsigned rb)
+{
+    return emit(aluOp3(AluOp::Div, rd, ra, rb, OpType::IntDiv));
+}
+
+ProgramBuilder &
+ProgramBuilder::fp(unsigned rd, unsigned ra, unsigned rb)
+{
+    return emit(aluOp3(AluOp::Add, rd, ra, rb, OpType::FpAlu));
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    MicroOp op;
+    op.type = OpType::Nop;
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::load(unsigned rd, unsigned base, std::int64_t imm,
+                     unsigned index, unsigned scale)
+{
+    MicroOp op;
+    op.type = OpType::Load;
+    op.dst = static_cast<std::uint8_t>(rd);
+    op.base = static_cast<std::uint8_t>(base);
+    op.imm = imm;
+    op.index = static_cast<std::uint8_t>(index);
+    op.scale = static_cast<std::uint8_t>(scale);
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::store(unsigned rs, unsigned base, std::int64_t imm,
+                      unsigned index, unsigned scale)
+{
+    MicroOp op;
+    op.type = OpType::Store;
+    op.src1 = static_cast<std::uint8_t>(rs);
+    op.base = static_cast<std::uint8_t>(base);
+    op.imm = imm;
+    op.index = static_cast<std::uint8_t>(index);
+    op.scale = static_cast<std::uint8_t>(scale);
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::branchTo(BranchCond cond, unsigned ra, unsigned rb,
+                         const std::string &target)
+{
+    MicroOp op;
+    op.type = OpType::Branch;
+    op.cond = cond;
+    op.src1 = static_cast<std::uint8_t>(ra);
+    op.src2 = static_cast<std::uint8_t>(rb);
+    fixups_.emplace_back(here(), target);
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::bra(const std::string &target)
+{
+    return branchTo(BranchCond::Always, kNoReg, kNoReg, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::braCond(BranchCond cond, unsigned ra, unsigned rb,
+                        const std::string &target)
+{
+    return branchTo(cond, ra, rb, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::braEq(const std::string &t, unsigned ra, unsigned rb)
+{
+    return branchTo(BranchCond::Eq, ra, rb, t);
+}
+
+ProgramBuilder &
+ProgramBuilder::braNe(const std::string &t, unsigned ra, unsigned rb)
+{
+    return branchTo(BranchCond::Ne, ra, rb, t);
+}
+
+ProgramBuilder &
+ProgramBuilder::braLt(const std::string &t, unsigned ra, unsigned rb)
+{
+    return branchTo(BranchCond::Lt, ra, rb, t);
+}
+
+ProgramBuilder &
+ProgramBuilder::braGe(const std::string &t, unsigned ra, unsigned rb)
+{
+    return branchTo(BranchCond::Ge, ra, rb, t);
+}
+
+ProgramBuilder &
+ProgramBuilder::braUlt(const std::string &t, unsigned ra, unsigned rb)
+{
+    return branchTo(BranchCond::Ult, ra, rb, t);
+}
+
+ProgramBuilder &
+ProgramBuilder::braUge(const std::string &t, unsigned ra, unsigned rb)
+{
+    return branchTo(BranchCond::Uge, ra, rb, t);
+}
+
+ProgramBuilder &
+ProgramBuilder::jumpReg(unsigned base)
+{
+    MicroOp op;
+    op.type = OpType::Jump;
+    op.base = static_cast<std::uint8_t>(base);
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::call(const std::string &target)
+{
+    MicroOp op;
+    op.type = OpType::Call;
+    fixups_.emplace_back(here(), target);
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::ret()
+{
+    MicroOp op;
+    op.type = OpType::Ret;
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::syscall()
+{
+    MicroOp op;
+    op.type = OpType::Syscall;
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::sandboxEnter()
+{
+    MicroOp op;
+    op.type = OpType::SandboxEnter;
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::sandboxExit()
+{
+    MicroOp op;
+    op.type = OpType::SandboxExit;
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::flushBarrier()
+{
+    MicroOp op;
+    op.type = OpType::FlushBarrier;
+    return emit(op);
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    MicroOp op;
+    op.type = OpType::Halt;
+    return emit(op);
+}
+
+std::uint64_t
+ProgramBuilder::labelIndex(const std::string &name) const
+{
+    auto it = labels_.find(name);
+    if (it == labels_.end())
+        fatal("unknown label '%s' in %s", name.c_str(),
+              prog_.name.c_str());
+    return it->second;
+}
+
+Program
+ProgramBuilder::take()
+{
+    if (taken_)
+        panic("ProgramBuilder::take() called twice");
+    taken_ = true;
+    for (const auto &[idx, name] : fixups_) {
+        const std::uint64_t target = labelIndex(name);
+        MicroOp &op = ops_[idx];
+        if (op.type == OpType::Branch) {
+            op.imm = static_cast<std::int64_t>(target)
+                     - static_cast<std::int64_t>(idx);
+        } else { // Call: absolute target
+            op.imm = static_cast<std::int64_t>(target);
+        }
+    }
+    prog_.ops = std::move(ops_);
+    if (prog_.ops.empty() || prog_.ops.back().type != OpType::Halt)
+        warn("program %s does not end with halt", prog_.name.c_str());
+    return std::move(prog_);
+}
+
+} // namespace mtrap

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Programs and the fluent ProgramBuilder used by workloads and attacks.
+ *
+ * A Program is a vector of MicroOps plus metadata (name, code base
+ * virtual address, entry point). PCs are instruction indices; the
+ * instruction-fetch path converts them to virtual addresses as
+ * codeBase + 4 * index.
+ */
+
+#ifndef MTRAP_ISA_PROGRAM_HH
+#define MTRAP_ISA_PROGRAM_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/microop.hh"
+
+namespace mtrap
+{
+
+/** A complete program for one hardware context. */
+struct Program
+{
+    std::string name = "prog";
+    /** Virtual base address of the code (for I-cache behaviour). */
+    Addr codeBase = 0x400000;
+    /** Entry instruction index. */
+    std::uint64_t entry = 0;
+    std::vector<MicroOp> ops;
+
+    std::uint64_t size() const { return ops.size(); }
+
+    /** Virtual address of the instruction at `pc_index`. */
+    Addr
+    pcToVaddr(std::uint64_t pc_index) const
+    {
+        return codeBase + 4 * pc_index;
+    }
+};
+
+/**
+ * Fluent builder with label/fixup support.
+ *
+ * Usage:
+ * @code
+ *   ProgramBuilder b("loop");
+ *   b.movi(1, 0);                 // r1 = 0
+ *   b.label("top");
+ *   b.load(2, 1, 0x1000);         // r2 = mem[r1 + 0x1000]
+ *   b.addi(1, 1, 8);
+ *   b.braLt("top", 1, 3);         // while (r1 < r3)
+ *   b.halt();
+ *   Program p = b.take();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name, Addr code_base = 0x400000);
+
+    /** Current instruction index (next op's PC). */
+    std::uint64_t here() const { return ops_.size(); }
+
+    /** Bind `name` to the current position. */
+    ProgramBuilder &label(const std::string &name);
+
+    // --- ALU -----------------------------------------------------------
+    ProgramBuilder &movi(unsigned rd, std::int64_t value);
+    ProgramBuilder &mov(unsigned rd, unsigned rs);
+    ProgramBuilder &add(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &addi(unsigned rd, unsigned ra, std::int64_t imm);
+    ProgramBuilder &sub(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &andi(unsigned rd, unsigned ra, std::int64_t imm);
+    ProgramBuilder &ori(unsigned rd, unsigned ra, std::int64_t imm);
+    ProgramBuilder &xori(unsigned rd, unsigned ra, std::int64_t imm);
+    ProgramBuilder &shli(unsigned rd, unsigned ra, unsigned amount);
+    ProgramBuilder &shri(unsigned rd, unsigned ra, unsigned amount);
+    ProgramBuilder &mul(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &div(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &fp(unsigned rd, unsigned ra, unsigned rb);
+    ProgramBuilder &nop();
+
+    // --- Memory ---------------------------------------------------------
+    /** rd = mem[r[base] + imm + (r[index] << scale)] */
+    ProgramBuilder &load(unsigned rd, unsigned base, std::int64_t imm = 0,
+                         unsigned index = kNoReg, unsigned scale = 0);
+    /** mem[r[base] + imm + (r[index] << scale)] = r[rs] */
+    ProgramBuilder &store(unsigned rs, unsigned base, std::int64_t imm = 0,
+                          unsigned index = kNoReg, unsigned scale = 0);
+
+    // --- Control --------------------------------------------------------
+    ProgramBuilder &bra(const std::string &target);
+    ProgramBuilder &braCond(BranchCond cond, unsigned ra, unsigned rb,
+                            const std::string &target);
+    ProgramBuilder &braEq(const std::string &t, unsigned ra, unsigned rb);
+    ProgramBuilder &braNe(const std::string &t, unsigned ra, unsigned rb);
+    ProgramBuilder &braLt(const std::string &t, unsigned ra, unsigned rb);
+    ProgramBuilder &braGe(const std::string &t, unsigned ra, unsigned rb);
+    ProgramBuilder &braUlt(const std::string &t, unsigned ra, unsigned rb);
+    ProgramBuilder &braUge(const std::string &t, unsigned ra, unsigned rb);
+    /** Indirect jump to the instruction index held in r[base]. */
+    ProgramBuilder &jumpReg(unsigned base);
+    ProgramBuilder &call(const std::string &target);
+    ProgramBuilder &ret();
+
+    // --- System ---------------------------------------------------------
+    ProgramBuilder &syscall();
+    ProgramBuilder &sandboxEnter();
+    ProgramBuilder &sandboxExit();
+    ProgramBuilder &flushBarrier();
+    ProgramBuilder &halt();
+
+    /** Append a raw op (escape hatch). */
+    ProgramBuilder &emit(const MicroOp &op);
+
+    /** Resolve the index of a label (fatal if unknown). */
+    std::uint64_t labelIndex(const std::string &name) const;
+
+    /** Finish: resolve fixups and move the program out. */
+    Program take();
+
+  private:
+    ProgramBuilder &branchTo(BranchCond cond, unsigned ra, unsigned rb,
+                             const std::string &target);
+
+    Program prog_;
+    std::vector<MicroOp> ops_;
+    std::unordered_map<std::string, std::uint64_t> labels_;
+    /** (op index, label) pairs needing displacement resolution. */
+    std::vector<std::pair<std::uint64_t, std::string>> fixups_;
+    bool taken_ = false;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_ISA_PROGRAM_HH

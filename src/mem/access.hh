@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Memory access descriptor passed down the cache hierarchy.
+ *
+ * The hierarchy is latency-walked: a component receives an Access,
+ * mutates its own state, and returns the number of cycles the access
+ * took. The `speculative` flag is the pivot of the whole reproduction:
+ * MuonTrap confines everything with `speculative == true` to filter
+ * structures.
+ */
+
+#ifndef MTRAP_MEM_ACCESS_HH
+#define MTRAP_MEM_ACCESS_HH
+
+#include "common/types.hh"
+
+namespace mtrap
+{
+
+/** What kind of memory operation is being performed. */
+enum class AccessKind : std::uint8_t
+{
+    Load,       ///< data read
+    Store,      ///< data write (exclusive ownership required at commit)
+    Ifetch,     ///< instruction fetch
+    Ptw,        ///< page-table-walker read
+    Prefetch,   ///< prefetcher-initiated fill
+};
+
+/** Human-readable access-kind name. */
+const char *accessKindName(AccessKind k);
+
+/** One memory access as seen by caches, buses and memory. */
+struct Access
+{
+    AccessKind kind = AccessKind::Load;
+    /** Physical address (post-TLB). */
+    Addr paddr = kAddrInvalid;
+    /** Virtual address (for the virtually-indexed filter cache side). */
+    Addr vaddr = kAddrInvalid;
+    /** Issuing core. */
+    CoreId core = 0;
+    /** Address space of the issuing context. */
+    Asid asid = 0;
+    /** Program counter of the instruction (prefetcher training). */
+    Addr pc = kAddrInvalid;
+    /** True while the issuing instruction may still be squashed. */
+    bool speculative = false;
+    /** Cycle at which the access starts. */
+    Cycle when = 0;
+
+    bool isWrite() const { return kind == AccessKind::Store; }
+    bool isIfetch() const { return kind == AccessKind::Ifetch; }
+};
+
+/** Result of walking the hierarchy for one access. */
+struct AccessResult
+{
+    /** Total latency in cycles from issue to data return. */
+    Cycle latency = 0;
+    /**
+     * Set when a speculative access was negatively acknowledged by the
+     * coherence protocol (MuonTrap reduced coherency speculation, paper
+     * §4.5) and must be retried once the instruction is at the head of
+     * the queue / non-speculative.
+     */
+    bool nacked = false;
+    /** Deepest level that serviced the access (0 = L0/filter, 1 = L1,
+     *  2 = L2, 3 = memory); used for prefetch-commit notifications. */
+    unsigned serviceLevel = 0;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_MEM_ACCESS_HH

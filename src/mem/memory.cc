@@ -1,0 +1,88 @@
+#include "mem/memory.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+const char *
+accessKindName(AccessKind k)
+{
+    switch (k) {
+      case AccessKind::Load: return "load";
+      case AccessKind::Store: return "store";
+      case AccessKind::Ifetch: return "ifetch";
+      case AccessKind::Ptw: return "ptw";
+      case AccessKind::Prefetch: return "prefetch";
+    }
+    return "?";
+}
+
+MainMemory::MainMemory(const MemoryParams &params, StatGroup *parent)
+    : params_(params),
+      openRow_(params.banks, kAddrInvalid),
+      stats_("mem", parent),
+      reads(&stats_, "reads", "line reads serviced"),
+      writes(&stats_, "writes", "line writebacks serviced"),
+      rowHits(&stats_, "row_hits", "row-buffer hits"),
+      rowMisses(&stats_, "row_misses", "row-buffer misses")
+{
+    if (params.banks == 0 || !isPow2(params.rowBytes))
+        fatal("memory: banks must be nonzero and rowBytes a power of two");
+}
+
+unsigned
+MainMemory::bankOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / params_.rowBytes) % params_.banks);
+}
+
+Addr
+MainMemory::rowOf(Addr addr) const
+{
+    return addr / params_.rowBytes;
+}
+
+Cycle
+MainMemory::access(const Access &acc)
+{
+    if (acc.isWrite())
+        ++writes;
+    else
+        ++reads;
+
+    const unsigned bank = bankOf(acc.paddr);
+    const Addr row = rowOf(acc.paddr);
+    Cycle lat;
+    if (openRow_[bank] == row) {
+        ++rowHits;
+        lat = params_.rowHitLatency;
+    } else {
+        ++rowMisses;
+        lat = params_.rowMissLatency;
+        openRow_[bank] = row;
+    }
+    return lat;
+}
+
+std::uint64_t
+MainMemory::read(Addr addr) const
+{
+    const Addr word = addr & ~static_cast<Addr>(7);
+    auto it = store_.find(word);
+    if (it != store_.end())
+        return it->second;
+    // Deterministic pseudo-contents for untouched memory.
+    std::uint64_t z = word + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+void
+MainMemory::write(Addr addr, std::uint64_t value)
+{
+    store_[addr & ~static_cast<Addr>(7)] = value;
+}
+
+} // namespace mtrap

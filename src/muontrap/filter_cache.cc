@@ -1,0 +1,146 @@
+#include "muontrap/filter_cache.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+namespace
+{
+
+CacheParams
+toCacheParams(const FilterCacheParams &p)
+{
+    CacheParams cp;
+    cp.name = p.name;
+    cp.sizeBytes = p.sizeBytes;
+    cp.assoc = p.assoc;
+    cp.hitLatency = p.hitLatency;
+    cp.mshrs = p.mshrs;
+    cp.repl = p.repl;
+    cp.seed = p.seed;
+    return cp;
+}
+
+} // namespace
+
+FilterCache::FilterCache(const FilterCacheParams &params, StatGroup *parent)
+    : Cache(toCacheParams(params), parent),
+      validBit_(lines_.size(), false),
+      fstats_(params.name + "_filter", parent),
+      flashClears(&fstats_, "flash_clears",
+                  "single-cycle whole-cache invalidations"),
+      aliasOverwrites(&fstats_, "alias_overwrites",
+                      "fills displacing a virtual alias of the same "
+                      "physical line"),
+      speculativeFills(&fstats_, "speculative_fills",
+                       "fills with the committed bit clear"),
+      committedFills(&fstats_, "committed_fills",
+                     "fills by non-speculative instructions"),
+      uncommittedEvictions(&fstats_, "uncommitted_evictions",
+                           "speculative lines evicted before commit")
+{
+}
+
+unsigned
+FilterCache::wayOf(const CacheLine *l) const
+{
+    return static_cast<unsigned>(l - lines_.data());
+}
+
+CacheLine *
+FilterCache::lookupVirt(Asid asid, Addr vaddr, Addr paddr)
+{
+    // The set index uses the physical/virtual shared low bits: with a
+    // 2KiB 4-way cache the index bits sit entirely inside the page
+    // offset, so virtual and physical indexing agree (§4.4).
+    CacheLine *l = Cache::lookup(paddr);
+    if (!l)
+        return nullptr;
+    if (!validBit_[wayOf(l)]) {
+        // SRAM content survives a flash clear but must be invisible.
+        return nullptr;
+    }
+    if (l->vtag != lineNum(vaddr) || l->asid != asid) {
+        // Physical hit through a different virtual alias or another
+        // address space: treated as a miss on the CPU side; the fill
+        // path will overwrite it (physical addressing on fill).
+        return nullptr;
+    }
+    return l;
+}
+
+CacheLine &
+FilterCache::fillVirt(Asid asid, Addr vaddr, Addr paddr, bool speculative,
+                      std::uint8_t fill_level, bool se_pending,
+                      Eviction *ev)
+{
+    // Detect an alias about to be displaced (same physical line under a
+    // different virtual tag) for accounting.
+    if (CacheLine *prev = Cache::peek(paddr)) {
+        if (validBit_[wayOf(prev)] &&
+            (prev->vtag != lineNum(vaddr) || prev->asid != asid))
+            ++aliasOverwrites;
+    }
+
+    Eviction local{};
+    CacheLine &l = Cache::fill(paddr, CoherState::Shared, &local);
+    // A victim that was still uncommitted vanished before its data could
+    // be written through (paper §4.10 "Contention": it will simply be
+    // re-fetched if the instruction commits).
+    if (local.valid && !local.committed)
+        ++uncommittedEvictions;
+    if (ev)
+        *ev = local;
+
+    l.vtag = lineNum(vaddr);
+    l.asid = asid;
+    l.committed = !speculative;
+    l.sePending = se_pending;
+    l.fillLevel = fill_level;
+    l.dirty = false;            // write-through: never dirty
+    validBit_[wayOf(&l)] = true;
+
+    if (speculative)
+        ++speculativeFills;
+    else
+        ++committedFills;
+    return l;
+}
+
+void
+FilterCache::flashClear()
+{
+    // Constant-time: one pass clearing register bits, independent of how
+    // many lines are valid. We also scrub the line metadata so the
+    // physical-side peek path cannot see stale lines.
+    for (std::size_t i = 0; i < validBit_.size(); ++i) {
+        if (validBit_[i]) {
+            ++invalidations;
+            lines_[i].clear();
+        }
+        validBit_[i] = false;
+    }
+    ++flashClears;
+}
+
+bool
+FilterCache::invalidate(Addr paddr)
+{
+    CacheLine *l = Cache::peek(paddr);
+    if (!l || !validBit_[wayOf(l)])
+        return false;
+    validBit_[wayOf(l)] = false;
+    l->clear();
+    ++invalidations;
+    return true;
+}
+
+bool
+FilterCache::presentValid(Addr paddr)
+{
+    CacheLine *l = Cache::peek(paddr);
+    return l && validBit_[wayOf(l)];
+}
+
+} // namespace mtrap

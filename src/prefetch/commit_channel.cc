@@ -1,0 +1,46 @@
+#include "prefetch/commit_channel.hh"
+
+#include "prefetch/stride_prefetcher.hh"
+
+namespace mtrap
+{
+
+PrefetchCommitChannel::PrefetchCommitChannel(
+        StridePrefetcher *l2_prefetcher, StatGroup *parent)
+    : l2Prefetcher_(l2_prefetcher),
+      stats_("pf_commit_channel", parent),
+      notified(&stats_, "notified", "commit notifications received"),
+      filteredNoPrefetcher(&stats_, "filtered",
+                           "notifications dropped (level has no "
+                           "prefetcher)"),
+      delivered(&stats_, "delivered", "notifications delivered to the "
+                                      "L2 prefetcher")
+{
+}
+
+void
+PrefetchCommitChannel::notifyCommit(const PrefetchNotify &n)
+{
+    ++notified;
+    // Only the L2 (and memory-side fills, which train the L2 prefetcher
+    // too since the L2 is where the prefetched data lands) are backed by
+    // a prefetcher in the Table-1 configuration.
+    if (n.fillLevel < 2 || !l2Prefetcher_) {
+        ++filteredNoPrefetcher;
+        return;
+    }
+    queue_.push_back(n);
+}
+
+void
+PrefetchCommitChannel::drain()
+{
+    while (!queue_.empty()) {
+        const PrefetchNotify n = queue_.front();
+        queue_.pop_front();
+        l2Prefetcher_->train(n.pc, n.paddr);
+        ++delivered;
+    }
+}
+
+} // namespace mtrap

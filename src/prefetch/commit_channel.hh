@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Prefetch commit channel (paper §4.6 and figure 1).
+ *
+ * Under MuonTrap the prefetcher may only observe the *committed*
+ * instruction stream. When a filter-cache line transitions from
+ * uncommitted to committed, a notification tagged with the hierarchy
+ * level the line was filled from is enqueued here; the channel forwards
+ * it to the prefetcher of that level (only the L2 has one in the Table-1
+ * system), preserving program order.
+ */
+
+#ifndef MTRAP_PREFETCH_COMMIT_CHANNEL_HH
+#define MTRAP_PREFETCH_COMMIT_CHANNEL_HH
+
+#include <deque>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mtrap
+{
+
+class StridePrefetcher;
+
+/** One commit-time prefetcher notification. */
+struct PrefetchNotify
+{
+    Addr pc = kAddrInvalid;
+    Addr paddr = kAddrInvalid;
+    /** Level the line was originally filled from (1=L1, 2=L2, 3=mem). */
+    std::uint8_t fillLevel = 0;
+};
+
+/**
+ * Ordered queue of commit-time training events, drained into the L2
+ * prefetcher. Notifications are only generated for levels that actually
+ * have a prefetcher (§4.6: "provided it has a prefetcher, to avoid
+ * triggering unnecessary prefetches").
+ */
+class PrefetchCommitChannel
+{
+  public:
+    PrefetchCommitChannel(StridePrefetcher *l2_prefetcher,
+                          StatGroup *parent);
+
+    /**
+     * A filter line just committed; notify the prefetcher of the level
+     * it was brought in from. Fill levels without a prefetcher (L1) are
+     * filtered out.
+     */
+    void notifyCommit(const PrefetchNotify &n);
+
+    /** Drain all queued notifications into the prefetcher (called once
+     *  per commit group; ordering is program order). */
+    void drain();
+
+    std::size_t pending() const { return queue_.size(); }
+
+  private:
+    StridePrefetcher *l2Prefetcher_;
+    std::deque<PrefetchNotify> queue_;
+
+    StatGroup stats_;
+
+  public:
+    Counter notified;
+    Counter filteredNoPrefetcher;
+    Counter delivered;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_PREFETCH_COMMIT_CHANNEL_HH

@@ -1,0 +1,81 @@
+#include "prefetch/stride_prefetcher.hh"
+
+#include "coherence/bus.hh"
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherParams &params,
+                                   CoherenceBus *bus, StatGroup *parent)
+    : params_(params), bus_(bus),
+      table_(params.tableEntries),
+      stats_("prefetcher", parent),
+      trains(&stats_, "trains", "training events observed"),
+      issued(&stats_, "issued", "prefetch fills issued"),
+      usefulFills(&stats_, "useful_fills",
+                  "prefetch fills that actually installed a line")
+{
+    if (params.tableEntries == 0)
+        fatal("prefetcher: tableEntries must be nonzero");
+}
+
+StridePrefetcher::Entry &
+StridePrefetcher::entryFor(Addr pc)
+{
+    return table_[pc % table_.size()];
+}
+
+void
+StridePrefetcher::train(Addr pc, Addr paddr)
+{
+    ++trains;
+    const Addr line = lineNum(paddr);
+    Entry &e = entryFor(pc);
+
+    if (e.pc != pc) {
+        e.pc = pc;
+        e.lastLine = line;
+        e.stride = 0;
+        e.confidence = 0;
+        return;
+    }
+
+    const std::int64_t stride = static_cast<std::int64_t>(line)
+                                - static_cast<std::int64_t>(e.lastLine);
+    e.lastLine = line;
+    if (stride == 0)
+        return;
+
+    if (stride == e.stride) {
+        if (e.confidence < params_.confidenceMax)
+            ++e.confidence;
+    } else {
+        e.stride = stride;
+        e.confidence = 1;
+        return;
+    }
+
+    if (e.confidence < params_.confidenceThreshold)
+        return;
+
+    for (unsigned d = 1; d <= params_.degree; ++d) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(line) + e.stride * d;
+        if (target < 0)
+            continue;
+        const Addr pf = static_cast<Addr>(target) << kLineShift;
+        ++issued;
+        if (bus_ && bus_->prefetchFill(pf))
+            ++usefulFills;
+    }
+}
+
+void
+StridePrefetcher::reset()
+{
+    for (auto &e : table_)
+        e = Entry{};
+}
+
+} // namespace mtrap

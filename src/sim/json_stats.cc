@@ -1,0 +1,59 @@
+#include "sim/json_stats.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+dumpStatsJson(const StatGroup &group, std::ostream &os)
+{
+    os << "{";
+    bool first = true;
+    group.visit([&os, &first](const std::string &path,
+                              const StatBase &stat) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  \"" << jsonEscape(path) << "\": \""
+           << jsonEscape(stat.format()) << "\"";
+    });
+    os << "\n}\n";
+}
+
+void
+dumpRunResultJson(const RunResult &r, std::ostream &os)
+{
+    os << "{\n"
+       << "  \"workload\": \"" << jsonEscape(r.workload) << "\",\n"
+       << "  \"config\": \"" << jsonEscape(r.configName) << "\",\n"
+       << "  \"cycles\": " << r.cycles << ",\n"
+       << "  \"instructions_per_core\": " << r.instructionsPerCore
+       << ",\n"
+       << "  \"ipc\": " << strfmt("%.6f", r.ipc) << "\n"
+       << "}\n";
+}
+
+} // namespace mtrap

@@ -1,0 +1,732 @@
+#include "sim/mem_system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+MemSystem::MemSystem(const MemSystemParams &params, StatGroup *parent)
+    : params_(params),
+      stats_("memsys", parent),
+      dataAccesses(&stats_, "data_accesses", "execute-time data accesses"),
+      ifetchAccesses(&stats_, "ifetch_accesses", "instruction-line fetches"),
+      probes(&stats_, "probes", "non-mutating latency probes"),
+      recommitFetches(&stats_, "recommit_fetches",
+                      "commit-time refetches of filter lines evicted "
+                      "before commit"),
+      commitWriteThroughs(&stats_, "commit_write_throughs",
+                          "filter lines written through to L1 at commit"),
+      seUpgradeRequests(&stats_, "se_upgrade_requests",
+                        "SE pseudo-state upgrades launched at commit"),
+      dramDemand(&stats_, "dram_demand",
+                 "demand data accesses serviced by DRAM"),
+      dramPtw(&stats_, "dram_ptw", "PTE reads serviced by DRAM")
+{
+    if (params_.cores == 0)
+        fatal("mem system: need at least one core");
+
+    mem_ = std::make_unique<MainMemory>(params_.mem, &stats_);
+    l2_ = std::make_unique<Cache>(params_.l2, &stats_);
+    bus_ = std::make_unique<CoherenceBus>(params_.bus, l2_.get(),
+                                          mem_.get(), &stats_);
+    if (params_.l2PrefetcherEnabled) {
+        prefetcher_ = std::make_unique<StridePrefetcher>(
+            params_.prefetcher, bus_.get(), &stats_);
+        channel_ = std::make_unique<PrefetchCommitChannel>(
+            prefetcher_.get(), &stats_);
+    }
+
+    for (CoreId c = 0; c < params_.cores; ++c) {
+        CacheParams l1dp = params_.l1d;
+        l1dp.name = strfmt("l1d%u", c);
+        l1dp.seed += c * 101;
+        l1d_.push_back(std::make_unique<Cache>(l1dp, &stats_));
+
+        CacheParams l1ip = params_.l1i;
+        l1ip.name = strfmt("l1i%u", c);
+        l1ip.seed += c * 103;
+        l1i_.push_back(std::make_unique<Cache>(l1ip, &stats_));
+
+        TlbParams dtp = params_.dtlb;
+        dtp.name = strfmt("dtlb%u", c);
+        dtlb_.push_back(std::make_unique<Tlb>(dtp, &stats_));
+
+        TlbParams itp = params_.itlb;
+        itp.name = strfmt("itlb%u", c);
+        itlb_.push_back(std::make_unique<Tlb>(itp, &stats_));
+
+        mt_.push_back(std::make_unique<MuonTrapCore>(params_.mt, c,
+                                                     &stats_));
+
+        specBuffer_.push_back(std::make_unique<SpecBuffer>(
+            SpecBufferParams{}, c, &stats_));
+
+        BusNode node;
+        node.l1d = l1d_.back().get();
+        node.l1i = l1i_.back().get();
+        node.filterD = mt_.back()->dataFilter();
+        node.filterI = mt_.back()->instFilter();
+        bus_->addNode(node);
+    }
+
+    // Walkers are created last: they capture `this` for their accesses.
+    for (CoreId c = 0; c < params_.cores; ++c) {
+        walker_.push_back(std::make_unique<PageTableWalker>(
+            &vm_, c,
+            [this, c](const Access &acc) {
+                DataAccessResult r = dataAccessPhys(
+                    c, acc.asid, acc.paddr, acc.paddr, acc.pc,
+                    /*is_store=*/false, acc.speculative, acc.when);
+                AccessResult out;
+                out.latency = r.latency;
+                out.nacked = r.nacked;
+                out.serviceLevel = r.serviceLevel;
+                return out;
+            },
+            &stats_));
+    }
+}
+
+MemSystem::~MemSystem() = default;
+
+// --------------------------------------------------------------------------
+// Translation
+// --------------------------------------------------------------------------
+
+MemSystem::Translation
+MemSystem::translate(CoreId core, Asid asid, Addr vaddr, Cycle when,
+                     bool speculative, bool ifetch)
+{
+    Translation tr;
+    Tlb &tlb = ifetch ? *itlb_[core] : *dtlb_[core];
+
+    if (const TlbEntry *e = tlb.lookup(asid, vaddr)) {
+        tr.paddr = (e->ppn << kPageShift) | (vaddr & (kPageBytes - 1));
+        return tr;
+    }
+
+    MuonTrapCore &mt = *mt_[core];
+    if (Tlb *ftlb = mt.filterTlb()) {
+        if (const TlbEntry *e = ftlb->lookup(asid, vaddr)) {
+            tr.paddr = (e->ppn << kPageShift)
+                       | (vaddr & (kPageBytes - 1));
+            return tr;
+        }
+    }
+
+    // Full miss: hardware walk through the data hierarchy.
+    tr.miss = true;
+    tr.latency = walker_[core]->walk(asid, vaddr, when, speculative);
+    tr.paddr = vm_.translate(asid, vaddr);
+
+    // MuonTrap: speculative translations go to the filter TLB only,
+    // protecting the main TLB from speculative eviction (§4.7). Without
+    // the filter TLB (or non-speculatively) they install directly.
+    if (speculative && mt.filterTlb())
+        mt.filterTlb()->insert(asid, vaddr, tr.paddr);
+    else
+        tlb.insert(asid, vaddr, tr.paddr);
+    return tr;
+}
+
+// --------------------------------------------------------------------------
+// Fill helpers
+// --------------------------------------------------------------------------
+
+CacheLine &
+MemSystem::fillL1(Cache &l1, Addr paddr, CoherState st)
+{
+    Eviction ev;
+    CacheLine &l = l1.fill(paddr, st, &ev);
+    if (ev.valid && ev.dirty) {
+        // Dirty victim: write back into the L2.
+        const Addr victim_paddr = ev.ptag << kLineShift;
+        CacheLine &wb = l2_->fill(victim_paddr, CoherState::Modified);
+        wb.dirty = true;
+    }
+    return l;
+}
+
+// --------------------------------------------------------------------------
+// Data access walks
+// --------------------------------------------------------------------------
+
+DataAccessResult
+MemSystem::dataAccess(CoreId core, Asid asid, Addr vaddr, Addr pc,
+                      bool is_store, bool speculative, Cycle when)
+{
+    ++dataAccesses;
+    Translation tr = translate(core, asid, vaddr, when, speculative,
+                               /*ifetch=*/false);
+    DataAccessResult r = dataAccessPhys(core, asid, vaddr, tr.paddr, pc,
+                                        is_store, speculative,
+                                        when + tr.latency);
+    r.latency += tr.latency;
+    r.tlbMiss = tr.miss;
+    return r;
+}
+
+DataAccessResult
+MemSystem::dataAccessPhys(CoreId core, Asid asid, Addr vaddr, Addr paddr,
+                          Addr pc, bool is_store, bool speculative,
+                          Cycle when)
+{
+    if (params_.mt.enabled) {
+        return filterDataAccess(core, asid, vaddr, paddr, pc, is_store,
+                                speculative, when, 0);
+    }
+    return baselineDataAccess(core, asid, paddr, pc, is_store, when, 0);
+}
+
+DataAccessResult
+MemSystem::baselineDataAccess(CoreId core, Asid asid, Addr paddr, Addr pc,
+                              bool is_store, Cycle when, Cycle lat_so_far)
+{
+    (void)asid;
+    Cache &l1 = *l1d_[core];
+    DataAccessResult out;
+    out.latency = lat_so_far + l1.params().hitLatency;
+
+    CacheLine *line = l1.lookup(paddr);
+    if (line) {
+        ++l1.hits;
+        out.serviceLevel = 1;
+        if (is_store) {
+            // Upgrade to M if needed (exclusive prefetch for the
+            // commit-time write).
+            if (line->state == CoherState::Shared) {
+                SnoopOutcome so = bus_->writeRequest(core, paddr, false,
+                                                     false, true);
+                out.latency += so.latency;
+            }
+            line->state = CoherState::Modified;
+            line->dirty = true;
+        }
+        if (prefetcher_ && !params_.mt.commitPrefetch && line->prefetched) {
+            line->prefetched = false;
+        }
+        return out;
+    }
+    ++l1.misses;
+
+    SnoopOutcome so = is_store
+                          ? bus_->writeRequest(core, paddr, false, false,
+                                               true)
+                          : bus_->readRequest(core, paddr, false, false,
+                                              true);
+    // Misses occupy an L1 MSHR for their duration.
+    out.latency += l1.reserveMshr(paddr, when, so.latency);
+    out.latency += so.latency;
+    out.serviceLevel = so.serviceLevel;
+
+    CoherState st = CoherState::Shared;
+    if (is_store)
+        st = CoherState::Modified;
+    else if (so.wouldBeExclusive)
+        st = CoherState::Exclusive;
+    CacheLine &nl = fillL1(l1, paddr, st);
+    nl.dirty = is_store;
+
+    // Unprotected prefetcher training: the L2's stride prefetcher sees
+    // every access that reaches the bus, speculative or not.
+    if (prefetcher_ && !params_.mt.commitPrefetch)
+        prefetcher_->train(pc, paddr);
+    return out;
+}
+
+DataAccessResult
+MemSystem::filterDataAccess(CoreId core, Asid asid, Addr vaddr, Addr paddr,
+                            Addr pc, bool is_store, bool speculative,
+                            Cycle when, Cycle lat_so_far)
+{
+    MuonTrapCore &mt = *mt_[core];
+    FilterCache &l0 = *mt.dataFilter();
+    Cache &l1 = *l1d_[core];
+    const bool protect = params_.mt.protectData;
+    const bool coh = params_.mt.protectCoherence;
+    const bool parallel = params_.mt.parallelL0L1;
+
+    DataAccessResult out;
+    out.latency = lat_so_far + l0.params().hitLatency;
+
+    // L0 filter lookup (virtual side).
+    if (CacheLine *line = l0.lookupVirt(asid, vaddr, paddr)) {
+        ++l0.hits;
+        out.serviceLevel = 0;
+        if (protect && !speculative && !line->committed)
+            commitFilterLine(core, *line, paddr, pc, when);
+        return out;
+    }
+    ++l0.misses;
+
+    // L1 lookup. Serial: pay L0 then L1; parallel (§6.5): overlap them.
+    const Cycle l1_lat = l1.params().hitLatency;
+    if (parallel)
+        out.latency = lat_so_far + std::max<Cycle>(l0.params().hitLatency,
+                                                   l1_lat);
+    else
+        out.latency += l1_lat;
+
+    // Protected speculative accesses must not perturb L1 replacement
+    // state; commit-time write-through refreshes it instead.
+    CacheLine *l1line = (protect && speculative) ? l1.peek(paddr)
+                                                 : l1.lookup(paddr);
+    if (l1line) {
+        ++l1.hits;
+        out.serviceLevel = 1;
+        // Copy into the filter for subsequent 1-cycle hits.
+        l0.fillVirt(asid, vaddr, paddr, speculative && protect,
+                    /*fill_level=*/1, /*se_pending=*/false);
+        if (is_store && !protect) {
+            if (l1line->state == CoherState::Shared) {
+                SnoopOutcome so = bus_->writeRequest(core, paddr, false,
+                                                     false, true);
+                out.latency += so.latency;
+            }
+            l1line->state = CoherState::Modified;
+            l1line->dirty = true;
+        }
+        return out;
+    }
+    ++l1.misses;
+
+    // Miss in the private hierarchy: go to the bus.
+    // Under full protection, a speculative store only *prefetches* the
+    // line in S (§4.5); exclusive ownership is taken at commit. Without
+    // coherence protection (ablations), stores behave like the baseline.
+    SnoopOutcome so;
+    if (!protect) {
+        // Insecure L0: normal baseline request, fills L2.
+        so = is_store ? bus_->writeRequest(core, paddr, false, false, true)
+                      : bus_->readRequest(core, paddr, false, false, true);
+    } else {
+        so = bus_->readRequest(core, paddr, speculative && coh, coh,
+                               /*fill_l2=*/!speculative);
+    }
+    if (so.nacked) {
+        out.nacked = true;
+        out.latency += so.latency;
+        return out;
+    }
+    out.latency += l0.reserveMshr(paddr, when, so.latency);
+    out.latency += so.latency;
+    out.serviceLevel = so.serviceLevel;
+    if (so.serviceLevel == 3) {
+        // pc is unset for page-table-walker reads (see the walker's
+        // access lambda) — split the DRAM traffic accordingly.
+        if (pc == kAddrInvalid)
+            ++dramPtw;
+        else
+            ++dramDemand;
+    }
+
+    const bool spec_fill = speculative && protect;
+    const bool se = protect && coh && !is_store && so.wouldBeExclusive;
+    CacheLine &fl =
+        l0.fillVirt(asid, vaddr, paddr, spec_fill,
+                    static_cast<std::uint8_t>(so.serviceLevel), se);
+
+    if (!protect) {
+        // Insecure L0 also fills the L1 immediately, like a normal
+        // hierarchy.
+        CoherState st = CoherState::Shared;
+        if (is_store)
+            st = CoherState::Modified;
+        else if (so.wouldBeExclusive)
+            st = CoherState::Exclusive;
+        CacheLine &nl = fillL1(l1, paddr, st);
+        nl.dirty = is_store;
+    } else if (!speculative) {
+        // Non-speculative access (e.g. a NACK retry at the head of the
+        // queue): the line is committed on arrival.
+        commitFilterLine(core, fl, paddr, pc, when);
+    }
+
+    // Prefetcher training at access time unless commit-ordered training
+    // is enabled (the "prefetching" protection step of figures 8/9).
+    if (prefetcher_ && !params_.mt.commitPrefetch)
+        prefetcher_->train(pc, paddr);
+    return out;
+}
+
+// --------------------------------------------------------------------------
+// Commit-time actions
+// --------------------------------------------------------------------------
+
+void
+MemSystem::commitFilterLine(CoreId core, CacheLine &line, Addr paddr,
+                            Addr pc, Cycle when)
+{
+    (void)when;
+    line.committed = true;
+    ++commitWriteThroughs;
+
+    Cache &l1 = *l1d_[core];
+    if (line.sePending) {
+        // Asynchronous SE->E upgrade launched from the L1 (§4.5); does
+        // not block commit.
+        line.sePending = false;
+        ++seUpgradeRequests;
+        bus_->commitUpgrade(core, paddr, /*is_store=*/false,
+                            /*to_modified=*/false);
+    } else {
+        CacheLine *own = l1.peek(paddr);
+        if (!own)
+            fillL1(l1, paddr, CoherState::Shared);
+        else
+            l1.lookup(paddr); // refresh replacement state
+    }
+    // Mirror into the shared L2 so other cores can find committed data.
+    if (!l2_->peek(paddr))
+        l2_->fill(paddr, CoherState::Shared);
+
+    // Commit-ordered prefetcher training (§4.6).
+    if (channel_ && params_.mt.commitPrefetch) {
+        PrefetchNotify n;
+        n.pc = pc;
+        n.paddr = paddr;
+        n.fillLevel = line.fillLevel;
+        channel_->notifyCommit(n);
+        channel_->drain();
+    }
+}
+
+void
+MemSystem::commitData(CoreId core, Asid asid, Addr vaddr, Addr pc,
+                      bool is_store, bool tlb_missed, Cycle when)
+{
+    const Addr paddr = vm_.translate(asid, vaddr);
+    MuonTrapCore &mt = *mt_[core];
+
+    // Promote the translation out of the filter TLB (§4.7).
+    if (tlb_missed && mt.filterTlb()) {
+        dtlb_[core]->insert(asid, vaddr, paddr);
+        if (params_.mt.tlbFilter)
+            walker_[core]->retranslate(asid, vaddr, when);
+    }
+
+    if (params_.mt.enabled && params_.mt.protectData) {
+        FilterCache &l0 = *mt.dataFilter();
+        CacheLine *line = l0.lookupVirt(asid, vaddr, paddr);
+        if (line) {
+            if (!line->committed)
+                commitFilterLine(core, *line, paddr, pc, when);
+        } else if (!l1d_[core]->peek(paddr)) {
+            // Evicted before commit and not already committed into the
+            // L1 by an earlier instruction: a valid in-order execution
+            // would have cached it, so refetch straight into the L1
+            // (§4.2).
+            ++recommitFetches;
+            SnoopOutcome so = bus_->readRequest(
+                core, paddr, false, params_.mt.protectCoherence, true);
+            fillL1(*l1d_[core], paddr,
+                   so.wouldBeExclusive ? CoherState::Exclusive
+                                       : CoherState::Shared);
+            if (channel_ && params_.mt.commitPrefetch) {
+                PrefetchNotify n;
+                n.pc = pc;
+                n.paddr = paddr;
+                n.fillLevel = static_cast<std::uint8_t>(so.serviceLevel);
+                channel_->notifyCommit(n);
+                channel_->drain();
+            }
+        }
+        if (is_store) {
+            // Commit-time exclusive upgrade + write-through (§4.2/§4.5).
+            bus_->commitUpgrade(core, paddr, /*is_store=*/true,
+                                /*to_modified=*/true);
+            if (line)
+                line->committed = true;
+        }
+        return;
+    }
+
+    // Baseline / insecure L0: stores must still ensure ownership (the
+    // execute-time prefetch usually did; an eviction in between forces a
+    // re-request).
+    if (is_store) {
+        Cache &l1 = *l1d_[core];
+        CacheLine *own = l1.peek(paddr);
+        if (!own || own->state != CoherState::Modified) {
+            bus_->writeRequest(core, paddr, false, false, true);
+            CacheLine &nl = fillL1(l1, paddr, CoherState::Modified);
+            nl.dirty = true;
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Instruction side
+// --------------------------------------------------------------------------
+
+Cycle
+MemSystem::ifetchAccess(CoreId core, Asid asid, Addr vaddr, Cycle when)
+{
+    ++ifetchAccesses;
+    Translation tr = translate(core, asid, vaddr, when,
+                               /*speculative=*/true, /*ifetch=*/true);
+    Cycle lat = tr.latency;
+    const Addr paddr = tr.paddr;
+
+    MuonTrapCore &mt = *mt_[core];
+    Cache &l1i = *l1i_[core];
+
+    if (FilterCache *fi = mt.instFilter()) {
+        lat += fi->params().hitLatency;
+        if (CacheLine *line = fi->lookupVirt(asid, vaddr, paddr)) {
+            ++fi->hits;
+            (void)line;
+            return lat;
+        }
+        ++fi->misses;
+        lat += l1i.params().hitLatency;
+        if (l1i.peek(paddr)) {
+            ++l1i.hits;
+            fi->fillVirt(asid, vaddr, paddr, /*speculative=*/true,
+                         /*fill_level=*/1, false);
+            return lat;
+        }
+        ++l1i.misses;
+        SnoopOutcome so = bus_->readRequest(core, paddr, true,
+                                            params_.mt.protectCoherence,
+                                            /*fill_l2=*/false);
+        if (so.nacked) {
+            // Instruction lines are read-shared; a NACK can only happen
+            // if a data store owns the line. Retry non-speculatively.
+            so = bus_->readRequest(core, paddr, false,
+                                   params_.mt.protectCoherence, false);
+        }
+        lat += fi->reserveMshr(paddr, when, so.latency);
+        lat += so.latency;
+        fi->fillVirt(asid, vaddr, paddr, /*speculative=*/true,
+                     static_cast<std::uint8_t>(so.serviceLevel), false);
+        return lat;
+    }
+
+    // No instruction filter: conventional (insecure) I-side.
+    lat += l1i.params().hitLatency;
+    if (l1i.lookup(paddr)) {
+        ++l1i.hits;
+        return lat;
+    }
+    ++l1i.misses;
+    const bool fill_l2 =
+        !(params_.mt.enabled && params_.mt.protectData);
+    SnoopOutcome so = bus_->readRequest(core, paddr, false, false,
+                                        fill_l2);
+    lat += l1i.reserveMshr(paddr, when, so.latency);
+    lat += so.latency;
+    fillL1(l1i, paddr, CoherState::Shared);
+    return lat;
+}
+
+void
+MemSystem::commitIfetch(CoreId core, Asid asid, Addr vaddr, Cycle when)
+{
+    (void)when;
+    MuonTrapCore &mt = *mt_[core];
+    const Addr paddr = vm_.translate(asid, vaddr);
+
+    // Promote the instruction-side translation: a committed fetch makes
+    // the mapping architectural.
+    if (mt.filterTlb())
+        itlb_[core]->insert(asid, vaddr, paddr);
+
+    FilterCache *fi = mt.instFilter();
+    if (!fi)
+        return;
+    CacheLine *line = fi->lookupVirt(asid, vaddr, paddr);
+    if (line) {
+        if (!line->committed) {
+            // Simpler than the data side (§4.7): set the committed bit
+            // and copy into the L1I; no coherence upgrade is ever needed
+            // for read-only instruction lines.
+            line->committed = true;
+            ++commitWriteThroughs;
+            if (!l1i_[core]->peek(paddr))
+                fillL1(*l1i_[core], paddr, CoherState::Shared);
+            if (!l2_->peek(paddr))
+                l2_->fill(paddr, CoherState::Shared);
+        }
+    } else if (!l1i_[core]->peek(paddr)) {
+        // Evicted from the instruction filter before commit: as on the
+        // data side (§4.2), a valid in-order execution would have cached
+        // the line, so bring it into the L1I now.
+        ++recommitFetches;
+        bus_->readRequest(core, paddr, false,
+                          params_.mt.protectCoherence, true);
+        fillL1(*l1i_[core], paddr, CoherState::Shared);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Probes
+// --------------------------------------------------------------------------
+
+Cycle
+MemSystem::dataProbe(CoreId core, Asid asid, Addr vaddr, Cycle when)
+{
+    (void)when;
+    ++probes;
+    // InvisiSpec's speculative buffer: allocation may stall when full.
+    Cycle lat = specBuffer_[core]->allocate(vaddr, when);
+
+    // Translation for the probe is functional (InvisiSpec does not
+    // protect the TLB; the real TLB fill happens at exposure).
+    const Addr paddr = vm_.translate(asid, vaddr);
+
+    Cache &l1 = *l1d_[core];
+    lat += l1.params().hitLatency;
+    if (l1.peek(paddr))
+        return lat;
+
+    lat += params_.bus.transactionLatency;
+    if (bus_->remoteHoldsExclusive(core, paddr)) {
+        lat += params_.bus.remoteSupplyLatency;
+        return lat;
+    }
+    lat += l2_->params().hitLatency;
+    if (l2_->peek(paddr))
+        return lat;
+    lat += params_.mem.rowMissLatency;
+    return lat;
+}
+
+Cycle
+MemSystem::timeProbe(CoreId core, Asid asid, Addr vaddr)
+{
+    const Addr paddr = vm_.translate(asid, vaddr);
+    MuonTrapCore &mt = *mt_[core];
+
+    Cycle lat = 0;
+    if (FilterCache *fd = mt.dataFilter()) {
+        lat += fd->params().hitLatency;
+        // The probe sees what the *CPU side* would see: a virtual-tag
+        // match with the valid bit set.
+        if (CacheLine *l = fd->lookupVirt(asid, vaddr, paddr)) {
+            (void)l;
+            return lat;
+        }
+    }
+    Cache &l1 = *l1d_[core];
+    lat += l1.params().hitLatency;
+    if (l1.peek(paddr))
+        return lat;
+    lat += params_.bus.transactionLatency;
+    if (bus_->remoteHoldsExclusive(core, paddr)) {
+        lat += params_.bus.remoteSupplyLatency;
+        return lat;
+    }
+    lat += l2_->params().hitLatency;
+    if (l2_->peek(paddr))
+        return lat;
+    lat += params_.mem.rowMissLatency;
+    return lat;
+}
+
+Cycle
+MemSystem::timeStoreProbe(CoreId core, Asid asid, Addr vaddr)
+{
+    const Addr paddr = vm_.translate(asid, vaddr);
+    Cache &l1 = *l1d_[core];
+
+    Cycle lat = l1.params().hitLatency;
+    const CacheLine *own = l1.peek(paddr);
+    if (own && (own->state == CoherState::Modified ||
+                own->state == CoherState::Exclusive))
+        return lat;
+    // Shared or absent: an exclusive upgrade is needed.
+    lat += params_.bus.transactionLatency;
+    if (own)
+        return lat; // upgrade of a present S line
+    if (bus_->remoteHoldsExclusive(core, paddr)) {
+        lat += params_.bus.remoteSupplyLatency;
+        return lat;
+    }
+    lat += l2_->params().hitLatency;
+    if (l2_->peek(paddr))
+        return lat;
+    lat += params_.mem.rowMissLatency;
+    return lat;
+}
+
+Cycle
+MemSystem::timeIfetchProbe(CoreId core, Asid asid, Addr vaddr)
+{
+    const Addr paddr = vm_.translate(asid, vaddr);
+    MuonTrapCore &mt = *mt_[core];
+
+    Cycle lat = 0;
+    if (FilterCache *fi = mt.instFilter()) {
+        lat += fi->params().hitLatency;
+        if (fi->lookupVirt(asid, vaddr, paddr))
+            return lat;
+    }
+    Cache &l1i = *l1i_[core];
+    lat += l1i.params().hitLatency;
+    if (l1i.peek(paddr))
+        return lat;
+    lat += params_.bus.transactionLatency;
+    lat += l2_->params().hitLatency;
+    if (l2_->peek(paddr))
+        return lat;
+    lat += params_.mem.rowMissLatency;
+    return lat;
+}
+
+// --------------------------------------------------------------------------
+// Domain events + functional data
+// --------------------------------------------------------------------------
+
+void
+MemSystem::onSyscall(CoreId core, Cycle when)
+{
+    (void)when;
+    mt_[core]->flush(FlushReason::Syscall);
+}
+
+void
+MemSystem::onSandboxSwitch(CoreId core, Cycle when)
+{
+    (void)when;
+    mt_[core]->flush(FlushReason::Sandbox);
+}
+
+void
+MemSystem::onContextSwitch(CoreId core, Cycle when)
+{
+    (void)when;
+    mt_[core]->flush(FlushReason::ContextSwitch);
+    specBuffer_[core]->clear();
+}
+
+void
+MemSystem::onFlushBarrier(CoreId core, Cycle when)
+{
+    (void)when;
+    mt_[core]->flush(FlushReason::Explicit);
+}
+
+void
+MemSystem::onSquash(CoreId core, Cycle when)
+{
+    (void)when;
+    mt_[core]->flush(FlushReason::Misspeculation);
+    specBuffer_[core]->clear();
+}
+
+std::uint64_t
+MemSystem::read(Asid asid, Addr vaddr)
+{
+    return mem_->read(vm_.translate(asid, vaddr));
+}
+
+void
+MemSystem::write(Asid asid, Addr vaddr, std::uint64_t value)
+{
+    mem_->write(vm_.translate(asid, vaddr), value);
+}
+
+} // namespace mtrap

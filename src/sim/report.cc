@@ -1,0 +1,129 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("geomean of empty set");
+    double acc = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean of non-positive value %f", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+ReportTable::ReportTable(std::string title) : title_(std::move(title)) {}
+
+void
+ReportTable::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+ReportTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+ReportTable::rowNumeric(const std::string &name,
+                        const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.push_back(name);
+    for (double v : values)
+        cells.push_back(strfmt("%.*f", precision, v));
+    rows_.push_back(std::move(cells));
+}
+
+void
+ReportTable::geomeanRow(int precision)
+{
+    if (rows_.empty())
+        return;
+    const std::size_t cols = rows_.front().size();
+    std::vector<std::string> cells;
+    cells.push_back("geomean");
+    for (std::size_t c = 1; c < cols; ++c) {
+        std::vector<double> vals;
+        bool ok = true;
+        for (const auto &r : rows_) {
+            if (c >= r.size()) {
+                ok = false;
+                break;
+            }
+            char *end = nullptr;
+            const double v = std::strtod(r[c].c_str(), &end);
+            if (end == r[c].c_str() || v <= 0.0) {
+                ok = false;
+                break;
+            }
+            vals.push_back(v);
+        }
+        cells.push_back(ok && !vals.empty()
+                            ? strfmt("%.*f", precision, geomean(vals))
+                            : std::string("-"));
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+ReportTable::print(std::ostream &os) const
+{
+    os << "== " << title_ << " ==\n";
+    std::vector<std::size_t> width;
+    auto widen = [&width](const std::vector<std::string> &cells) {
+        if (width.size() < cells.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&os, &width](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(width[i] - cells[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    os << "\n";
+}
+
+void
+ReportTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+} // namespace mtrap

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table/series reporting used by the figure benches: aligned
+ * columns, geometric means, and CSV emission so results can be plotted.
+ */
+
+#ifndef MTRAP_SIM_REPORT_HH
+#define MTRAP_SIM_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mtrap
+{
+
+/** Geometric mean (fatal on empty or non-positive inputs). */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Column-aligned text table with an optional CSV dump.
+ */
+class ReportTable
+{
+  public:
+    explicit ReportTable(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a row (first cell is usually the workload name). */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: name + numeric cells with fixed precision. */
+    void rowNumeric(const std::string &name,
+                    const std::vector<double> &values, int precision = 3);
+
+    /** Append a geomean row across the data rows' numeric columns. */
+    void geomeanRow(int precision = 3);
+
+    void print(std::ostream &os) const;
+    void printCsv(std::ostream &os) const;
+
+    std::size_t dataRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_SIM_REPORT_HH

@@ -1,0 +1,59 @@
+#include "sim/runner.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+RunOutput
+runConfigured(const Workload &w, const SystemConfig &cfg,
+              const RunOptions &opt, const std::string &config_name)
+{
+    SystemConfig c = cfg;
+    if (c.cores < w.threads())
+        c.cores = w.threads();
+    c.mem.cores = c.cores;
+
+    auto sys = std::make_unique<System>(c);
+    sys->loadWorkload(w);
+
+    // Warm up caches, TLBs and predictors, then reset statistics.
+    sys->run(opt.warmupInstructions);
+    sys->resetStats();
+    const Cycle start = sys->maxCommitCycle();
+
+    sys->run(opt.measureInstructions);
+    const Cycle end = sys->maxCommitCycle();
+
+    RunResult r;
+    r.workload = w.name;
+    r.configName = config_name;
+    r.cycles = end > start ? end - start : 1;
+    r.instructionsPerCore = opt.measureInstructions;
+    r.ipc = static_cast<double>(opt.measureInstructions)
+            / static_cast<double>(r.cycles);
+
+    RunOutput out;
+    out.result = r;
+    out.system = std::move(sys);
+    return out;
+}
+
+RunResult
+runScheme(const Workload &w, Scheme s, const RunOptions &opt)
+{
+    const SystemConfig cfg = SystemConfig::forScheme(
+        s, std::max(1u, w.threads()));
+    return runConfigured(w, cfg, opt, schemeName(s)).result;
+}
+
+double
+normalizedTime(const RunResult &x, const RunResult &base)
+{
+    if (base.cycles == 0)
+        fatal("normalizedTime: zero baseline cycles");
+    return static_cast<double>(x.cycles)
+           / static_cast<double>(base.cycles);
+}
+
+} // namespace mtrap

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Experiment runner: builds a system for (workload, scheme/config),
+ * warms up, measures, and returns cycle counts — the machinery behind
+ * every figure-reproducing bench binary.
+ */
+
+#ifndef MTRAP_SIM_RUNNER_HH
+#define MTRAP_SIM_RUNNER_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/system.hh"
+#include "workload/kernels.hh"
+
+namespace mtrap
+{
+
+/** Run lengths. Small by gem5 standards but big enough for stable
+ *  relative timings in this model. */
+struct RunOptions
+{
+    std::uint64_t warmupInstructions = 30'000;
+    std::uint64_t measureInstructions = 120'000;
+};
+
+/** Outcome of one measured run. */
+struct RunResult
+{
+    std::string workload;
+    std::string configName;
+    /** Makespan of the measured phase (max over cores). */
+    Cycle cycles = 0;
+    /** Instructions committed per core in the measured phase. */
+    std::uint64_t instructionsPerCore = 0;
+    double ipc = 0.0;
+};
+
+/** One run with full access to the system afterwards (for stats-based
+ *  figures such as figure 7). */
+struct RunOutput
+{
+    RunResult result;
+    std::unique_ptr<System> system;
+};
+
+/** Run `w` under an explicit configuration. */
+RunOutput runConfigured(const Workload &w, const SystemConfig &cfg,
+                        const RunOptions &opt = {},
+                        const std::string &config_name = "custom");
+
+/** Run `w` under a named scheme on a Table-1 system. */
+RunResult runScheme(const Workload &w, Scheme s,
+                    const RunOptions &opt = {});
+
+/** cycles(x) / cycles(base). */
+double normalizedTime(const RunResult &x, const RunResult &base);
+
+} // namespace mtrap
+
+#endif // MTRAP_SIM_RUNNER_HH

@@ -1,0 +1,91 @@
+#include "sim/scheduler.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+Scheduler::Scheduler(Core *core, Cycle quantum)
+    : core_(core), quantum_(quantum)
+{
+    if (!core)
+        fatal("scheduler: null core");
+    if (quantum == 0)
+        fatal("scheduler: zero quantum");
+}
+
+void
+Scheduler::addTask(const Program *program, Asid asid)
+{
+    Task t;
+    t.ctx.program = program;
+    t.ctx.asid = asid;
+    t.ctx.pc = program->entry;
+    tasks_.push_back(std::move(t));
+}
+
+bool
+Scheduler::allHalted() const
+{
+    for (const auto &t : tasks_)
+        if (!t.ctx.halted)
+            return false;
+    return true;
+}
+
+std::size_t
+Scheduler::nextRunnable(std::size_t from) const
+{
+    for (std::size_t i = 1; i <= tasks_.size(); ++i) {
+        const std::size_t cand = (from + i) % tasks_.size();
+        if (!tasks_[cand].ctx.halted)
+            return cand;
+    }
+    return from;
+}
+
+std::uint64_t
+Scheduler::run(std::uint64_t total_commits)
+{
+    if (tasks_.empty())
+        fatal("scheduler: no tasks");
+
+    std::uint64_t done = 0;
+    if (!running_) {
+        core_->setContext(tasks_[current_].ctx);
+        tasks_[current_].started = true;
+        running_ = true;
+        sliceStart_ = core_->now();
+    }
+
+    while (done < total_commits && !allHalted()) {
+        if (core_->halted()) {
+            // Record the final state and move on.
+            tasks_[current_].ctx = core_->saveContext();
+            if (allHalted())
+                break;
+            const std::size_t next = nextRunnable(current_);
+            current_ = next;
+            core_->contextSwitch(tasks_[current_].ctx);
+            ++switches_;
+            sliceStart_ = core_->now();
+            continue;
+        }
+
+        const std::uint64_t chunk = 512;
+        done += core_->run(std::min(chunk, total_commits - done));
+
+        if (core_->now() - sliceStart_ >= quantum_ && tasks_.size() > 1) {
+            tasks_[current_].ctx = core_->saveContext();
+            current_ = nextRunnable(current_);
+            core_->contextSwitch(tasks_[current_].ctx);
+            ++switches_;
+            sliceStart_ = core_->now();
+        }
+    }
+
+    tasks_[current_].ctx = core_->saveContext();
+    return done;
+}
+
+} // namespace mtrap

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quantum-based round-robin scheduler multiplexing several software
+ * contexts (processes) onto one core, issuing the context switches that
+ * clear MuonTrap's filter structures.
+ */
+
+#ifndef MTRAP_SIM_SCHEDULER_HH
+#define MTRAP_SIM_SCHEDULER_HH
+
+#include <vector>
+
+#include "cpu/core.hh"
+#include "isa/program.hh"
+
+namespace mtrap
+{
+
+/**
+ * Round-robin process scheduler for one core.
+ */
+class Scheduler
+{
+  public:
+    /**
+     * @param core    the core to multiplex
+     * @param quantum time slice in cycles
+     */
+    Scheduler(Core *core, Cycle quantum);
+
+    /** Add a process (restarts at the program entry when first run). */
+    void addTask(const Program *program, Asid asid);
+
+    std::size_t taskCount() const { return tasks_.size(); }
+
+    /**
+     * Run until `total_commits` instructions have committed across all
+     * tasks, or every task has halted. Performs a context switch (and
+     * the associated filter flush) at each quantum expiry.
+     * @return instructions actually committed
+     */
+    std::uint64_t run(std::uint64_t total_commits);
+
+    /** Number of context switches performed so far. */
+    std::uint64_t switches() const { return switches_; }
+
+  private:
+    struct Task
+    {
+        ArchContext ctx;
+        bool started = false;
+    };
+
+    bool allHalted() const;
+    std::size_t nextRunnable(std::size_t from) const;
+
+    Core *core_;
+    Cycle quantum_;
+    std::vector<Task> tasks_;
+    std::size_t current_ = 0;
+    bool running_ = false;
+    std::uint64_t switches_ = 0;
+    /** Start of the current time slice (persists across run() calls). */
+    Cycle sliceStart_ = 0;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_SIM_SCHEDULER_HH

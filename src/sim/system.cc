@@ -1,0 +1,91 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+SystemConfig
+SystemConfig::forScheme(Scheme s, unsigned cores)
+{
+    SystemConfig cfg;
+    cfg.cores = cores;
+    cfg.core.defense = schemeCoreDefense(s);
+    cfg.mem.cores = cores;
+    cfg.mem.mt = schemeMtConfig(s);
+    return cfg;
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), root_("system")
+{
+    if (cfg_.cores == 0)
+        fatal("system: need at least one core");
+    MemSystemParams mp = cfg_.mem;
+    mp.cores = cfg_.cores;
+    mem_ = std::make_unique<MemSystem>(mp, &root_);
+    for (CoreId c = 0; c < cfg_.cores; ++c)
+        cores_.push_back(std::make_unique<Core>(c, cfg_.core, mem_.get(),
+                                                &root_));
+}
+
+void
+System::loadWorkload(const Workload &w)
+{
+    if (w.threads() > numCores())
+        fatal("workload %s needs %u cores, system has %u",
+              w.name.c_str(), w.threads(), numCores());
+    if (w.init)
+        w.init(*mem_);
+    for (unsigned t = 0; t < w.threads(); ++t) {
+        ArchContext ctx;
+        ctx.program = &w.threadPrograms[t];
+        ctx.asid = w.asid;
+        ctx.pc = w.threadPrograms[t].entry;
+        cores_[t]->setContext(ctx);
+    }
+}
+
+void
+System::run(std::uint64_t max_commits_per_core)
+{
+    std::vector<std::uint64_t> target(numCores());
+    for (unsigned c = 0; c < numCores(); ++c)
+        target[c] = cores_[c]->committedCount() + max_commits_per_core;
+
+    while (true) {
+        // Pick the active core with the smallest front-end clock so the
+        // global interleaving approximates one shared time base.
+        Core *best = nullptr;
+        for (unsigned c = 0; c < numCores(); ++c) {
+            Core &core = *cores_[c];
+            if (core.halted() || core.committedCount() >= target[c])
+                continue;
+            if (!best || core.now() < best->now())
+                best = &core;
+        }
+        if (!best)
+            break;
+        best->stepOne();
+    }
+}
+
+void
+System::drainAll()
+{
+    for (auto &c : cores_)
+        c->drain();
+}
+
+Cycle
+System::maxCommitCycle() const
+{
+    Cycle m = 0;
+    for (const auto &c : cores_)
+        m = std::max(m, c->lastCommitCycle());
+    return m;
+}
+
+} // namespace mtrap

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Whole-system assembly: cores + memory system, configured per defence
+ * scheme, with an interleaved multi-core run loop.
+ */
+
+#ifndef MTRAP_SIM_SYSTEM_HH
+#define MTRAP_SIM_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "defense/scheme.hh"
+#include "sim/mem_system.hh"
+#include "workload/kernels.hh"
+
+namespace mtrap
+{
+
+/** Top-level configuration (defaults = paper Table 1, 4 cores). */
+struct SystemConfig
+{
+    unsigned cores = 1;
+    CoreParams core{};
+    MemSystemParams mem{};
+
+    /** Table-1 system under the given scheme. */
+    static SystemConfig forScheme(Scheme s, unsigned cores = 1);
+};
+
+/**
+ * A complete simulated machine.
+ */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
+    Core &core(CoreId c) { return *cores_.at(c); }
+    MemSystem &mem() { return *mem_; }
+    StatGroup &root() { return root_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /**
+     * Install a workload: thread i runs on core i (fatal if the
+     * workload has more threads than cores). Runs the workload's memory
+     * initialiser.
+     */
+    void loadWorkload(const Workload &w);
+
+    /**
+     * Run every non-halted core for up to `max_commits_per_core` more
+     * committed instructions, interleaved in global-cycle order so
+     * coherence interactions are seen in a sensible order.
+     */
+    void run(std::uint64_t max_commits_per_core);
+
+    /** Drain all cores' pipelines. */
+    void drainAll();
+
+    /** Largest commit cycle over all cores (the run's makespan). */
+    Cycle maxCommitCycle() const;
+
+    /** Reset all statistics (post-warmup). */
+    void resetStats() { root_.resetAll(); }
+
+    void dumpStats(std::ostream &os) { root_.dump(os); }
+
+  private:
+    SystemConfig cfg_;
+    StatGroup root_;
+    std::unique_ptr<MemSystem> mem_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_SIM_SYSTEM_HH

@@ -1,0 +1,171 @@
+#include "tlb/tlb.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+namespace
+{
+
+/** Deterministic page-number scrambler (splitmix-style). */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+AddressSpace::AddressSpace() = default;
+
+std::uint64_t
+AddressSpace::key(Asid asid, Addr vpn)
+{
+    return (static_cast<std::uint64_t>(asid) << 40) ^ vpn;
+}
+
+Addr
+AddressSpace::translate(Asid asid, Addr vaddr) const
+{
+    const Addr vpn = pageNum(vaddr);
+    auto it = aliases_.find(key(asid, vpn));
+    Addr ppn;
+    if (it != aliases_.end()) {
+        ppn = it->second;
+    } else {
+        // Deterministic private page in a 38-bit physical space, away
+        // from the page-table region (which has bit 45 set).
+        ppn = mix(key(asid, vpn)) & ((1ull << 26) - 1);
+        ppn |= static_cast<Addr>(asid & 0xff) << 26;
+    }
+    return (ppn << kPageShift) | (vaddr & (kPageBytes - 1));
+}
+
+void
+AddressSpace::alias(Asid asid, Addr vaddr, Addr paddr, std::uint64_t bytes)
+{
+    if ((vaddr & (kPageBytes - 1)) || (paddr & (kPageBytes - 1)))
+        fatal("alias: vaddr/paddr must be page aligned");
+    const std::uint64_t pages = (bytes + kPageBytes - 1) / kPageBytes;
+    for (std::uint64_t p = 0; p < pages; ++p)
+        aliases_[key(asid, pageNum(vaddr) + p)] = pageNum(paddr) + p;
+}
+
+Addr
+AddressSpace::pteAddr(Asid asid, Addr vaddr, unsigned level) const
+{
+    if (level >= kWalkLevels)
+        panic("pteAddr: level %u out of range", level);
+    // 9 bits of VPN per level, root (level 0) uses the top bits.
+    const Addr vpn = pageNum(vaddr);
+    const unsigned shift = 9 * (kWalkLevels - 1 - level);
+    const Addr index = (vpn >> shift) & 0x1ff;
+    // Each (asid, level, upper-bits) group gets its own table page.
+    const Addr table_id = mix(key(asid, (vpn >> (shift + 9)) + 1)
+                              ^ (static_cast<std::uint64_t>(level) << 56))
+                          & ((1ull << 24) - 1);
+    return (1ull << 45) | (table_id << kPageShift) | (index * 8);
+}
+
+Tlb::Tlb(const TlbParams &params, StatGroup *parent)
+    : params_(params), entries_(params.entries),
+      stats_(params.name, parent),
+      hits(&stats_, "hits", "translation hits"),
+      misses(&stats_, "misses", "translation misses"),
+      insertions(&stats_, "insertions", "entries installed"),
+      evictions(&stats_, "evictions", "valid entries evicted"),
+      flushes(&stats_, "flushes", "full flushes")
+{
+    if (params.entries == 0)
+        fatal("tlb %s: zero entries", params.name.c_str());
+}
+
+const TlbEntry *
+Tlb::lookup(Asid asid, Addr vaddr)
+{
+    const Addr vpn = pageNum(vaddr);
+    for (auto &e : entries_) {
+        if (e.valid && e.asid == asid && e.vpn == vpn) {
+            e.lastUse = ++stamp_;
+            ++hits;
+            return &e;
+        }
+    }
+    ++misses;
+    return nullptr;
+}
+
+bool
+Tlb::insert(Asid asid, Addr vaddr, Addr paddr)
+{
+    const Addr vpn = pageNum(vaddr);
+    // Refresh if present.
+    for (auto &e : entries_) {
+        if (e.valid && e.asid == asid && e.vpn == vpn) {
+            e.ppn = pageNum(paddr);
+            e.lastUse = ++stamp_;
+            return false;
+        }
+    }
+    // Prefer an invalid slot.
+    TlbEntry *victim = nullptr;
+    for (auto &e : entries_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+    }
+    bool evicted = false;
+    if (!victim) {
+        victim = &entries_[0];
+        for (auto &e : entries_)
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+        evicted = true;
+        ++evictions;
+    }
+    victim->valid = true;
+    victim->asid = asid;
+    victim->vpn = vpn;
+    victim->ppn = pageNum(paddr);
+    victim->lastUse = ++stamp_;
+    ++insertions;
+    return evicted;
+}
+
+bool
+Tlb::invalidate(Asid asid, Addr vaddr)
+{
+    const Addr vpn = pageNum(vaddr);
+    for (auto &e : entries_) {
+        if (e.valid && e.asid == asid && e.vpn == vpn) {
+            e.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    ++flushes;
+}
+
+unsigned
+Tlb::validCount() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+} // namespace mtrap

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Address spaces, TLBs and the filter TLB (paper §4.7).
+ *
+ * AddressSpace gives every (asid, virtual page) a deterministic physical
+ * page, with explicit aliasing so two processes (or a process and the
+ * kernel) can share physical memory — required by the attack kernels.
+ *
+ * The main TLB is fully associative with LRU replacement. Under
+ * MuonTrap, speculative translations are installed only in a small
+ * *filter TLB*; they are promoted to the main TLB when the instruction
+ * that used them commits, and the filter TLB is flash-cleared on
+ * protection-domain switches just like the filter caches.
+ */
+
+#ifndef MTRAP_TLB_TLB_HH
+#define MTRAP_TLB_TLB_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mtrap
+{
+
+/**
+ * Global virtual-to-physical mapping authority (one per simulated
+ * system). Default mappings are a deterministic per-ASID hash; explicit
+ * aliases pin ranges to chosen physical pages for sharing.
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace();
+
+    /** Translate a virtual address under `asid` to a physical address. */
+    Addr translate(Asid asid, Addr vaddr) const;
+
+    /** Pin `[vaddr, vaddr+bytes)` of `asid` to physical base `paddr`
+     *  (page aligned). Used to create shared memory between domains. */
+    void alias(Asid asid, Addr vaddr, Addr paddr, std::uint64_t bytes);
+
+    /**
+     * Physical address of the level-`level` page-table entry used when
+     * walking `vaddr` of `asid` (levels 0..3, root first). These live in
+     * a reserved physical region so PTW traffic is distinguishable and
+     * cacheable.
+     */
+    Addr pteAddr(Asid asid, Addr vaddr, unsigned level) const;
+
+    /** Number of levels in a page-table walk. */
+    static constexpr unsigned kWalkLevels = 4;
+
+  private:
+    std::unordered_map<std::uint64_t, Addr> aliases_;
+
+    static std::uint64_t key(Asid asid, Addr vpn);
+};
+
+/** One TLB translation entry. */
+struct TlbEntry
+{
+    Asid asid = 0;
+    Addr vpn = kAddrInvalid;
+    Addr ppn = kAddrInvalid;
+    std::uint64_t lastUse = 0;
+    bool valid = false;
+};
+
+/** TLB configuration. */
+struct TlbParams
+{
+    std::string name = "tlb";
+    unsigned entries = 64;
+};
+
+/**
+ * Fully-associative LRU TLB.
+ */
+class Tlb
+{
+  public:
+    Tlb(const TlbParams &params, StatGroup *parent);
+
+    /** Look up a translation; nullptr on miss. Updates LRU on hit. */
+    const TlbEntry *lookup(Asid asid, Addr vaddr);
+
+    /** Install (or refresh) a translation; returns whether a valid
+     *  entry was evicted (the TLB prime-and-probe observable). */
+    bool insert(Asid asid, Addr vaddr, Addr paddr);
+
+    /** Drop a specific translation if present. */
+    bool invalidate(Asid asid, Addr vaddr);
+
+    /** Drop everything (context switch for the filter TLB). */
+    void flush();
+
+    unsigned validCount() const;
+    unsigned capacity() const { return params_.entries; }
+
+  private:
+    TlbParams params_;
+    std::vector<TlbEntry> entries_;
+    std::uint64_t stamp_ = 0;
+
+    StatGroup stats_;
+
+  public:
+    Counter hits;
+    Counter misses;
+    Counter insertions;
+    Counter evictions;
+    Counter flushes;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_TLB_TLB_HH

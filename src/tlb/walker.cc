@@ -1,0 +1,60 @@
+#include "tlb/walker.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+PageTableWalker::PageTableWalker(const AddressSpace *vm, CoreId core,
+                                 AccessFn fn, StatGroup *parent)
+    : vm_(vm), core_(core), access_(std::move(fn)),
+      stats_("ptw", parent),
+      walks(&stats_, "walks", "page-table walks performed"),
+      retranslations(&stats_, "retranslations",
+                     "commit-time retranslations"),
+      pteReads(&stats_, "pte_reads", "PTE reads issued")
+{
+    if (!vm_ || !access_)
+        fatal("walker: null address space or access function");
+}
+
+Cycle
+PageTableWalker::doWalk(Asid asid, Addr vaddr, Cycle when, bool speculative)
+{
+    Cycle total = 0;
+    for (unsigned level = 0; level < AddressSpace::kWalkLevels; ++level) {
+        Access acc;
+        acc.kind = AccessKind::Ptw;
+        acc.paddr = vm_->pteAddr(asid, vaddr, level);
+        // PTW traffic is physically addressed; give the filter cache the
+        // same address on its virtual side.
+        acc.vaddr = acc.paddr;
+        acc.core = core_;
+        acc.asid = asid;
+        acc.speculative = speculative;
+        acc.when = when + total;
+        AccessResult r = access_(acc);
+        // PTW reads never demote remote exclusives in practice (page
+        // tables are read-shared); a NACK would mean retry, modelled as
+        // the non-speculative latency.
+        total += r.latency;
+        ++pteReads;
+    }
+    return total;
+}
+
+Cycle
+PageTableWalker::walk(Asid asid, Addr vaddr, Cycle when, bool speculative)
+{
+    ++walks;
+    return doWalk(asid, vaddr, when, speculative);
+}
+
+Cycle
+PageTableWalker::retranslate(Asid asid, Addr vaddr, Cycle when)
+{
+    ++retranslations;
+    return doWalk(asid, vaddr, when, false);
+}
+
+} // namespace mtrap

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Hardware page-table walker (paper §4.7).
+ *
+ * A walk issues one read per level through the data-cache hierarchy via
+ * an injected access function, so under MuonTrap the PTE lines land in
+ * the data filter cache with the speculative bit set. When the
+ * triggering instruction commits, the core calls retranslate(), which
+ * replays the PTE reads non-speculatively — they hit the filter cache
+ * and are thereby written through to the L1 as committed lines.
+ */
+
+#ifndef MTRAP_TLB_WALKER_HH
+#define MTRAP_TLB_WALKER_HH
+
+#include <functional>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/access.hh"
+#include "tlb/tlb.hh"
+
+namespace mtrap
+{
+
+/**
+ * Page-table walker bound to one core's data-side hierarchy.
+ */
+class PageTableWalker
+{
+  public:
+    /** Function the walker uses to access memory (the memory system's
+     *  data path for this core). */
+    using AccessFn = std::function<AccessResult(const Access &)>;
+
+    PageTableWalker(const AddressSpace *vm, CoreId core, AccessFn fn,
+                    StatGroup *parent);
+
+    /**
+     * Perform a full walk for `vaddr` of `asid`.
+     * @param when        start cycle
+     * @param speculative the triggering instruction may still squash
+     * @return total walk latency in cycles
+     */
+    Cycle walk(Asid asid, Addr vaddr, Cycle when, bool speculative);
+
+    /**
+     * Commit-time retranslation (§4.7): replay the PTE reads of a
+     * previous speculative walk with speculative=false so the PTE lines
+     * in the filter cache become committed and propagate to the L1.
+     * @return latency (normally tiny: filter-cache hits)
+     */
+    Cycle retranslate(Asid asid, Addr vaddr, Cycle when);
+
+  private:
+    Cycle doWalk(Asid asid, Addr vaddr, Cycle when, bool speculative);
+
+    const AddressSpace *vm_;
+    CoreId core_;
+    AccessFn access_;
+
+    StatGroup stats_;
+
+  public:
+    Counter walks;
+    Counter retranslations;
+    Counter pteReads;
+};
+
+} // namespace mtrap
+
+#endif // MTRAP_TLB_WALKER_HH

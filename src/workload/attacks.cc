@@ -1,0 +1,908 @@
+#include "workload/attacks.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "sim/system.hh"
+
+namespace mtrap
+{
+
+namespace
+{
+
+// --- address plan -----------------------------------------------------------
+// Victim virtual addresses.
+constexpr Asid kVictim = 1;
+constexpr Asid kAttacker = 2;
+
+constexpr Addr kArray = 0x50'0000'0000ull;      // victim bounds-checked array
+constexpr Addr kBoundPP = 0x51'0000'0000ull;    // **bound (chase level 0)
+constexpr Addr kBoundP = 0x52'0000'0000ull;     // *bound  (chase level 1)
+constexpr Addr kVProbe = 0x53'0000'0000ull;     // victim's probe pages
+constexpr Addr kShm = 0x54'0000'0000ull;        // shared data (attacks 3/4)
+constexpr Addr kPfRegion = 0x55'0000'0000ull;   // prefetcher region (attack 5)
+
+// Attacker virtual addresses.
+constexpr Addr kAEvict = 0x60'0000'0000ull;     // eviction set pages
+constexpr Addr kAPrime = 0x61'0000'0000ull;     // prime pages (attacks 1/2)
+constexpr Addr kAShm = 0x62'0000'0000ull;       // attacker view of kShm
+constexpr Addr kAPf = 0x63'0000'0000ull;        // attacker view of kPfRegion
+constexpr Addr kACode = 0x64'0000'0000ull;      // attacker view of victim code
+
+// Engineered physical region (clear of the hash-allocated ranges).
+constexpr Addr kPinBase = 1ull << 42;
+
+constexpr std::int64_t kBound = 64;             // in-bounds limit (bytes)
+constexpr std::int64_t kSecretIndex = 128;      // OOB index reaching the secret
+
+// L1D geometry (Table 1: 64 KiB, 2-way, 64 B lines -> 512 sets).
+constexpr unsigned kL1Sets = 512;
+constexpr unsigned kL1Ways = 2;
+constexpr unsigned kL2Sets = 4096;
+constexpr unsigned kL2Ways = 8;
+
+// Probe L1 sets for secret bit 0 / 1 (multiples of 64 so the line offset
+// within its page is 0 and page-granular aliasing lines up exactly).
+constexpr unsigned kSet0 = 128;
+constexpr unsigned kSet1 = 192;
+
+/** Physical address of the line with L1 set `set` and tag-disambiguator
+ *  `tag` inside the pinned region. Tag stride = one L1 way (32 KiB),
+ *  which preserves the set index. */
+Addr
+paddrForSet(unsigned tag, unsigned set)
+{
+    return kPinBase + static_cast<Addr>(tag) * (kL1Sets * kLineBytes)
+           + static_cast<Addr>(set) * kLineBytes;
+}
+
+unsigned
+l1SetOf(Addr paddr)
+{
+    return static_cast<unsigned>((paddr >> kLineShift) & (kL1Sets - 1));
+}
+
+unsigned
+l2SetOf(Addr paddr)
+{
+    return static_cast<unsigned>((paddr >> kLineShift) & (kL2Sets - 1));
+}
+
+/** Timing threshold separating "private hierarchy hit" from "had to go
+ *  to the L2 or beyond". */
+constexpr Cycle kFastThreshold = 8;
+/** Threshold separating "somewhere on chip" from "DRAM". */
+constexpr Cycle kOnChipThreshold = 60;
+
+// --- choreography helpers ---------------------------------------------------
+
+/** Run a program to completion in an existing context's address space,
+ *  with r1 preloaded (gadget input). Does not flush anything. */
+void
+runProgram(Core &core, const Program &prog, Asid asid, std::uint64_t r1)
+{
+    ArchContext ctx;
+    ctx.program = &prog;
+    ctx.asid = asid;
+    ctx.pc = prog.entry;
+    ctx.regs[1] = r1;
+    core.setContext(ctx);
+    core.run(2'000'000);
+    if (!core.halted())
+        panic("attack program %s did not halt", prog.name.c_str());
+    core.drain();
+}
+
+/** Context-switch to `asid` (flushes filters under MuonTrap), then run. */
+void
+switchAndRun(Core &core, const Program &prog, Asid asid, std::uint64_t r1)
+{
+    ArchContext ctx;
+    ctx.program = &prog;
+    ctx.asid = asid;
+    ctx.pc = prog.entry;
+    ctx.regs[1] = r1;
+    core.contextSwitch(ctx);
+    core.run(2'000'000);
+    if (!core.halted())
+        panic("attack program %s did not halt", prog.name.c_str());
+    core.drain();
+}
+
+/**
+ * Build the attacker's eviction program: for each target physical line,
+ * load enough conflicting attacker lines to push it out of both the L1
+ * and the L2. The attacker's pages are aliased onto engineered physical
+ * pages by `setupEvictionAliases`.
+ */
+struct EvictionPlan
+{
+    Program program;
+    std::function<void(AddressSpace &)> aliases;
+};
+
+EvictionPlan
+makeEvictionPlan(const std::vector<Addr> &target_paddrs)
+{
+    // Allocate one attacker virtual page per eviction line.
+    std::vector<std::pair<Addr, Addr>> pairs; // (attacker vaddr, paddr)
+    unsigned page = 0;
+    for (Addr target : target_paddrs) {
+        const unsigned l1set = l1SetOf(target);
+        const unsigned l2set = l2SetOf(target);
+        // L1 eviction lines: same L1 set, distinct tags (use high tag
+        // numbers so they don't collide with prime/probe lines).
+        for (unsigned k = 0; k < kL1Ways + 1; ++k) {
+            const Addr p = kPinBase + (1ull << 35)
+                           + static_cast<Addr>(k) * (kL1Sets * kLineBytes)
+                           + static_cast<Addr>(l1set) * kLineBytes;
+            pairs.emplace_back(kAEvict + page++ * kPageBytes, p);
+        }
+        // L2 eviction lines: same L2 set, distinct tags. Stride of one
+        // L2 way (256 KiB) preserves both L1 and L2 set bits.
+        for (unsigned k = 0; k < kL2Ways + 2; ++k) {
+            const Addr p = kPinBase + (1ull << 36)
+                           + static_cast<Addr>(k) * (kL2Sets * kLineBytes)
+                           + static_cast<Addr>(l2set) * kLineBytes;
+            pairs.emplace_back(kAEvict + page++ * kPageBytes, p);
+        }
+    }
+
+    ProgramBuilder b("evict");
+    for (const auto &[va, pa] : pairs) {
+        const Addr line_va = va + (pa & (kPageBytes - 1));
+        b.movi(2, static_cast<std::int64_t>(line_va));
+        b.load(3, 2, 0);
+    }
+    b.halt();
+
+    EvictionPlan plan;
+    plan.program = b.take();
+    plan.aliases = [pairs](AddressSpace &vm) {
+        for (const auto &[va, pa] : pairs)
+            vm.alias(kAttacker, va, pageAlign(pa), kPageBytes);
+    };
+    return plan;
+}
+
+/** Shared memory setup for the bound chain + victim array + secret. */
+void
+setupVictimMemory(System &sys, std::uint64_t secret)
+{
+    MemSystem &mem = sys.mem();
+    // *kBoundPP = kBoundP ; *kBoundP = kBound
+    mem.write(kVictim, kBoundPP, kBoundP);
+    mem.write(kVictim, kBoundP, static_cast<std::uint64_t>(kBound));
+    for (std::int64_t i = 0; i < kBound; i += 8)
+        mem.write(kVictim, kArray + static_cast<Addr>(i), 0);
+    mem.write(kVictim, kArray + kSecretIndex, secret);
+}
+
+/** Bound-chain physical lines (for the eviction plan). */
+std::vector<Addr>
+boundChainPaddrs(System &sys)
+{
+    AddressSpace &vm = sys.mem().addressSpace();
+    return {vm.translate(kVictim, kBoundPP),
+            vm.translate(kVictim, kBoundP)};
+}
+
+/** Victim gadget prologue shared by every attack: load the (evicted,
+ *  hence slow) bound through a dependent chain, then bounds-check r1.
+ *  Mispredicts to the in-bounds path when r1 is out of bounds. */
+void
+emitBoundsCheck(ProgramBuilder &b)
+{
+    b.movi(21, static_cast<std::int64_t>(kBoundPP));
+    b.load(3, 21, 0);      // r3 = &bound      (slow when evicted)
+    b.load(3, 3, 0);       // r3 = bound       (dependent, slow)
+    b.braUge("done", 1, 3);
+}
+
+/** Decide a recovered bit from two probe timings (255 = can't tell). */
+unsigned
+decideBit(Cycle t0, Cycle t1, Cycle threshold)
+{
+    const bool fast0 = t0 <= threshold;
+    const bool fast1 = t1 <= threshold;
+    if (fast0 == fast1)
+        return 255;
+    return fast1 ? 1 : 0;
+}
+
+AttackOutcome
+finish(AttackOutcome out, unsigned r0, unsigned r1, Cycle t0, Cycle t1)
+{
+    out.recovered0 = r0;
+    out.recovered1 = r1;
+    out.probe0Time = t0;
+    out.probe1Time = t1;
+    out.leaked = (r0 == 0 && r1 == 1);
+    return out;
+}
+
+} // namespace
+
+// ===========================================================================
+// Attack 1: Spectre prime-and-probe
+// ===========================================================================
+
+AttackOutcome
+runSpectrePrimeProbe(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "1:spectre-prime-probe";
+    out.scheme = schemeName(s);
+    out.detail = "attacker primes two L1 sets; victim's speculative "
+                 "secret-indexed load evicts from one of them";
+
+    // Victim probe pages: bit b touches the line with L1 set kSet{b}.
+    const Addr probe_pa0 = paddrForSet(5, kSet0);
+    const Addr probe_pa1 = paddrForSet(5, kSet1);
+
+    // Attacker prime lines: fill both ways of each probed set.
+    struct Prime { Addr va; Addr pa; };
+    std::vector<Prime> primes;
+    unsigned page = 0;
+    for (unsigned b = 0; b < 2; ++b) {
+        const unsigned set = b ? kSet1 : kSet0;
+        for (unsigned w = 0; w < kL1Ways; ++w) {
+            primes.push_back({kAPrime + page++ * kPageBytes,
+                              paddrForSet(w, set)});
+        }
+    }
+
+    // Victim gadget.
+    ProgramBuilder vb("victim1");
+    emitBoundsCheck(vb);
+    vb.movi(20, static_cast<std::int64_t>(kArray));
+    vb.load(4, 20, 0, 1, 0);        // r4 = array[r1] (secret when OOB)
+    vb.andi(5, 4, 1);
+    vb.shli(5, 5, 12);              // *4096: selects the probe page
+    vb.movi(22, static_cast<std::int64_t>(kVProbe));
+    vb.load(6, 22, 0, 5, 0);        // touch probe[bit]
+    vb.label("done");
+    vb.halt();
+    const Program victim = vb.take();
+
+    // Attacker prime program.
+    ProgramBuilder ab("prime1");
+    for (const auto &p : primes) {
+        ab.movi(2, static_cast<std::int64_t>(p.va));
+        ab.load(3, 2, 0);
+    }
+    ab.halt();
+    const Program prime = ab.take();
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 1);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        vm.alias(kVictim, kVProbe, pageAlign(probe_pa0), kPageBytes);
+        vm.alias(kVictim, kVProbe + kPageBytes, pageAlign(probe_pa1),
+                 kPageBytes);
+        for (const auto &p : primes)
+            vm.alias(kAttacker, p.va, pageAlign(p.pa), kPageBytes);
+        EvictionPlan ev = makeEvictionPlan(boundChainPaddrs(sys));
+        ev.aliases(vm);
+        setupVictimMemory(sys, secret);
+
+        Core &core = sys.core(0);
+        // 1. Victim trains its own bounds check with in-bounds inputs.
+        runProgram(core, victim, kVictim, 0);
+        for (std::uint64_t i = 8; i < 64; i += 8)
+            runProgram(core, victim, kVictim, i);
+        // 2. Attacker evicts the bound chain and primes the probe sets.
+        switchAndRun(core, ev.program, kAttacker, 0);
+        runProgram(core, prime, kAttacker, 0);
+        // 3. Victim runs on the malicious out-of-bounds input.
+        switchAndRun(core, victim, kVictim,
+                     static_cast<std::uint64_t>(kSecretIndex));
+        // 4. Attacker probes its primed lines; an evicted line marks the
+        //    set the victim's speculative load landed in.
+        ArchContext actx;
+        actx.program = &prime;
+        actx.asid = kAttacker;
+        core.contextSwitch(actx);
+        Cycle t[2] = {0, 0};
+        for (unsigned b = 0; b < 2; ++b) {
+            for (unsigned w = 0; w < kL1Ways; ++w) {
+                const Prime &p = primes[b * kL1Ways + w];
+                t[b] = std::max(t[b], sys.mem().timeProbe(0, kAttacker,
+                                                          p.va));
+            }
+        }
+        times[secret][0] = t[0];
+        times[secret][1] = t[1];
+        // The set with the *slow* (evicted) line reveals the bit.
+        const bool slow0 = t[0] > kFastThreshold;
+        const bool slow1 = t[1] > kFastThreshold;
+        rec[secret] = (slow0 == slow1) ? 255 : (slow1 ? 1 : 0);
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
+// ===========================================================================
+// Attack 2: inclusion-policy attack
+// ===========================================================================
+
+AttackOutcome
+runInclusionPolicyAttack(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "2:inclusion-policy";
+    out.scheme = schemeName(s);
+    out.detail = "victim's speculative fills must not displace "
+                 "attacker-visible L1 state (NINE filter cache)";
+
+    // Victim blasts one L1 set with three speculative fills (more than
+    // the 2-way associativity), selected by the secret bit.
+    struct Page { Addr va; Addr pa; };
+    std::vector<Page> vpages;
+    for (unsigned b = 0; b < 2; ++b) {
+        const unsigned set = b ? kSet1 : kSet0;
+        for (unsigned j = 0; j < 3; ++j)
+            vpages.push_back({kVProbe + (b * 3 + j) * kPageBytes,
+                              paddrForSet(5 + j, set)});
+    }
+    std::vector<Page> primes;
+    unsigned page = 0;
+    for (unsigned b = 0; b < 2; ++b) {
+        const unsigned set = b ? kSet1 : kSet0;
+        for (unsigned w = 0; w < kL1Ways; ++w)
+            primes.push_back({kAPrime + page++ * kPageBytes,
+                              paddrForSet(w, set)});
+    }
+
+    ProgramBuilder vb("victim2");
+    emitBoundsCheck(vb);
+    vb.movi(20, static_cast<std::int64_t>(kArray));
+    vb.load(4, 20, 0, 1, 0);
+    vb.andi(5, 4, 1);
+    // r5 = bit * 3 pages
+    vb.shli(5, 5, 12);
+    vb.mul(5, 5, 26);               // r26 preloaded with 3
+    vb.movi(22, static_cast<std::int64_t>(kVProbe));
+    vb.load(6, 22, 0 * kPageBytes, 5, 0);
+    vb.load(7, 22, 1 * kPageBytes, 5, 0);
+    vb.load(8, 22, 2 * kPageBytes, 5, 0);
+    vb.label("done");
+    vb.halt();
+    Program victim = vb.take();
+    // Preload r26 = 3 before entry: patch by prepending is messy, so put
+    // it in the context registers instead (register 26 survives setup).
+
+    ProgramBuilder ab("prime2");
+    for (const auto &p : primes) {
+        ab.movi(2, static_cast<std::int64_t>(p.va));
+        ab.load(3, 2, 0);
+    }
+    ab.halt();
+    const Program prime = ab.take();
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 1);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        for (const auto &p : vpages)
+            vm.alias(kVictim, p.va, pageAlign(p.pa), kPageBytes);
+        for (const auto &p : primes)
+            vm.alias(kAttacker, p.va, pageAlign(p.pa), kPageBytes);
+        EvictionPlan ev = makeEvictionPlan(boundChainPaddrs(sys));
+        ev.aliases(vm);
+        setupVictimMemory(sys, secret);
+
+        Core &core = sys.core(0);
+        auto run_victim = [&](std::uint64_t r1, bool swtch) {
+            ArchContext ctx;
+            ctx.program = &victim;
+            ctx.asid = kVictim;
+            ctx.regs[1] = r1;
+            ctx.regs[26] = 3;
+            if (swtch)
+                core.contextSwitch(ctx);
+            else
+                core.setContext(ctx);
+            core.run(2'000'000);
+            core.drain();
+        };
+        run_victim(0, false);
+        for (std::uint64_t i = 8; i < 64; i += 8)
+            run_victim(i, false);
+        switchAndRun(core, ev.program, kAttacker, 0);
+        runProgram(core, prime, kAttacker, 0);
+        run_victim(static_cast<std::uint64_t>(kSecretIndex), true);
+        ArchContext actx;
+        actx.program = &prime;
+        actx.asid = kAttacker;
+        core.contextSwitch(actx);
+        Cycle t[2] = {0, 0};
+        for (unsigned b = 0; b < 2; ++b)
+            for (unsigned w = 0; w < kL1Ways; ++w)
+                t[b] = std::max(t[b],
+                                sys.mem().timeProbe(
+                                    0, kAttacker,
+                                    primes[b * kL1Ways + w].va));
+        times[secret][0] = t[0];
+        times[secret][1] = t[1];
+        const bool slow0 = t[0] > kFastThreshold;
+        const bool slow1 = t[1] > kFastThreshold;
+        rec[secret] = (slow0 == slow1) ? 255 : (slow1 ? 1 : 0);
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
+// ===========================================================================
+// Attack 3: shared-data attack (two cores)
+// ===========================================================================
+
+AttackOutcome
+runSharedDataAttack(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "3:shared-data";
+    out.scheme = schemeName(s);
+    out.detail = "victim's speculative load must not demote the "
+                 "attacker's M line (reduced coherency speculation)";
+
+    constexpr Addr shm_pa = kPinBase + (1ull << 37);
+
+    // Victim gadget: speculatively touch SHM + bit*64.
+    ProgramBuilder vb("victim3");
+    emitBoundsCheck(vb);
+    vb.movi(20, static_cast<std::int64_t>(kArray));
+    vb.load(4, 20, 0, 1, 0);
+    vb.andi(5, 4, 1);
+    vb.shli(5, 5, 6);               // *64: line select
+    vb.movi(22, static_cast<std::int64_t>(kShm));
+    vb.load(6, 22, 0, 5, 0);
+    vb.label("done");
+    vb.halt();
+    const Program victim = vb.take();
+
+    // Attacker: own both lines in M.
+    ProgramBuilder ab("owner3");
+    ab.movi(2, static_cast<std::int64_t>(kAShm));
+    ab.movi(3, 0x77);
+    ab.store(3, 2, 0);
+    ab.store(3, 2, 64);
+    ab.halt();
+    const Program owner = ab.take();
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 2);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        vm.alias(kVictim, kShm, shm_pa, kPageBytes);
+        vm.alias(kAttacker, kAShm, shm_pa, kPageBytes);
+        EvictionPlan ev = makeEvictionPlan(boundChainPaddrs(sys));
+        ev.aliases(vm);
+        setupVictimMemory(sys, secret);
+
+        Core &vcore = sys.core(0);
+        Core &acore = sys.core(1);
+
+        // Train the victim on its own core.
+        runProgram(vcore, victim, kVictim, 0);
+        for (std::uint64_t i = 8; i < 64; i += 8)
+            runProgram(vcore, victim, kVictim, i);
+        // The attacker's helper process time-shares the *victim's* core
+        // to evict the bound chain from its L1/L2 (conflict eviction) —
+        // that is what opens the long speculation window.
+        switchAndRun(vcore, ev.program, kAttacker, 0);
+        // Attacker takes M ownership of both shared lines on its core.
+        runProgram(acore, owner, kAttacker, 0);
+        // Victim speculatively touches SHM + bit*64.
+        switchAndRun(vcore, victim, kVictim,
+                     static_cast<std::uint64_t>(kSecretIndex));
+        // Attacker times stores to both lines; a demoted line is slower.
+        const Cycle t0 = sys.mem().timeStoreProbe(1, kAttacker, kAShm);
+        const Cycle t1 = sys.mem().timeStoreProbe(1, kAttacker,
+                                                  kAShm + 64);
+        times[secret][0] = t0;
+        times[secret][1] = t1;
+        rec[secret] = decideBit(/*t0 slow == bit0 */
+                                t1, t0, kFastThreshold) == 255
+                          ? 255
+                          : ((t0 > kFastThreshold) ? 0 : 1);
+        // Simpler: the slow store reveals the bit.
+        const bool slow0 = t0 > kFastThreshold;
+        const bool slow1 = t1 > kFastThreshold;
+        rec[secret] = (slow0 == slow1) ? 255 : (slow1 ? 1 : 0);
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
+// ===========================================================================
+// Attack 4: filter-cache coherency attack (two cores)
+// ===========================================================================
+
+AttackOutcome
+runFilterCacheCoherencyAttack(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "4:filter-coherency";
+    out.scheme = schemeName(s);
+    out.detail = "the victim's speculative copy must be invisible to "
+                 "other cores' load timing (S-only fills + async SE "
+                 "upgrade)";
+
+    constexpr Addr shm_pa = kPinBase + (1ull << 38);
+
+    ProgramBuilder vb("victim4");
+    emitBoundsCheck(vb);
+    vb.movi(20, static_cast<std::int64_t>(kArray));
+    vb.load(4, 20, 0, 1, 0);
+    vb.andi(5, 4, 1);
+    vb.shli(5, 5, 6);
+    vb.movi(22, static_cast<std::int64_t>(kShm));
+    vb.load(6, 22, 0, 5, 0);
+    vb.label("done");
+    vb.halt();
+    const Program victim = vb.take();
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 2);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        vm.alias(kVictim, kShm, shm_pa, kPageBytes);
+        vm.alias(kAttacker, kAShm, shm_pa, kPageBytes);
+        EvictionPlan ev = makeEvictionPlan(boundChainPaddrs(sys));
+        ev.aliases(vm);
+        setupVictimMemory(sys, secret);
+
+        Core &vcore = sys.core(0);
+        Core &acore = sys.core(1);
+
+        runProgram(vcore, victim, kVictim, 0);
+        for (std::uint64_t i = 8; i < 64; i += 8)
+            runProgram(vcore, victim, kVictim, i);
+        // Evict the bound chain from the victim core's caches (helper
+        // process time-shares core 0), opening the speculation window.
+        switchAndRun(vcore, ev.program, kAttacker, 0);
+        (void)acore;
+        // Victim speculatively loads SHM + bit*64 (cold everywhere).
+        switchAndRun(vcore, victim, kVictim,
+                     static_cast<std::uint64_t>(kSecretIndex));
+        // Attacker times plain loads of both lines from its core: under
+        // a leaky design the line the victim touched answers faster
+        // (remote supply / L2 copy).
+        const Cycle t0 = sys.mem().timeProbe(1, kAttacker, kAShm);
+        const Cycle t1 = sys.mem().timeProbe(1, kAttacker, kAShm + 64);
+        times[secret][0] = t0;
+        times[secret][1] = t1;
+        // The benign (bit=0) line is architecturally warmed by the
+        // victim's in-bounds training executions, so the secret is read
+        // off the bit=1 line alone — warm means the speculative access
+        // happened.
+        rec[secret] = (t1 < kOnChipThreshold) ? 1 : 0;
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
+// ===========================================================================
+// Attack 5: prefetcher attack
+// ===========================================================================
+
+AttackOutcome
+runPrefetcherAttack(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "5:prefetcher";
+    out.scheme = schemeName(s);
+    out.detail = "speculative stride training must not install lines the "
+                 "victim never touched (prefetch on commit)";
+
+    constexpr Addr pf_pa = kPinBase + (1ull << 39);
+    constexpr std::uint64_t kRegionGap = 16 * 1024; // bit=1 region offset
+    constexpr std::uint64_t kLoopBytes = 4 * kLineBytes;
+    constexpr std::uint64_t kProbeOff = 5 * kLineBytes; // prefetched line
+
+    // Victim gadget: on the wrong path, loop a same-PC load over 4
+    // sequential lines of the bit-selected region, training the stride
+    // prefetcher (in an unprotected system) to run ahead.
+    ProgramBuilder vb("victim5");
+    emitBoundsCheck(vb);
+    vb.movi(20, static_cast<std::int64_t>(kArray));
+    vb.load(4, 20, 0, 1, 0);
+    vb.andi(5, 4, 1);
+    vb.shli(5, 5, 14);              // *16KiB region select
+    vb.movi(22, static_cast<std::int64_t>(kPfRegion));
+    vb.add(22, 22, 5);
+    vb.movi(7, 0);
+    vb.movi(8, static_cast<std::int64_t>(kLoopBytes));
+    vb.label("loop");
+    vb.load(6, 22, 0, 7, 0);        // same PC every iteration
+    vb.addi(7, 7, kLineBytes);
+    vb.braLt("loop", 7, 8);
+    vb.label("done");
+    vb.halt();
+    const Program victim = vb.take();
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 1);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        // Both 16KiB regions, shared with the attacker.
+        vm.alias(kVictim, kPfRegion, pf_pa, 2 * kRegionGap);
+        vm.alias(kAttacker, kAPf, pf_pa, 2 * kRegionGap);
+        EvictionPlan ev = makeEvictionPlan(boundChainPaddrs(sys));
+        ev.aliases(vm);
+        setupVictimMemory(sys, secret);
+
+        Core &core = sys.core(0);
+        runProgram(core, victim, kVictim, 0);
+        for (std::uint64_t i = 8; i < 64; i += 8)
+            runProgram(core, victim, kVictim, i);
+        switchAndRun(core, ev.program, kAttacker, 0);
+        switchAndRun(core, victim, kVictim,
+                     static_cast<std::uint64_t>(kSecretIndex));
+        // Attacker probes the line *beyond* the victim's touches in each
+        // region: only the prefetcher could have brought it in.
+        ProgramBuilder nb("noop5");
+        nb.halt();
+        const Program noop = nb.take();
+        switchAndRun(core, noop, kAttacker, 0);
+        const Cycle t0 = sys.mem().timeProbe(0, kAttacker,
+                                             kAPf + kProbeOff);
+        const Cycle t1 = sys.mem().timeProbe(0, kAttacker,
+                                             kAPf + kRegionGap
+                                                 + kProbeOff);
+        times[secret][0] = t0;
+        times[secret][1] = t1;
+        // Training architecturally warms the bit=0 region's prefetch
+        // target; the secret is read off the bit=1 region alone.
+        rec[secret] = (t1 < kOnChipThreshold) ? 1 : 0;
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
+// ===========================================================================
+// Attack 6: instruction-cache attack
+// ===========================================================================
+
+AttackOutcome
+runIcacheAttack(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "6:icache";
+    out.scheme = schemeName(s);
+    out.detail = "secret-dependent speculative control flow must not be "
+                 "observable through instruction-cache timing "
+                 "(instruction filter cache)";
+
+    // Victim gadget with two landing pads a page of code apart.
+    ProgramBuilder vb("victim6");
+    emitBoundsCheck(vb);
+    vb.movi(20, static_cast<std::int64_t>(kArray));
+    vb.load(4, 20, 0, 1, 0);
+    vb.andi(5, 4, 1);
+    // target index = gadgetA + bit*1024 (1024 instructions = 1 page)
+    vb.shli(5, 5, 10);
+    vb.movi(7, 0);                   // patched below with gadgetA index
+    const std::uint64_t movi_idx = vb.here() - 1;
+    vb.add(5, 5, 7);
+    vb.jumpReg(5);
+    vb.label("done");
+    vb.halt();
+    // Pad so gadget A starts on a fresh page of code.
+    while (vb.here() % 1024 != 0)
+        vb.nop();
+    const std::uint64_t gadget_a = vb.here();
+    vb.label("gadgetA");
+    for (int i = 0; i < 4; ++i)
+        vb.nop();
+    vb.bra("done");
+    while (vb.here() % 1024 != 0)
+        vb.nop();
+    vb.label("gadgetB");
+    for (int i = 0; i < 4; ++i)
+        vb.nop();
+    vb.bra("done");
+    vb.halt();
+    Program victim = vb.take();
+    victim.ops[movi_idx].imm = static_cast<std::int64_t>(gadget_a);
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 1);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        // The attacker maps the victim's code pages (shared library
+        // scenario) so it can time instruction lines.
+        const Addr ga_va = victim.pcToVaddr(gadget_a);
+        const Addr gb_va = victim.pcToVaddr(gadget_a + 1024);
+        const Addr ga_pa = pageAlign(vm.translate(kVictim, ga_va));
+        const Addr gb_pa = pageAlign(vm.translate(kVictim, gb_va));
+        vm.alias(kAttacker, kACode, ga_pa, kPageBytes);
+        vm.alias(kAttacker, kACode + kPageBytes, gb_pa, kPageBytes);
+        EvictionPlan ev = makeEvictionPlan(boundChainPaddrs(sys));
+        ev.aliases(vm);
+        setupVictimMemory(sys, secret);
+
+        Core &core = sys.core(0);
+        runProgram(core, victim, kVictim, 0);
+        for (std::uint64_t i = 8; i < 64; i += 8)
+            runProgram(core, victim, kVictim, i);
+        switchAndRun(core, ev.program, kAttacker, 0);
+        switchAndRun(core, victim, kVictim,
+                     static_cast<std::uint64_t>(kSecretIndex));
+        ProgramBuilder nb("noop6");
+        nb.halt();
+        const Program noop = nb.take();
+        switchAndRun(core, noop, kAttacker, 0);
+        const Cycle t0 = sys.mem().timeIfetchProbe(
+            0, kAttacker, kACode + (ga_va & (kPageBytes - 1)));
+        const Cycle t1 = sys.mem().timeIfetchProbe(
+            0, kAttacker,
+            kACode + kPageBytes + (gb_va & (kPageBytes - 1)));
+        times[secret][0] = t0;
+        times[secret][1] = t1;
+        // Gadget A is architecturally fetched during training (benign
+        // bit = 0), so the secret is read off gadget B's line alone.
+        rec[secret] = (t1 < kOnChipThreshold) ? 1 : 0;
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
+// ===========================================================================
+// Spectre variant 2: branch-target injection through the shared BTB
+// ===========================================================================
+
+AttackOutcome
+runSpectreBtbInjection(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "v2:btb-injection";
+    out.scheme = schemeName(s);
+    out.detail = "attacker-trained BTB sends the victim's indirect call "
+                 "speculatively into a secret-leaking gadget; the cache "
+                 "channel must stay closed even though the injection "
+                 "itself needs orthogonal BTB isolation";
+
+    constexpr Addr kFnPtrP = 0x56'0000'0000ull; // &fnptr (chase level 0)
+    constexpr Addr kFnPtr = 0x58'0000'0000ull;  // fnptr  (chase level 1)
+    constexpr Addr kSecret = 0x57'0000'0000ull;
+
+    const Addr probe_pa0 = paddrForSet(9, kSet0);
+    const Addr probe_pa1 = paddrForSet(9, kSet1);
+
+    // Victim: load a function pointer and call through it. The gadget
+    // (attacker-chosen speculative target) lives later in the victim's
+    // own code, as v2 gadgets do.
+    ProgramBuilder vb("victim_v2");
+    vb.movi(20, static_cast<std::int64_t>(kFnPtrP));
+    vb.movi(21, static_cast<std::int64_t>(kSecret));
+    vb.movi(22, static_cast<std::int64_t>(kVProbe));
+    // Dependent two-level pointer load: with both lines evicted by the
+    // attacker, target resolution takes two DRAM round trips — a wide
+    // speculation window, as real v2 exploits engineer.
+    vb.load(4, 20, 0);              // r4 = &fnptr
+    vb.load(4, 4, 0);               // r4 = fn index
+    const std::uint64_t jump_pc = vb.here();
+    vb.jumpReg(4);
+    vb.label("benign");
+    vb.movi(5, 1);
+    // The benign path touches *other words* of the secret's and probe
+    // pages (as real victims do), keeping their translations warm so
+    // the gadget's dependent loads fit inside the speculation window.
+    // The measured probe lines themselves are never touched here.
+    vb.load(5, 21, 2048);
+    vb.load(5, 22, 2048);
+    vb.load(5, 22, kPageBytes + 2048);
+    vb.halt();
+    while (vb.here() % 64 != 0)
+        vb.nop();
+    const std::uint64_t gadget_pc = vb.here();
+    vb.label("gadget");
+    vb.load(6, 21, 0);              // secret
+    vb.andi(6, 6, 1);
+    vb.shli(6, 6, 12);
+    vb.load(7, 22, 0, 6, 0);        // probe[bit]
+    vb.halt();
+    Program victim = vb.take();
+    const std::uint64_t benign_pc = jump_pc + 1;
+
+    // Attacker trainer: an indirect jump at the *same PC* whose real
+    // target is the gadget index — the BTB is PC-indexed and not
+    // ASID-tagged, exactly the pre-mitigation hardware v2 needs.
+    ProgramBuilder ab("trainer_v2");
+    ab.movi(4, static_cast<std::int64_t>(gadget_pc));
+    while (ab.here() < jump_pc)
+        ab.nop();
+    ab.jumpReg(4);
+    // The trainer's own program must contain the jump target.
+    while (ab.here() < gadget_pc)
+        ab.nop();
+    ab.movi(5, 2);
+    ab.halt();
+    const Program trainer = ab.take();
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 1);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        vm.alias(kVictim, kVProbe, pageAlign(probe_pa0), kPageBytes);
+        vm.alias(kVictim, kVProbe + kPageBytes, pageAlign(probe_pa1),
+                 kPageBytes);
+        vm.alias(kAttacker, kAPrime, pageAlign(probe_pa0), kPageBytes);
+        vm.alias(kAttacker, kAPrime + kPageBytes, pageAlign(probe_pa1),
+                 kPageBytes);
+        sys.mem().write(kVictim, kFnPtrP, kFnPtr);
+        sys.mem().write(kVictim, kFnPtr, benign_pc);
+        sys.mem().write(kVictim, kSecret, secret);
+        EvictionPlan ev =
+            makeEvictionPlan({vm.translate(kVictim, kFnPtrP),
+                              vm.translate(kVictim, kFnPtr)});
+        ev.aliases(vm);
+
+        Core &core = sys.core(0);
+        // 1. Victim runs normally (BTB learns the benign target).
+        for (int i = 0; i < 4; ++i)
+            runProgram(core, victim, kVictim, 0);
+        // 2. Attacker poisons the BTB entry and evicts the function
+        //    pointer to widen the speculation window.
+        switchAndRun(core, trainer, kAttacker, 0);
+        for (int i = 0; i < 4; ++i)
+            runProgram(core, trainer, kAttacker, 0);
+        runProgram(core, ev.program, kAttacker, 0);
+        // 3. Victim's next call speculates into the gadget.
+        switchAndRun(core, victim, kVictim, 0);
+        // 4. Attacker times the probe lines.
+        ProgramBuilder nb("noop_v2");
+        nb.halt();
+        const Program noop = nb.take();
+        switchAndRun(core, noop, kAttacker, 0);
+        const Cycle t0 = sys.mem().timeProbe(0, kAttacker, kAPrime);
+        const Cycle t1 = sys.mem().timeProbe(0, kAttacker,
+                                             kAPrime + kPageBytes);
+        times[secret][0] = t0;
+        times[secret][1] = t1;
+        rec[secret] = decideBit(t0, t1, kOnChipThreshold);
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
+std::vector<AttackOutcome>
+runAllAttacks(Scheme s)
+{
+    return {
+        runSpectrePrimeProbe(s),
+        runInclusionPolicyAttack(s),
+        runSharedDataAttack(s),
+        runFilterCacheCoherencyAttack(s),
+        runPrefetcherAttack(s),
+        runIcacheAttack(s),
+        runSpectreBtbInjection(s),
+    };
+}
+
+} // namespace mtrap

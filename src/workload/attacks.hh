@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Executable implementations of the paper's six attack vignettes
+ * (attack boxes 1-6). Each attack builds fresh systems, runs the
+ * attacker/victim choreography for secret values 0 and 1, and reports
+ * whether timing measurements recover the secret.
+ *
+ * Under Scheme::Baseline every attack must leak; under Scheme::MuonTrap
+ * every attack must be blocked — the security test suite and the
+ * security_matrix bench assert exactly that.
+ *
+ * Choreography is driven from C++ (prime, run victim gadget, measure)
+ * rather than from a single program, mirroring how the attacks are
+ * described: the attacker controls when the victim runs and measures
+ * with a perfect stopwatch (MemSystem::timeProbe), which only makes the
+ * attacks *easier* — a defence that stops the stopwatch version stops
+ * the noisy-timer version a fortiori.
+ */
+
+#ifndef MTRAP_WORKLOAD_ATTACKS_HH
+#define MTRAP_WORKLOAD_ATTACKS_HH
+
+#include <string>
+#include <vector>
+
+#include "defense/scheme.hh"
+
+namespace mtrap
+{
+
+/** Result of one attack experiment. */
+struct AttackOutcome
+{
+    std::string attack;
+    std::string scheme;
+    /** Secret recovered for both secret=0 and secret=1 runs. */
+    bool leaked = false;
+    /** Recovered bits (255 = indistinguishable). */
+    unsigned recovered0 = 255;
+    unsigned recovered1 = 255;
+    /** Representative probe timings from the secret=1 run. */
+    Cycle probe0Time = 0;
+    Cycle probe1Time = 0;
+    std::string detail;
+};
+
+/**
+ * Every attack takes the scheme to attack and an optional MuonTrap
+ * configuration override (`mt_override`), which replaces the scheme's
+ * memory-side configuration on the Table-1 system. The override is how
+ * the ablation security tests show that each sub-mechanism is load-
+ * bearing: e.g. full MuonTrap minus commit-time prefetching must leak
+ * through attack 5 again.
+ */
+
+/** Attack 1: Spectre prime-and-probe through the data cache. */
+AttackOutcome runSpectrePrimeProbe(Scheme s,
+                                   const MuonTrapConfig *mt_override
+                                       = nullptr);
+
+/** Attack 2: inclusion-policy attack — evicting attacker-visible lines
+ *  from the L1 via speculative fills. */
+AttackOutcome runInclusionPolicyAttack(Scheme s,
+                                       const MuonTrapConfig *mt_override
+                                           = nullptr);
+
+/** Attack 3: shared-data attack — speculatively demoting a remote M/E
+ *  line and timing the owner's next store (two cores). */
+AttackOutcome runSharedDataAttack(Scheme s,
+                                  const MuonTrapConfig *mt_override
+                                      = nullptr);
+
+/** Attack 4: filter-cache coherency attack — observing the victim's
+ *  speculative copy through coherence-grant timing (two cores). */
+AttackOutcome runFilterCacheCoherencyAttack(
+    Scheme s, const MuonTrapConfig *mt_override = nullptr);
+
+/** Attack 5: prefetcher attack — speculative stride training leaking
+ *  through prefetched lines. */
+AttackOutcome runPrefetcherAttack(Scheme s,
+                                  const MuonTrapConfig *mt_override
+                                      = nullptr);
+
+/** Attack 6: instruction-cache attack — secret-dependent speculative
+ *  control flow observed through I-cache timing. */
+AttackOutcome runIcacheAttack(Scheme s,
+                              const MuonTrapConfig *mt_override
+                                  = nullptr);
+
+/**
+ * Spectre variant 2 (branch-target injection, §7.1/§4.9): the attacker
+ * trains the shared BTB so the victim's indirect call speculatively
+ * jumps to a *gadget the attacker chose*, which loads a secret-indexed
+ * probe line. The paper notes BTB isolation (Arm v8.5 / Intel eIBRS) as
+ * the orthogonal fix for the *injection*; MuonTrap's contribution is
+ * that even with a poisoned BTB the cache side *channel* is closed.
+ */
+AttackOutcome runSpectreBtbInjection(Scheme s,
+                                     const MuonTrapConfig *mt_override
+                                         = nullptr);
+
+/** All six paper attacks plus the v2 injection variant, in order. */
+std::vector<AttackOutcome> runAllAttacks(Scheme s);
+
+} // namespace mtrap
+
+#endif // MTRAP_WORKLOAD_ATTACKS_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Parsec-like synthetic multi-threaded profiles (4 threads by default,
+ * matching the paper's Parsec evaluation on 4 cores with simsmall).
+ *
+ * Parameters encode what figures 4/5/6/8 report per benchmark:
+ * streamcluster and freqmine collapse with a tiny filter cache (fig 5);
+ * ferret and streamcluster are the most coherence-sensitive (fig 8);
+ * fluidanimate takes the instruction-filter hit (fig 8); blackscholes /
+ * swaptions are compute-bound and simply enjoy the 1-cycle L0.
+ */
+
+#ifndef MTRAP_WORKLOAD_PARSEC_PROFILES_HH
+#define MTRAP_WORKLOAD_PARSEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/kernels.hh"
+
+namespace mtrap
+{
+
+/** Names of all modelled Parsec benchmarks, figure-4 order. */
+const std::vector<std::string> &parsecBenchmarkNames();
+
+/** Profile for one Parsec-like benchmark (fatal on unknown name). */
+WorkloadProfile parsecProfile(const std::string &name, unsigned threads = 4);
+
+/** Ready-to-run 4-thread workload. */
+Workload buildParsecWorkload(const std::string &name, unsigned threads = 4);
+
+} // namespace mtrap
+
+#endif // MTRAP_WORKLOAD_PARSEC_PROFILES_HH

@@ -1,0 +1,196 @@
+#include "workload/spec_profiles.hh"
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+namespace
+{
+
+struct SpecEntry
+{
+    const char *name;
+    WorkloadProfile profile;
+};
+
+/**
+ * Profile factory. Parameters map to behaviour classes:
+ *  - footprint / hot_kib / hot_pct: working-set size + temporal locality
+ *  - stride_bytes: stream spatial locality (8 = dense, 64*k = stencil)
+ *  - chase_kib: pointer-chase structure size (0 = none used)
+ *  - mlp: independent miss streams
+ *  - code_blocks: instruction footprint
+ */
+WorkloadProfile
+make(const char *name, unsigned stream, unsigned random, unsigned chase,
+     unsigned compute, unsigned branchy, std::uint64_t footprint_kib,
+     unsigned hot_kib, unsigned hot_pct, unsigned stride_bytes,
+     unsigned chase_kib, unsigned mlp, unsigned store_pct,
+     unsigned code_blocks, unsigned branch_random_pct, unsigned fp_pct)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.threads = 1;
+    p.streamOps = stream;
+    p.randomOps = random;
+    p.chaseOps = chase;
+    p.computeOps = compute;
+    p.branchyOps = branchy;
+    p.dataFootprint = footprint_kib * 1024;
+    p.hotBytes = static_cast<std::uint64_t>(hot_kib) * 1024;
+    p.hotPct = hot_pct;
+    p.streamStrideBytes = stride_bytes;
+    p.chaseBytes = static_cast<std::uint64_t>(chase_kib) * 1024;
+    p.mlp = mlp;
+    p.storePct = store_pct;
+    p.codeBlocks = code_blocks;
+    p.branchRandomPct = branch_random_pct;
+    p.fpPct = fp_pct;
+    p.seed = 1000 + static_cast<std::uint64_t>(name[0]) * 13
+             + static_cast<std::uint64_t>(name[1]);
+    return p;
+}
+
+const std::vector<SpecEntry> &
+table()
+{
+    // Columns: stream random chase compute branchy | footprintKiB hotKiB
+    // hot% strideB chaseKiB mlp store% codeBlocks branchRnd% fp%
+    static const std::vector<SpecEntry> t = {
+        // astar: pathfinding — pointer chasing over an L2-sized graph +
+        // hard data-dependent branches; STT suffers on it (§6.3).
+        {"astar", make("astar", 0, 2, 3, 6, 3,
+                       2048, 32, 92, 8, 256, 2, 10, 2, 70, 0)},
+        // bwaves: FP stencil, huge streaming footprint, high MLP —
+        // hurt by the small filter cache (fig 3: spec state evicted
+        // before commit).
+        {"bwaves", make("bwaves", 8, 4, 0, 6, 0,
+                        16384, 64, 75, 64, 0, 6, 20, 1, 0, 60)},
+        // bzip2: mixed integer compression; good locality with a tail.
+        {"bzip2", make("bzip2", 3, 2, 0, 8, 2,
+                       1024, 32, 92, 8, 0, 2, 25, 2, 40, 0)},
+        // cactusADM: stencil whose large stride conflicts in the
+        // low-associativity filter (fig 6 commentary).
+        {"cactusADM", make("cactusADM", 8, 0, 0, 6, 0,
+                           8192, 32, 90, 512, 0, 4, 20, 1, 0, 70)},
+        // calculix: FP compute-bound, small working set.
+        {"calculix", make("calculix", 1, 0, 0, 14, 1,
+                          128, 32, 95, 8, 0, 1, 10, 1, 10, 70)},
+        // gamess: quantum chemistry, almost pure compute.
+        {"gamess", make("gamess", 1, 0, 0, 16, 1,
+                        64, 16, 98, 8, 0, 1, 5, 2, 5, 80)},
+        // gcc: compiler — branchy, medium footprint, large code.
+        {"gcc", make("gcc", 2, 2, 1, 6, 4,
+                     2048, 64, 92, 8, 128, 2, 25, 6, 50, 0)},
+        // GemsFDTD: FP solver, large random footprint, high MLP.
+        {"GemsFDTD", make("GemsFDTD", 4, 5, 0, 6, 0,
+                          1024, 64, 85, 16, 0, 5, 15, 1, 0, 70)},
+        // gobmk: go engine — extremely branchy.
+        {"gobmk", make("gobmk", 1, 1, 1, 6, 6,
+                       512, 32, 92, 8, 128, 1, 15, 4, 70, 0)},
+        // gromacs: MD, compute with streaming.
+        {"gromacs", make("gromacs", 3, 0, 0, 12, 1,
+                         512, 32, 92, 8, 0, 2, 15, 2, 10, 70)},
+        // h264ref: video encode — stream + compute, good locality.
+        {"h264ref", make("h264ref", 4, 1, 0, 10, 2,
+                         256, 64, 94, 8, 0, 2, 30, 3, 30, 20)},
+        // hmmer: profile HMM — small hot loop, very high locality.
+        {"hmmer", make("hmmer", 2, 0, 0, 12, 1,
+                       16, 16, 98, 8, 0, 1, 20, 1, 10, 0)},
+        // lbm: lattice-Boltzmann — dense stream with stores; in-order
+        // prefetch helps it significantly (fig 3/9).
+        {"lbm", make("lbm", 10, 0, 0, 3, 2,
+                     16384, 32, 90, 16, 0, 4, 40, 1, 60, 60)},
+        // leslie3d: stencil streams where prefetch timeliness matters —
+        // commit-time prefetch hurts (fig 9).
+        {"leslie3d", make("leslie3d", 8, 1, 0, 5, 0,
+                          8192, 32, 88, 32, 0, 3, 25, 1, 0, 70)},
+        // libquantum: sequential sweeps over a big vector.
+        {"libquantum", make("libquantum", 9, 0, 0, 4, 1,
+                            8192, 32, 90, 16, 0, 3, 20, 1, 5, 60)},
+        // mcf: pointer-heavy network simplex — dependent L2/DRAM misses.
+        {"mcf", make("mcf", 0, 2, 2, 4, 2,
+                     8192, 64, 90, 8, 2048, 2, 10, 1, 50, 0)},
+        // milc: lattice QCD — random large-footprint FP.
+        {"milc", make("milc", 3, 5, 0, 6, 0,
+                      8192, 64, 85, 16, 0, 4, 20, 1, 0, 70)},
+        // namd: MD compute with a noticeable code footprint (ifcache
+        // penalty in fig 9).
+        {"namd", make("namd", 2, 1, 0, 12, 1,
+                      512, 64, 92, 8, 0, 2, 10, 12, 10, 70)},
+        // omnetpp: discrete-event sim — pointer chasing + the largest
+        // code footprint (instruction filter penalty, fig 3).
+        {"omnetpp", make("omnetpp", 0, 2, 2, 5, 3,
+                         2048, 64, 92, 8, 256, 2, 15, 16, 50, 0)},
+        // povray: ray tracer — small hot data, compute-heavy; *sped up*
+        // by the 1-cycle L0 (fig 3).
+        {"povray", make("povray", 2, 1, 2, 10, 2,
+                        64, 2, 97, 8, 2, 1, 10, 2, 20, 60)},
+        // sjeng: chess — branchy with a code footprint.
+        {"sjeng", make("sjeng", 1, 2, 1, 6, 5,
+                       512, 32, 90, 8, 64, 1, 10, 10, 60, 0)},
+        // soplex: LP solver — mixed stream/random over big matrices.
+        {"soplex", make("soplex", 4, 3, 0, 6, 2,
+                        8192, 64, 88, 16, 0, 3, 20, 2, 30, 40)},
+        // sphinx3: speech — streaming with random lookups.
+        {"sphinx3", make("sphinx3", 5, 3, 0, 6, 1,
+                         2048, 64, 90, 8, 0, 3, 10, 2, 20, 50)},
+        // tonto: quantum chemistry — compute.
+        {"tonto", make("tonto", 1, 1, 0, 14, 1,
+                       256, 32, 95, 8, 0, 1, 10, 3, 10, 70)},
+        // xalancbmk: XML — branchy pointer chasing, big code.
+        {"xalancbmk", make("xalancbmk", 1, 2, 3, 5, 4,
+                           2048, 64, 92, 8, 256, 2, 15, 8, 50, 0)},
+        // zeusmp: CFD — stream + random + stores + code, hurt by "a
+        // combination of all of these factors" (fig 3).
+        {"zeusmp", make("zeusmp", 6, 4, 0, 5, 1,
+                        8192, 32, 85, 128, 0, 4, 30, 8, 20, 60)},
+    };
+    return t;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specBenchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &e : table())
+            v.push_back(e.name);
+        return v;
+    }();
+    return names;
+}
+
+WorkloadProfile
+specProfile(const std::string &name)
+{
+    for (const auto &e : table()) {
+        if (name != e.name)
+            continue;
+        WorkloadProfile p = e.profile;
+        // Indirect (pointer-table + dereference) traffic for the
+        // graph/container benchmarks: the access pattern whose MLP
+        // load-restricting schemes destroy (paper §6.3).
+        if (name == "astar")
+            p.indirectOps = 3;
+        else if (name == "omnetpp" || name == "xalancbmk")
+            p.indirectOps = 3;
+        else if (name == "mcf")
+            p.indirectOps = 2;
+        else if (name == "gcc" || name == "soplex")
+            p.indirectOps = 1;
+        return p;
+    }
+    fatal("unknown SPEC profile '%s'", name.c_str());
+}
+
+Workload
+buildSpecWorkload(const std::string &name)
+{
+    return buildWorkload(specProfile(name));
+}
+
+} // namespace mtrap

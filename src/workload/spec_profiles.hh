@@ -1,0 +1,35 @@
+/**
+ * @file
+ * SPEC CPU2006-like synthetic profiles (single-threaded).
+ *
+ * Each profile's parameters encode the behaviour class the paper's
+ * evaluation attributes to that benchmark (figure 3/7/9 commentary):
+ * e.g. bwaves is hurt by the small filter-cache size, cactusADM by its
+ * low associativity, leslie3d/libquantum by delayed commit-time
+ * prefetching, omnetpp by the instruction filter cache, povray/lbm are
+ * sped up. See DESIGN.md §5 for the substitution rationale.
+ */
+
+#ifndef MTRAP_WORKLOAD_SPEC_PROFILES_HH
+#define MTRAP_WORKLOAD_SPEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/kernels.hh"
+
+namespace mtrap
+{
+
+/** Names of all modelled SPEC CPU2006 benchmarks, figure-3 order. */
+const std::vector<std::string> &specBenchmarkNames();
+
+/** Profile for one SPEC-like benchmark (fatal on unknown name). */
+WorkloadProfile specProfile(const std::string &name);
+
+/** Ready-to-run workload for one SPEC-like benchmark. */
+Workload buildSpecWorkload(const std::string &name);
+
+} // namespace mtrap
+
+#endif // MTRAP_WORKLOAD_SPEC_PROFILES_HH

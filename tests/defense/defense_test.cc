@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the comparator defence models: the STT taint tracker
+ * semantics, the InvisiSpec speculative buffer, scheme descriptors, and
+ * end-to-end timing effects of STT/InvisiSpec on the core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "defense/invisispec.hh"
+#include "defense/scheme.hh"
+#include "defense/stt.hh"
+#include "sim/runner.hh"
+#include "workload/spec_profiles.hh"
+
+namespace mtrap
+{
+namespace
+{
+
+// --- TaintTracker -------------------------------------------------------------
+
+TEST(TaintTracker, LoadTaintsDestination)
+{
+    TaintTracker t(SttVariant::Spectre);
+    t.loadProduced(3, 100);
+    EXPECT_TRUE(t.isTainted(3, 50));
+    EXPECT_FALSE(t.isTainted(3, 100));
+    EXPECT_EQ(t.taintClears(3), 100u);
+}
+
+TEST(TaintTracker, AluPropagatesMaxOfSources)
+{
+    TaintTracker t(SttVariant::Spectre);
+    t.loadProduced(3, 100);
+    t.loadProduced(4, 200);
+    t.aluProduced(5, 3, 4);
+    EXPECT_EQ(t.taintClears(5), 200u);
+}
+
+TEST(TaintTracker, UntaintedSourcesGiveUntaintedDest)
+{
+    TaintTracker t(SttVariant::Future);
+    t.aluProduced(5, 1, 2);
+    EXPECT_FALSE(t.isTainted(5, 0));
+}
+
+TEST(TaintTracker, OverwriteClearsOldTaint)
+{
+    TaintTracker t(SttVariant::Spectre);
+    t.loadProduced(3, 1000);
+    t.aluProduced(3, 1, 2); // untainted sources overwrite r3
+    EXPECT_FALSE(t.isTainted(3, 0));
+}
+
+TEST(TaintTracker, TransmitterReadyIsMaxOfOperands)
+{
+    TaintTracker t(SttVariant::Spectre);
+    t.loadProduced(3, 150);
+    EXPECT_EQ(t.transmitterReady(3, kNoReg), 150u);
+    EXPECT_EQ(t.transmitterReady(kNoReg, 3), 150u);
+    EXPECT_EQ(t.transmitterReady(1, 2), 0u);
+}
+
+TEST(TaintTracker, SnapshotRestore)
+{
+    TaintTracker t(SttVariant::Spectre);
+    t.loadProduced(3, 100);
+    const auto snap = t.snapshot();
+    t.loadProduced(3, 999);
+    t.restore(snap);
+    EXPECT_EQ(t.taintClears(3), 100u);
+}
+
+TEST(TaintTracker, ClearAllUntaints)
+{
+    TaintTracker t(SttVariant::Future);
+    t.loadProduced(3, 100);
+    t.clearAll();
+    EXPECT_FALSE(t.isTainted(3, 0));
+}
+
+// --- SpecBuffer ------------------------------------------------------------------
+
+TEST(SpecBuffer, AllocateAndRelease)
+{
+    StatGroup g("g");
+    SpecBuffer sb(SpecBufferParams{4}, 0, &g);
+    EXPECT_EQ(sb.allocate(0x1000, 0), 0u);
+    EXPECT_TRUE(sb.holdsWord(0x1000));
+    sb.release(0x1000);
+    EXPECT_FALSE(sb.holdsWord(0x1000));
+}
+
+TEST(SpecBuffer, FullBufferStalls)
+{
+    StatGroup g("g");
+    SpecBuffer sb(SpecBufferParams{2}, 0, &g);
+    sb.allocate(0x1000, 0);
+    sb.allocate(0x2000, 0);
+    EXPECT_GT(sb.allocate(0x3000, 0), 0u);
+    EXPECT_EQ(sb.fullStalls.value(), 1u);
+    EXPECT_EQ(sb.occupancy(), 2u);
+}
+
+TEST(SpecBuffer, WordGranularityNoLineReuse)
+{
+    // The §6.2 contrast: InvisiSpec's buffer is word-sized, so a
+    // different word of the same line is a miss.
+    StatGroup g("g");
+    SpecBuffer sb(SpecBufferParams{8}, 0, &g);
+    sb.allocate(0x1000, 0);
+    sb.allocate(0x1008, 0); // same line, next word
+    EXPECT_EQ(sb.wordHits.value(), 0u);
+    EXPECT_EQ(sb.lineMissesWordGranularity.value(), 1u);
+    sb.allocate(0x1000, 0); // exact word again
+    EXPECT_EQ(sb.wordHits.value(), 1u);
+}
+
+TEST(SpecBuffer, ClearEmptiesEverything)
+{
+    StatGroup g("g");
+    SpecBuffer sb(SpecBufferParams{8}, 0, &g);
+    sb.allocate(0x1000, 0);
+    sb.allocate(0x2000, 0);
+    sb.clear();
+    EXPECT_EQ(sb.occupancy(), 0u);
+}
+
+// --- scheme descriptors -------------------------------------------------------------
+
+TEST(Scheme, NamesRoundTripThroughParse)
+{
+    for (Scheme s : allSchemes())
+        EXPECT_EQ(parseScheme(schemeName(s)), s);
+}
+
+TEST(Scheme, ParseIsCaseAndSeparatorInsensitive)
+{
+    EXPECT_EQ(parseScheme("muontrap"), Scheme::MuonTrap);
+    EXPECT_EQ(parseScheme("invisispec_spectre"),
+              Scheme::InvisiSpecSpectre);
+    EXPECT_EQ(parseScheme("STT-FUTURE"), Scheme::SttFuture);
+}
+
+TEST(Scheme, CoreDefenseMapping)
+{
+    EXPECT_EQ(schemeCoreDefense(Scheme::Baseline), CoreDefense::None);
+    EXPECT_EQ(schemeCoreDefense(Scheme::MuonTrap), CoreDefense::None);
+    EXPECT_EQ(schemeCoreDefense(Scheme::SttSpectre),
+              CoreDefense::SttSpectre);
+    EXPECT_EQ(schemeCoreDefense(Scheme::InvisiSpecFuture),
+              CoreDefense::InvisiSpecFuture);
+}
+
+TEST(Scheme, MtConfigMapping)
+{
+    EXPECT_FALSE(schemeMtConfig(Scheme::Baseline).enabled);
+    EXPECT_TRUE(schemeMtConfig(Scheme::MuonTrap).protectData);
+    EXPECT_FALSE(schemeMtConfig(Scheme::InsecureL0).protectData);
+    EXPECT_TRUE(schemeMtConfig(Scheme::InsecureL0).enabled);
+    EXPECT_TRUE(schemeMtConfig(Scheme::MuonTrapClearMisspec)
+                    .clearOnMisspec);
+    EXPECT_TRUE(schemeMtConfig(Scheme::MuonTrapParallel).parallelL0L1);
+    EXPECT_FALSE(schemeMtConfig(Scheme::SttSpectre).enabled);
+}
+
+// --- end-to-end timing effects -----------------------------------------------------
+
+TEST(DefenseTiming, SttSlowsPointerChasingMoreThanCompute)
+{
+    // STT delays address-dependent loads; a pointer-chase-heavy profile
+    // must suffer more than a compute profile (the §6.3 observation).
+    RunOptions opt;
+    opt.warmupInstructions = 5'000;
+    opt.measureInstructions = 20'000;
+
+    const Workload chase = buildSpecWorkload("mcf");      // chase heavy
+    const Workload compute = buildSpecWorkload("gamess"); // compute
+
+    const double chase_norm =
+        normalizedTime(runScheme(chase, Scheme::SttFuture, opt),
+                       runScheme(chase, Scheme::Baseline, opt));
+    const double compute_norm =
+        normalizedTime(runScheme(compute, Scheme::SttFuture, opt),
+                       runScheme(compute, Scheme::Baseline, opt));
+    EXPECT_GT(chase_norm, compute_norm);
+    EXPECT_GT(chase_norm, 1.02);
+}
+
+TEST(DefenseTiming, InvisiSpecExposuresHappen)
+{
+    RunOptions opt;
+    opt.warmupInstructions = 2'000;
+    opt.measureInstructions = 10'000;
+    const Workload w = buildSpecWorkload("gobmk"); // branchy -> spec loads
+    RunOutput out = runConfigured(
+        w, SystemConfig::forScheme(Scheme::InvisiSpecSpectre, 1), opt,
+        "is");
+    EXPECT_GT(out.system->core(0).exposures.value(), 0u);
+    EXPECT_GT(out.system->mem().probes.value(), 0u);
+}
+
+TEST(DefenseTiming, InvisiSpecFutureSlowerThanSpectreVariant)
+{
+    RunOptions opt;
+    opt.warmupInstructions = 5'000;
+    opt.measureInstructions = 20'000;
+    const Workload w = buildSpecWorkload("mcf");
+    const RunResult base = runScheme(w, Scheme::Baseline, opt);
+    const double sp = normalizedTime(
+        runScheme(w, Scheme::InvisiSpecSpectre, opt), base);
+    const double fu = normalizedTime(
+        runScheme(w, Scheme::InvisiSpecFuture, opt), base);
+    EXPECT_GE(fu, sp * 0.98)
+        << "the Future variant exposes at commit and must not be "
+           "meaningfully faster than the Spectre variant";
+}
+
+TEST(DefenseTiming, SttFutureAtLeastAsSlowAsSttSpectre)
+{
+    RunOptions opt;
+    opt.warmupInstructions = 5'000;
+    opt.measureInstructions = 20'000;
+    const Workload w = buildSpecWorkload("astar");
+    const RunResult base = runScheme(w, Scheme::Baseline, opt);
+    const double sp =
+        normalizedTime(runScheme(w, Scheme::SttSpectre, opt), base);
+    const double fu =
+        normalizedTime(runScheme(w, Scheme::SttFuture, opt), base);
+    EXPECT_GE(fu, sp * 0.98);
+}
+
+} // namespace
+} // namespace mtrap

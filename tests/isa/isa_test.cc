@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the micro-ISA and the program builder: encoding,
+ * label fixups, disassembly and op classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace mtrap
+{
+namespace
+{
+
+TEST(MicroOp, Classification)
+{
+    MicroOp ld;
+    ld.type = OpType::Load;
+    EXPECT_TRUE(ld.isMem());
+    EXPECT_FALSE(ld.isCtrl());
+    EXPECT_FALSE(ld.isSerializing());
+
+    MicroOp br;
+    br.type = OpType::Branch;
+    EXPECT_TRUE(br.isCtrl());
+    EXPECT_FALSE(br.isMem());
+
+    MicroOp sc;
+    sc.type = OpType::Syscall;
+    EXPECT_TRUE(sc.isSerializing());
+
+    MicroOp halt;
+    halt.type = OpType::Halt;
+    EXPECT_TRUE(halt.isSerializing());
+}
+
+TEST(MicroOp, LatenciesOrdered)
+{
+    EXPECT_LT(opLatency(OpType::IntAlu), opLatency(OpType::IntMul));
+    EXPECT_LT(opLatency(OpType::IntMul), opLatency(OpType::IntDiv));
+    EXPECT_GE(opLatency(OpType::Syscall), 10u);
+}
+
+TEST(MicroOp, DisassembleMentionsOperands)
+{
+    MicroOp op;
+    op.type = OpType::Load;
+    op.dst = 4;
+    op.base = 10;
+    op.imm = 16;
+    op.index = 2;
+    op.scale = 3;
+    const std::string d = op.disassemble();
+    EXPECT_NE(d.find("r4"), std::string::npos);
+    EXPECT_NE(d.find("r10"), std::string::npos);
+    EXPECT_NE(d.find("16"), std::string::npos);
+}
+
+TEST(ProgramBuilder, EmitsInOrder)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 5);
+    b.addi(2, 1, 3);
+    b.halt();
+    Program p = b.take();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.ops[0].type, OpType::IntAlu);
+    EXPECT_EQ(p.ops[0].alu, AluOp::MovImm);
+    EXPECT_EQ(p.ops[2].type, OpType::Halt);
+}
+
+TEST(ProgramBuilder, BackwardBranchFixup)
+{
+    ProgramBuilder b("p");
+    b.movi(1, 0);              // 0
+    b.label("top");            // -> 1
+    b.addi(1, 1, 1);           // 1
+    b.braLt("top", 1, 2);      // 2: displacement 1 - 2 = -1
+    b.halt();
+    Program p = b.take();
+    EXPECT_EQ(p.ops[2].imm, -1);
+}
+
+TEST(ProgramBuilder, ForwardBranchFixup)
+{
+    ProgramBuilder b("p");
+    b.braEq("skip", 1, 2);     // 0: forward to 2 -> +2
+    b.nop();                   // 1
+    b.label("skip");
+    b.halt();                  // 2
+    Program p = b.take();
+    EXPECT_EQ(p.ops[0].imm, 2);
+}
+
+TEST(ProgramBuilder, CallUsesAbsoluteTarget)
+{
+    ProgramBuilder b("p");
+    b.call("fn");              // 0
+    b.halt();                  // 1
+    b.label("fn");
+    b.ret();                   // 2
+    Program p = b.take();
+    EXPECT_EQ(p.ops[0].imm, 2);
+}
+
+TEST(ProgramBuilder, DuplicateLabelFatal)
+{
+    ProgramBuilder b("p");
+    b.label("x");
+    EXPECT_EXIT(b.label("x"), ::testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(ProgramBuilder, UnknownLabelFatal)
+{
+    ProgramBuilder b("p");
+    b.bra("nowhere");
+    b.halt();
+    EXPECT_EXIT(b.take(), ::testing::ExitedWithCode(1), "unknown label");
+}
+
+TEST(ProgramBuilder, HereTracksPosition)
+{
+    ProgramBuilder b("p");
+    EXPECT_EQ(b.here(), 0u);
+    b.nop();
+    b.nop();
+    EXPECT_EQ(b.here(), 2u);
+}
+
+TEST(Program, PcToVaddr)
+{
+    Program p;
+    p.codeBase = 0x400000;
+    EXPECT_EQ(p.pcToVaddr(0), 0x400000u);
+    EXPECT_EQ(p.pcToVaddr(16), 0x400040u); // 16 instrs = one 64B line
+}
+
+TEST(ProgramBuilder, MemOperandEncoding)
+{
+    ProgramBuilder b("p");
+    b.load(3, 10, 0x40, 5, 2);
+    b.store(4, 11, -8);
+    b.halt();
+    Program p = b.take();
+    EXPECT_EQ(p.ops[0].base, 10);
+    EXPECT_EQ(p.ops[0].index, 5);
+    EXPECT_EQ(p.ops[0].scale, 2);
+    EXPECT_EQ(p.ops[0].imm, 0x40);
+    EXPECT_EQ(p.ops[1].src1, 4);
+    EXPECT_EQ(p.ops[1].imm, -8);
+    EXPECT_EQ(p.ops[1].index, kNoReg);
+}
+
+} // namespace
+} // namespace mtrap

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the main-memory model: functional store semantics and
+ * the row-buffer timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+namespace mtrap
+{
+namespace
+{
+
+TEST(Memory, UnwrittenReadsDeterministicNonzeroHash)
+{
+    StatGroup g("g");
+    MainMemory m(MemoryParams{}, &g);
+    const std::uint64_t v1 = m.read(0x1000);
+    const std::uint64_t v2 = m.read(0x1000);
+    EXPECT_EQ(v1, v2);
+    EXPECT_NE(v1, 0u);
+    EXPECT_NE(m.read(0x1000), m.read(0x1008));
+}
+
+TEST(Memory, WriteThenRead)
+{
+    StatGroup g("g");
+    MainMemory m(MemoryParams{}, &g);
+    m.write(0x2000, 42);
+    EXPECT_EQ(m.read(0x2000), 42u);
+    EXPECT_EQ(m.footprintWords(), 1u);
+}
+
+TEST(Memory, WordGranularity)
+{
+    StatGroup g("g");
+    MainMemory m(MemoryParams{}, &g);
+    m.write(0x2004, 7); // unaligned address maps to its word
+    EXPECT_EQ(m.read(0x2000), 7u);
+    EXPECT_EQ(m.read(0x2007), 7u);
+}
+
+TEST(Memory, RowBufferHitFasterThanMiss)
+{
+    StatGroup g("g");
+    MainMemory m(MemoryParams{}, &g);
+    Access a;
+    a.paddr = 0x10000;
+    const Cycle first = m.access(a);   // row miss
+    const Cycle second = m.access(a);  // row hit
+    EXPECT_GT(first, second);
+    EXPECT_EQ(m.rowMisses.value(), 1u);
+    EXPECT_EQ(m.rowHits.value(), 1u);
+}
+
+TEST(Memory, DifferentRowsConflict)
+{
+    StatGroup g("g");
+    MemoryParams p;
+    MainMemory m(p, &g);
+    Access a, b;
+    a.paddr = 0x10000;
+    // Same bank, different row: banks stride by rowBytes.
+    b.paddr = 0x10000 + p.rowBytes * p.banks;
+    m.access(a);
+    const Cycle t = m.access(b);
+    EXPECT_EQ(t, p.rowMissLatency);
+}
+
+TEST(Memory, IndependentBanksBothOpen)
+{
+    StatGroup g("g");
+    MemoryParams p;
+    MainMemory m(p, &g);
+    Access a, b;
+    a.paddr = 0;
+    b.paddr = p.rowBytes; // next bank
+    m.access(a);
+    m.access(b);
+    EXPECT_EQ(m.access(a), p.rowHitLatency);
+    EXPECT_EQ(m.access(b), p.rowHitLatency);
+}
+
+TEST(Memory, WritesCounted)
+{
+    StatGroup g("g");
+    MainMemory m(MemoryParams{}, &g);
+    Access a;
+    a.paddr = 0x100;
+    a.kind = AccessKind::Store;
+    m.access(a);
+    EXPECT_EQ(m.writes.value(), 1u);
+    EXPECT_EQ(m.reads.value(), 0u);
+}
+
+TEST(Memory, AccessKindNames)
+{
+    EXPECT_STREQ(accessKindName(AccessKind::Load), "load");
+    EXPECT_STREQ(accessKindName(AccessKind::Prefetch), "prefetch");
+}
+
+} // namespace
+} // namespace mtrap

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the JSON statistics writer and the StatGroup visitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/json_stats.hh"
+
+namespace mtrap
+{
+namespace
+{
+
+TEST(JsonEscape, HandlesSpecials)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+}
+
+TEST(StatGroupVisit, WalksSubtreeWithPaths)
+{
+    StatGroup root("sys");
+    StatGroup child("l1", &root);
+    Counter a(&root, "a", "");
+    Counter b(&child, "b", "");
+    a += 3;
+    b += 4;
+
+    std::vector<std::string> paths;
+    root.visit([&paths](const std::string &p, const StatBase &) {
+        paths.push_back(p);
+    });
+    ASSERT_EQ(paths.size(), 2u);
+    EXPECT_EQ(paths[0], "sys.a");
+    EXPECT_EQ(paths[1], "sys.l1.b");
+}
+
+TEST(DumpStatsJson, EmitsValidLookingObject)
+{
+    StatGroup root("sys");
+    Counter c(&root, "count", "");
+    c += 42;
+    Average avg(&root, "avg", "");
+    avg.sample(2.0);
+
+    std::ostringstream os;
+    dumpStatsJson(root, os);
+    const std::string s = os.str();
+    EXPECT_EQ(s.front(), '{');
+    EXPECT_NE(s.find("\"sys.count\": \"42\""), std::string::npos);
+    EXPECT_NE(s.find("\"sys.avg\""), std::string::npos);
+    // Exactly one comma between the two entries.
+    EXPECT_EQ(std::count(s.begin(), s.end(), ','), 1);
+}
+
+TEST(DumpStatsJson, EmptyGroupStillValid)
+{
+    StatGroup root("sys");
+    std::ostringstream os;
+    dumpStatsJson(root, os);
+    EXPECT_NE(os.str().find("{"), std::string::npos);
+    EXPECT_NE(os.str().find("}"), std::string::npos);
+}
+
+TEST(DumpRunResultJson, ContainsAllFields)
+{
+    RunResult r;
+    r.workload = "mcf";
+    r.configName = "MuonTrap";
+    r.cycles = 1234;
+    r.instructionsPerCore = 1000;
+    r.ipc = 0.81;
+    std::ostringstream os;
+    dumpRunResultJson(r, os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"workload\": \"mcf\""), std::string::npos);
+    EXPECT_NE(s.find("\"cycles\": 1234"), std::string::npos);
+    EXPECT_NE(s.find("\"ipc\": 0.81"), std::string::npos);
+}
+
+} // namespace
+} // namespace mtrap

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the memory system walks: the central MuonTrap
+ * invariants (speculative state confined to filter structures),
+ * commit-time write-through, SE upgrades, TLB filtering, probes, and
+ * the baseline/insecure-L0 behaviours they contrast with.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/mem_system.hh"
+
+namespace mtrap
+{
+namespace
+{
+
+struct Rig
+{
+    explicit Rig(MuonTrapConfig mt = MuonTrapConfig::full(),
+                 unsigned cores = 1)
+        : root("rig")
+    {
+        MemSystemParams p;
+        p.cores = cores;
+        p.mt = mt;
+        ms = std::make_unique<MemSystem>(p, &root);
+    }
+
+    StatGroup root;
+    std::unique_ptr<MemSystem> ms;
+};
+
+constexpr Asid kA = 1;
+constexpr Addr kV = 0x12345000;
+
+TEST(MemSysMuonTrap, SpeculativeMissFillsFilterOnly)
+{
+    Rig rig;
+    DataAccessResult r = rig.ms->dataAccess(0, kA, kV, 0x10, false,
+                                            /*speculative=*/true, 0);
+    EXPECT_FALSE(r.nacked);
+    const Addr paddr = rig.ms->addressSpace().translate(kA, kV);
+    EXPECT_TRUE(rig.ms->muontrap(0).dataFilter()->presentValid(paddr));
+    EXPECT_EQ(rig.ms->l1d(0).peek(paddr), nullptr)
+        << "speculative data must not reach the L1";
+    EXPECT_EQ(rig.ms->l2().peek(paddr), nullptr)
+        << "speculative data must not reach the L2";
+    // The filter line is uncommitted and Shared.
+    CacheLine *l = rig.ms->muontrap(0).dataFilter()->lookupVirt(kA, kV,
+                                                                paddr);
+    ASSERT_NE(l, nullptr);
+    EXPECT_FALSE(l->committed);
+    EXPECT_EQ(l->state, CoherState::Shared);
+}
+
+TEST(MemSysMuonTrap, CommitWritesThroughToL1AndL2)
+{
+    Rig rig;
+    DataAccessResult r = rig.ms->dataAccess(0, kA, kV, 0x10, false, true,
+                                            0);
+    rig.ms->commitData(0, kA, kV, 0x10, false, r.tlbMiss, 100);
+    const Addr paddr = rig.ms->addressSpace().translate(kA, kV);
+    EXPECT_NE(rig.ms->l1d(0).peek(paddr), nullptr);
+    EXPECT_NE(rig.ms->l2().peek(paddr), nullptr);
+    CacheLine *l = rig.ms->muontrap(0).dataFilter()->lookupVirt(kA, kV,
+                                                                paddr);
+    ASSERT_NE(l, nullptr);
+    EXPECT_TRUE(l->committed);
+    EXPECT_GE(rig.ms->commitWriteThroughs.value(), 1u);
+}
+
+TEST(MemSysMuonTrap, SeUpgradePromotesL1ToExclusive)
+{
+    Rig rig;
+    // Cold speculative load: no other holder, so the line is SE.
+    DataAccessResult r = rig.ms->dataAccess(0, kA, kV, 0x10, false, true,
+                                            0);
+    const Addr paddr = rig.ms->addressSpace().translate(kA, kV);
+    CacheLine *fl = rig.ms->muontrap(0).dataFilter()->lookupVirt(kA, kV,
+                                                                 paddr);
+    ASSERT_NE(fl, nullptr);
+    EXPECT_TRUE(fl->sePending);
+    rig.ms->commitData(0, kA, kV, 0x10, false, r.tlbMiss, 100);
+    ASSERT_NE(rig.ms->l1d(0).peek(paddr), nullptr);
+    EXPECT_EQ(rig.ms->l1d(0).peek(paddr)->state, CoherState::Exclusive)
+        << "the SE pseudo-state upgrades to E at commit";
+    EXPECT_FALSE(fl->sePending);
+    EXPECT_GE(rig.ms->seUpgradeRequests.value(), 1u);
+}
+
+TEST(MemSysMuonTrap, EvictedBeforeCommitRefetchedIntoL1)
+{
+    Rig rig;
+    // Blow the tiny filter with conflicting speculative fills, then
+    // commit the first one.
+    DataAccessResult r0 = rig.ms->dataAccess(0, kA, kV, 0x10, false, true,
+                                             0);
+    for (unsigned i = 1; i <= 8; ++i) {
+        // Same filter set: stride = filter size (2KiB) keeps the index.
+        rig.ms->dataAccess(0, kA, kV + i * 2048, 0x10, false, true, 0);
+    }
+    const Addr paddr = rig.ms->addressSpace().translate(kA, kV);
+    EXPECT_FALSE(rig.ms->muontrap(0).dataFilter()->presentValid(paddr));
+    rig.ms->commitData(0, kA, kV, 0x10, false, r0.tlbMiss, 100);
+    EXPECT_NE(rig.ms->l1d(0).peek(paddr), nullptr)
+        << "a committed access must appear in the L1 even if its filter "
+           "line was evicted (§4.2)";
+    EXPECT_GE(rig.ms->recommitFetches.value(), 1u);
+}
+
+TEST(MemSysMuonTrap, FilterHitDoesNotTouchL1Replacement)
+{
+    Rig rig;
+    // Fill L1 set with two committed lines A and B (2-way).
+    const Addr a = 0x100000, b = a + 512 * 64; // same L1 set
+    DataAccessResult ra = rig.ms->dataAccess(0, kA, a, 1, false, true, 0);
+    rig.ms->commitData(0, kA, a, 1, false, ra.tlbMiss, 10);
+    DataAccessResult rb = rig.ms->dataAccess(0, kA, b, 2, false, true, 20);
+    rig.ms->commitData(0, kA, b, 2, false, rb.tlbMiss, 30);
+    // Speculatively hit A via its L1 copy repeatedly (filter was flushed
+    // first so the hit goes to the L1).
+    rig.ms->muontrap(0).flush(FlushReason::Explicit);
+    for (int i = 0; i < 10; ++i)
+        rig.ms->dataAccess(0, kA, a, 3, false, true, 40 + i);
+    // Now fill a third line in the set *committed*: the LRU victim must
+    // not have been biased by the speculative hits on A.
+    const Addr pa = rig.ms->addressSpace().translate(kA, a);
+    ASSERT_NE(rig.ms->l1d(0).peek(pa), nullptr);
+}
+
+TEST(MemSysMuonTrap, StoreCommitGetsModifiedAndCountsUpgrade)
+{
+    Rig rig;
+    DataAccessResult r = rig.ms->dataAccess(0, kA, kV, 0x10, true, true,
+                                            0);
+    rig.ms->commitData(0, kA, kV, 0x10, true, r.tlbMiss, 100);
+    const Addr paddr = rig.ms->addressSpace().translate(kA, kV);
+    ASSERT_NE(rig.ms->l1d(0).peek(paddr), nullptr);
+    EXPECT_EQ(rig.ms->l1d(0).peek(paddr)->state, CoherState::Modified);
+    EXPECT_EQ(rig.ms->bus().storeUpgrades.value(), 1u);
+}
+
+TEST(MemSysMuonTrap, SpeculativeTranslationGoesToFilterTlb)
+{
+    Rig rig;
+    rig.ms->dataAccess(0, kA, kV, 0x10, false, true, 0);
+    EXPECT_EQ(rig.ms->dtlb(0).validCount(), 0u)
+        << "speculative walks must not install into the main TLB";
+    EXPECT_EQ(rig.ms->muontrap(0).filterTlb()->validCount(), 1u);
+}
+
+TEST(MemSysMuonTrap, CommitPromotesTranslation)
+{
+    Rig rig;
+    DataAccessResult r = rig.ms->dataAccess(0, kA, kV, 0x10, false, true,
+                                            0);
+    EXPECT_TRUE(r.tlbMiss);
+    rig.ms->commitData(0, kA, kV, 0x10, false, r.tlbMiss, 100);
+    EXPECT_EQ(rig.ms->dtlb(0).validCount(), 1u);
+}
+
+TEST(MemSysMuonTrap, ContextSwitchClearsFilterStructures)
+{
+    Rig rig;
+    rig.ms->dataAccess(0, kA, kV, 0x10, false, true, 0);
+    rig.ms->ifetchAccess(0, kA, 0x400000, 0);
+    rig.ms->onContextSwitch(0, 50);
+    EXPECT_EQ(rig.ms->muontrap(0).dataFilter()->validLineCount(), 0u);
+    EXPECT_EQ(rig.ms->muontrap(0).instFilter()->validLineCount(), 0u);
+    EXPECT_EQ(rig.ms->muontrap(0).filterTlb()->validCount(), 0u);
+}
+
+TEST(MemSysMuonTrap, IfetchSpeculativeStaysInInstFilter)
+{
+    Rig rig;
+    const Addr code = 0x400000;
+    rig.ms->ifetchAccess(0, kA, code, 0);
+    const Addr paddr = rig.ms->addressSpace().translate(kA, code);
+    EXPECT_TRUE(rig.ms->muontrap(0).instFilter()->presentValid(paddr));
+    EXPECT_EQ(rig.ms->l1i(0).peek(paddr), nullptr);
+    rig.ms->commitIfetch(0, kA, code, 100);
+    EXPECT_NE(rig.ms->l1i(0).peek(paddr), nullptr)
+        << "committed instruction lines propagate to the L1I";
+}
+
+TEST(MemSysMuonTrap, FilterHitFasterThanL1Hit)
+{
+    Rig rig;
+    DataAccessResult miss = rig.ms->dataAccess(0, kA, kV, 1, false, true,
+                                               0);
+    DataAccessResult hit = rig.ms->dataAccess(0, kA, kV, 1, false, true,
+                                              10);
+    EXPECT_LT(hit.latency, miss.latency);
+    EXPECT_EQ(hit.serviceLevel, 0u);
+    EXPECT_EQ(hit.latency, 1u) << "filter hits are 1 cycle (+0 TLB)";
+}
+
+TEST(MemSysMuonTrap, SerialL0AddsLatencyToL1Hit)
+{
+    // Commit a line into L1, flush the filter, and compare serial vs
+    // parallel lookup latency for the L1 hit.
+    Rig serial;
+    DataAccessResult r = serial.ms->dataAccess(0, kA, kV, 1, false, true,
+                                               0);
+    serial.ms->commitData(0, kA, kV, 1, false, r.tlbMiss, 10);
+    serial.ms->muontrap(0).flush(FlushReason::Explicit);
+    const Cycle t_serial =
+        serial.ms->dataAccess(0, kA, kV, 1, false, true, 20).latency;
+
+    MuonTrapConfig par = MuonTrapConfig::full();
+    par.parallelL0L1 = true;
+    Rig parallel(par);
+    DataAccessResult r2 = parallel.ms->dataAccess(0, kA, kV, 1, false,
+                                                  true, 0);
+    parallel.ms->commitData(0, kA, kV, 1, false, r2.tlbMiss, 10);
+    parallel.ms->muontrap(0).flush(FlushReason::Explicit);
+    const Cycle t_par =
+        parallel.ms->dataAccess(0, kA, kV, 1, false, true, 20).latency;
+
+    EXPECT_EQ(t_serial, 3u); // 1 (L0) + 2 (L1)
+    EXPECT_EQ(t_par, 2u);    // max(1, 2)
+}
+
+// --- baseline behaviours (the contrast) -------------------------------------
+
+TEST(MemSysBaseline, SpeculativeMissFillsL1AndL2)
+{
+    Rig rig(MuonTrapConfig::off());
+    rig.ms->dataAccess(0, kA, kV, 0x10, false, /*speculative=*/true, 0);
+    const Addr paddr = rig.ms->addressSpace().translate(kA, kV);
+    EXPECT_NE(rig.ms->l1d(0).peek(paddr), nullptr)
+        << "the unprotected hierarchy caches speculative data";
+    EXPECT_NE(rig.ms->l2().peek(paddr), nullptr);
+}
+
+TEST(MemSysBaseline, SpeculativeTranslationPollutesTlb)
+{
+    Rig rig(MuonTrapConfig::off());
+    rig.ms->dataAccess(0, kA, kV, 0x10, false, true, 0);
+    EXPECT_EQ(rig.ms->dtlb(0).validCount(), 1u);
+}
+
+TEST(MemSysInsecureL0, FillsL0AndL1)
+{
+    Rig rig(MuonTrapConfig::insecureL0());
+    rig.ms->dataAccess(0, kA, kV, 0x10, false, true, 0);
+    const Addr paddr = rig.ms->addressSpace().translate(kA, kV);
+    EXPECT_TRUE(rig.ms->muontrap(0).dataFilter()->presentValid(paddr));
+    EXPECT_NE(rig.ms->l1d(0).peek(paddr), nullptr)
+        << "an insecure L0 propagates fills to the L1 immediately";
+}
+
+// --- probes -------------------------------------------------------------------
+
+TEST(MemSysProbe, DataProbeDoesNotMutate)
+{
+    Rig rig(MuonTrapConfig::off());
+    const Addr paddr = rig.ms->addressSpace().translate(kA, kV);
+    const Cycle t1 = rig.ms->dataProbe(0, kA, kV, 0);
+    EXPECT_EQ(rig.ms->l1d(0).peek(paddr), nullptr);
+    EXPECT_EQ(rig.ms->l2().peek(paddr), nullptr);
+    // A mutating access then makes the next probe fast.
+    rig.ms->dataAccess(0, kA, kV, 1, false, false, 10);
+    const Cycle t2 = rig.ms->dataProbe(0, kA, kV, 20);
+    EXPECT_LT(t2, t1);
+}
+
+TEST(MemSysProbe, TimeProbeSeesFilterContents)
+{
+    Rig rig;
+    rig.ms->dataAccess(0, kA, kV, 1, false, true, 0);
+    EXPECT_EQ(rig.ms->timeProbe(0, kA, kV), 1u);
+    rig.ms->muontrap(0).flush(FlushReason::Explicit);
+    EXPECT_GT(rig.ms->timeProbe(0, kA, kV), 50u)
+        << "after the flush the speculative line is gone everywhere";
+}
+
+TEST(MemSysProbe, StoreProbeDistinguishesOwnership)
+{
+    Rig rig(MuonTrapConfig::off(), 2);
+    // Core 0 takes M.
+    rig.ms->dataAccess(0, kA, kV, 1, true, false, 0);
+    rig.ms->commitData(0, kA, kV, 1, true, false, 10);
+    const Cycle own = rig.ms->timeStoreProbe(0, kA, kV);
+    const Cycle other = rig.ms->timeStoreProbe(1, kA, kV);
+    EXPECT_LT(own, other);
+}
+
+// --- functional data ------------------------------------------------------------
+
+TEST(MemSysFunc, ReadWriteThroughAddressSpace)
+{
+    Rig rig;
+    rig.ms->write(kA, 0x8000, 1234);
+    EXPECT_EQ(rig.ms->read(kA, 0x8000), 1234u);
+    // Different ASID sees different memory (no alias configured).
+    EXPECT_NE(rig.ms->read(2, 0x8000), 1234u);
+}
+
+TEST(MemSysFunc, SharedAliasGivesSharedData)
+{
+    Rig rig;
+    rig.ms->addressSpace().alias(1, 0x10000, 0x77000000, kPageBytes);
+    rig.ms->addressSpace().alias(2, 0x20000, 0x77000000, kPageBytes);
+    rig.ms->write(1, 0x10040, 99);
+    EXPECT_EQ(rig.ms->read(2, 0x20040), 99u);
+}
+
+} // namespace
+} // namespace mtrap

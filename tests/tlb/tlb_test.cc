@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for address spaces, TLBs and the page-table walker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/tlb.hh"
+#include "tlb/walker.hh"
+
+namespace mtrap
+{
+namespace
+{
+
+TEST(AddressSpace, TranslationDeterministic)
+{
+    AddressSpace vm;
+    EXPECT_EQ(vm.translate(1, 0x1000), vm.translate(1, 0x1000));
+    // Offsets within a page are preserved.
+    EXPECT_EQ(vm.translate(1, 0x1234) & 0xfff, 0x234u);
+    EXPECT_EQ(pageAlign(vm.translate(1, 0x1234)),
+              pageAlign(vm.translate(1, 0x1000)));
+}
+
+TEST(AddressSpace, AsidsSeparateByDefault)
+{
+    AddressSpace vm;
+    EXPECT_NE(pageAlign(vm.translate(1, 0x1000)),
+              pageAlign(vm.translate(2, 0x1000)));
+}
+
+TEST(AddressSpace, AliasSharesPhysicalPage)
+{
+    AddressSpace vm;
+    vm.alias(1, 0x10000, 0x5000000, kPageBytes);
+    vm.alias(2, 0x20000, 0x5000000, kPageBytes);
+    EXPECT_EQ(vm.translate(1, 0x10008), vm.translate(2, 0x20008));
+    EXPECT_EQ(vm.translate(1, 0x10000), 0x5000000u);
+}
+
+TEST(AddressSpace, AliasSpansMultiplePages)
+{
+    AddressSpace vm;
+    vm.alias(1, 0x10000, 0x5000000, 3 * kPageBytes);
+    EXPECT_EQ(vm.translate(1, 0x10000 + 2 * kPageBytes),
+              0x5000000u + 2 * kPageBytes);
+}
+
+TEST(AddressSpace, AliasRequiresPageAlignment)
+{
+    AddressSpace vm;
+    EXPECT_EXIT(vm.alias(1, 0x10008, 0x5000000, kPageBytes),
+                ::testing::ExitedWithCode(1), "aligned");
+}
+
+TEST(AddressSpace, PteAddrsDistinctPerLevel)
+{
+    AddressSpace vm;
+    const Addr v = 0x123456789000ull;
+    for (unsigned l1 = 0; l1 < AddressSpace::kWalkLevels; ++l1)
+        for (unsigned l2 = l1 + 1; l2 < AddressSpace::kWalkLevels; ++l2)
+            EXPECT_NE(vm.pteAddr(1, v, l1), vm.pteAddr(1, v, l2));
+}
+
+TEST(AddressSpace, PteRegionIsSegregated)
+{
+    AddressSpace vm;
+    // PTEs live in a reserved region that normal translations never
+    // produce (bit 45).
+    EXPECT_NE(vm.pteAddr(1, 0x1000, 0) & (1ull << 45), 0u);
+    EXPECT_EQ(vm.translate(1, 0x1000) & (1ull << 45), 0u);
+}
+
+// --- TLB --------------------------------------------------------------------
+
+TEST(Tlb, HitAfterInsert)
+{
+    StatGroup g("g");
+    Tlb tlb(TlbParams{"t", 4}, &g);
+    tlb.insert(1, 0x1000, 0x9000);
+    const TlbEntry *e = tlb.lookup(1, 0x1234);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppn, pageNum(0x9000));
+    EXPECT_EQ(tlb.hits.value(), 1u);
+}
+
+TEST(Tlb, MissOnWrongAsid)
+{
+    StatGroup g("g");
+    Tlb tlb(TlbParams{"t", 4}, &g);
+    tlb.insert(1, 0x1000, 0x9000);
+    EXPECT_EQ(tlb.lookup(2, 0x1000), nullptr);
+    EXPECT_EQ(tlb.misses.value(), 1u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    StatGroup g("g");
+    Tlb tlb(TlbParams{"t", 2}, &g);
+    tlb.insert(1, 0x1000, 0x9000);
+    tlb.insert(1, 0x2000, 0xa000);
+    tlb.lookup(1, 0x1000);                    // refresh first entry
+    EXPECT_TRUE(tlb.insert(1, 0x3000, 0xb000)); // evicts 0x2000
+    EXPECT_NE(tlb.lookup(1, 0x1000), nullptr);
+    EXPECT_EQ(tlb.lookup(1, 0x2000), nullptr);
+}
+
+TEST(Tlb, InsertRefreshesExisting)
+{
+    StatGroup g("g");
+    Tlb tlb(TlbParams{"t", 2}, &g);
+    tlb.insert(1, 0x1000, 0x9000);
+    EXPECT_FALSE(tlb.insert(1, 0x1000, 0xc000)); // refresh, no eviction
+    EXPECT_EQ(tlb.lookup(1, 0x1000)->ppn, pageNum(0xc000));
+    EXPECT_EQ(tlb.validCount(), 1u);
+}
+
+TEST(Tlb, FlushClearsAll)
+{
+    StatGroup g("g");
+    Tlb tlb(TlbParams{"t", 8}, &g);
+    tlb.insert(1, 0x1000, 0x9000);
+    tlb.insert(2, 0x2000, 0xa000);
+    tlb.flush();
+    EXPECT_EQ(tlb.validCount(), 0u);
+    EXPECT_EQ(tlb.lookup(1, 0x1000), nullptr);
+    EXPECT_EQ(tlb.flushes.value(), 1u);
+}
+
+TEST(Tlb, InvalidateSingleEntry)
+{
+    StatGroup g("g");
+    Tlb tlb(TlbParams{"t", 8}, &g);
+    tlb.insert(1, 0x1000, 0x9000);
+    EXPECT_TRUE(tlb.invalidate(1, 0x1000));
+    EXPECT_FALSE(tlb.invalidate(1, 0x1000));
+    EXPECT_EQ(tlb.lookup(1, 0x1000), nullptr);
+}
+
+TEST(Tlb, EvictionReturnValueSignalsPrimeProbeObservable)
+{
+    StatGroup g("g");
+    Tlb tlb(TlbParams{"t", 2}, &g);
+    EXPECT_FALSE(tlb.insert(1, 0x1000, 0x9000));
+    EXPECT_FALSE(tlb.insert(1, 0x2000, 0xa000));
+    EXPECT_TRUE(tlb.insert(1, 0x3000, 0xb000))
+        << "a full TLB must report the eviction (the TLB side channel)";
+}
+
+// --- walker ------------------------------------------------------------------
+
+TEST(Walker, IssuesOneReadPerLevel)
+{
+    StatGroup g("g");
+    AddressSpace vm;
+    unsigned accesses = 0;
+    PageTableWalker w(&vm, 0,
+                      [&accesses](const Access &acc) {
+                          EXPECT_EQ(acc.kind, AccessKind::Ptw);
+                          ++accesses;
+                          AccessResult r;
+                          r.latency = 10;
+                          return r;
+                      },
+                      &g);
+    const Cycle lat = w.walk(1, 0x1000, 0, true);
+    EXPECT_EQ(accesses, AddressSpace::kWalkLevels);
+    EXPECT_EQ(lat, 10 * AddressSpace::kWalkLevels);
+    EXPECT_EQ(w.pteReads.value(), AddressSpace::kWalkLevels);
+}
+
+TEST(Walker, SpeculativeFlagPropagates)
+{
+    StatGroup g("g");
+    AddressSpace vm;
+    bool all_spec = true;
+    PageTableWalker w(&vm, 0,
+                      [&all_spec](const Access &acc) {
+                          all_spec &= acc.speculative;
+                          return AccessResult{1, false, 2};
+                      },
+                      &g);
+    w.walk(1, 0x1000, 0, true);
+    EXPECT_TRUE(all_spec);
+}
+
+TEST(Walker, RetranslateIsNonSpeculative)
+{
+    StatGroup g("g");
+    AddressSpace vm;
+    bool any_spec = false;
+    PageTableWalker w(&vm, 0,
+                      [&any_spec](const Access &acc) {
+                          any_spec |= acc.speculative;
+                          return AccessResult{1, false, 0};
+                      },
+                      &g);
+    w.retranslate(1, 0x1000, 100);
+    EXPECT_FALSE(any_spec);
+    EXPECT_EQ(w.retranslations.value(), 1u);
+}
+
+TEST(Walker, SequentialTimingAccumulates)
+{
+    StatGroup g("g");
+    AddressSpace vm;
+    Cycle last_when = 0;
+    bool monotonic = true;
+    PageTableWalker w(&vm, 0,
+                      [&](const Access &acc) {
+                          monotonic &= (acc.when >= last_when);
+                          last_when = acc.when;
+                          return AccessResult{7, false, 2};
+                      },
+                      &g);
+    w.walk(1, 0x1000, 50, false);
+    EXPECT_TRUE(monotonic) << "walk levels are dependent accesses";
+}
+
+} // namespace
+} // namespace mtrap

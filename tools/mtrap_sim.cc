@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Command-line simulator front end: run any bundled workload under any
+ * scheme (or a custom MuonTrap configuration), print normalised timing,
+ * and optionally dump the full statistics as text or JSON.
+ *
+ * Usage:
+ *   mtrap_sim --list
+ *   mtrap_sim --workload mcf --scheme MuonTrap [options]
+ *
+ * Options:
+ *   --workload NAME      SPEC-like or Parsec-like benchmark name
+ *   --scheme NAME        Baseline | Insecure-L0 | MuonTrap |
+ *                        MuonTrap-ClearMisspec | MuonTrap-ParallelL1 |
+ *                        InvisiSpec-Spectre | InvisiSpec-Future |
+ *                        STT-Spectre | STT-Future   (default MuonTrap)
+ *   --instructions N     measured instructions per core (default 100000)
+ *   --warmup N           warmup instructions per core (default 30000)
+ *   --filter-size BYTES  data filter-cache size (default 2048)
+ *   --filter-assoc N     data filter-cache associativity (default 4)
+ *   --baseline           also run the unprotected baseline and report
+ *                        normalised execution time
+ *   --stats              dump full statistics (text)
+ *   --json               dump full statistics (JSON)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/log.hh"
+#include "sim/json_stats.hh"
+#include "sim/runner.hh"
+#include "workload/parsec_profiles.hh"
+#include "workload/spec_profiles.hh"
+
+namespace
+{
+
+using namespace mtrap;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mtrap_sim --list | --workload NAME "
+                 "[--scheme NAME] [--instructions N]\n"
+                 "                 [--warmup N] [--filter-size B] "
+                 "[--filter-assoc N]\n"
+                 "                 [--baseline] [--stats] [--json]\n");
+    std::exit(1);
+}
+
+Workload
+findWorkload(const std::string &name)
+{
+    for (const std::string &n : specBenchmarkNames())
+        if (n == name)
+            return buildSpecWorkload(name);
+    for (const std::string &n : parsecBenchmarkNames())
+        if (n == name)
+            return buildParsecWorkload(name);
+    fatal("unknown workload '%s' (try --list)", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtrap;
+
+    std::string workload_name;
+    Scheme scheme = Scheme::MuonTrap;
+    RunOptions opt;
+    opt.measureInstructions = 100'000;
+    opt.warmupInstructions = 30'000;
+    std::uint64_t filter_size = 0;
+    unsigned filter_assoc = 0;
+    bool with_baseline = false, stats = false, json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            std::printf("SPEC-like workloads:\n");
+            for (const std::string &n : specBenchmarkNames())
+                std::printf("  %s\n", n.c_str());
+            std::printf("Parsec-like workloads (4 threads):\n");
+            for (const std::string &n : parsecBenchmarkNames())
+                std::printf("  %s\n", n.c_str());
+            std::printf("Schemes:\n");
+            for (Scheme s : allSchemes())
+                std::printf("  %s\n", schemeName(s));
+            return 0;
+        } else if (arg == "--workload") {
+            workload_name = next();
+        } else if (arg == "--scheme") {
+            scheme = parseScheme(next());
+        } else if (arg == "--instructions") {
+            opt.measureInstructions = std::stoull(next());
+        } else if (arg == "--warmup") {
+            opt.warmupInstructions = std::stoull(next());
+        } else if (arg == "--filter-size") {
+            filter_size = std::stoull(next());
+        } else if (arg == "--filter-assoc") {
+            filter_assoc = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--baseline") {
+            with_baseline = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else {
+            usage();
+        }
+    }
+    if (workload_name.empty())
+        usage();
+
+    const Workload w = findWorkload(workload_name);
+    SystemConfig cfg = SystemConfig::forScheme(
+        scheme, std::max(1u, w.threads()));
+    if (filter_size)
+        cfg.mem.mt.dataParams.sizeBytes = filter_size;
+    if (filter_assoc)
+        cfg.mem.mt.dataParams.assoc = filter_assoc;
+
+    RunOutput out = runConfigured(w, cfg, opt, schemeName(scheme));
+    std::printf("%s on %s: %llu cycles, IPC %.3f\n",
+                schemeName(scheme), w.name.c_str(),
+                static_cast<unsigned long long>(out.result.cycles),
+                out.result.ipc);
+
+    if (with_baseline) {
+        const RunResult base = runScheme(w, Scheme::Baseline, opt);
+        std::printf("normalised execution time vs baseline: %.3f\n",
+                    normalizedTime(out.result, base));
+    }
+    if (stats)
+        out.system->dumpStats(std::cout);
+    if (json)
+        dumpStatsJson(out.system->root(), std::cout);
+    return 0;
+}
