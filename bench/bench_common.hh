@@ -1,17 +1,24 @@
 /**
  * @file
  * Shared helpers for the figure-reproducing bench binaries: standard run
- * lengths, per-scheme sweeps and normalised-time tables.
+ * lengths and the harness-backed suite driver. Each bench binary is a
+ * thin wrapper around one experiment suite (src/harness/suites.hh); the
+ * tables it prints are identical to the old serial implementations, but
+ * the (workload × scheme/config) runs fan out across a thread pool with
+ * each baseline run exactly once.
  */
 
 #ifndef MTRAP_BENCH_COMMON_HH
 #define MTRAP_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/parse.hh"
+#include "harness/suites.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
 #include "workload/parsec_profiles.hh"
@@ -20,20 +27,21 @@
 namespace mtrap::bench
 {
 
-/** Standard run lengths for figure benches (kept modest so the whole
- *  suite finishes in minutes on one core). */
+/** Standard run lengths for figure benches (the shared defaults: the
+ *  whole suite finishes in minutes even on one core). */
 inline RunOptions
 figureRunOptions()
 {
     RunOptions opt;
-    opt.warmupInstructions = 30'000;
-    opt.measureInstructions = 100'000;
+    opt.warmupInstructions = kDefaultWarmupInstructions;
+    opt.measureInstructions = kDefaultMeasureInstructions;
     return opt;
 }
 
 /**
- * Run `w` under each scheme and return execution time normalised to
- * Scheme::Baseline.
+ * Serial single-workload sweep kept for tests/examples that want one
+ * row without the pool: run `w` under each scheme and return execution
+ * time normalised to Scheme::Baseline.
  */
 inline std::vector<double>
 normalizedSweep(const Workload &w, const std::vector<Scheme> &schemes,
@@ -55,6 +63,51 @@ emit(const ReportTable &t)
     std::printf("--- csv ---\n");
     t.printCsv(std::cout);
     std::printf("-----------\n");
+}
+
+/**
+ * Entry point shared by every figure bench binary: build the named
+ * suite, run it on the pool and print the legacy table. Flags:
+ *   --jobs N     worker threads (default: hardware concurrency)
+ *   --seed S     deterministic re-randomisation (default 0 = legacy)
+ */
+inline int
+suiteMain(const std::string &suite_name, int argc, char **argv)
+{
+    unsigned jobs = 0;
+    std::uint64_t seed = 0;
+    auto bad_usage = [&]() {
+        std::fprintf(stderr, "usage: %s [--jobs N] [--seed S]\n",
+                     argv[0]);
+        std::exit(1);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                bad_usage();
+            return argv[++i];
+        };
+        auto number = [&]() -> std::uint64_t {
+            std::uint64_t v;
+            if (!parseU64(next(), v))
+                bad_usage();
+            return v;
+        };
+        if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(number());
+        } else if (arg == "--seed") {
+            seed = number();
+        } else {
+            bad_usage();
+        }
+    }
+
+    harness::ExperimentPool pool(jobs);
+    const harness::Suite suite =
+        harness::buildSuite(suite_name, figureRunOptions(), seed);
+    return harness::runSuite(suite, pool, /*render_table=*/true,
+                             /*store=*/nullptr);
 }
 
 } // namespace mtrap::bench

@@ -7,37 +7,16 @@
  * Paper reference points: MuonTrap geomean ~1.04 (worst case bwaves
  * ~1.47); InvisiSpec-Spectre ~1.097; InvisiSpec-Future ~1.185; STT low
  * on compute-bound workloads but high on astar/omnetpp-like ones.
+ *
+ * Runs through the parallel experiment harness: `--jobs N` shards the
+ * (benchmark × scheme) runs across N worker threads; each benchmark's
+ * baseline is run exactly once.
  */
 
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mtrap;
-    using namespace mtrap::bench;
-
-    const std::vector<Scheme> schemes = {
-        Scheme::MuonTrap,
-        Scheme::InvisiSpecSpectre,
-        Scheme::InvisiSpecFuture,
-        Scheme::SttSpectre,
-        Scheme::SttFuture,
-    };
-
-    ReportTable t("Figure 3: SPEC CPU2006 normalised execution time");
-    std::vector<std::string> hdr = {"benchmark"};
-    for (Scheme s : schemes)
-        hdr.push_back(schemeName(s));
-    t.header(hdr);
-
-    const RunOptions opt = figureRunOptions();
-    for (const std::string &name : specBenchmarkNames()) {
-        const Workload w = buildSpecWorkload(name);
-        t.rowNumeric(name, normalizedSweep(w, schemes, opt));
-        std::fprintf(stderr, "fig3: %s done\n", name.c_str());
-    }
-    t.geomeanRow();
-    emit(t);
-    return 0;
+    return mtrap::bench::suiteMain("fig3", argc, argv);
 }

@@ -5,37 +5,14 @@
  *
  * Paper reference points: MuonTrap geomean ~0.95 (a *speedup*);
  * InvisiSpec up to ~2x slowdown; STT-Spectre ~1.18, STT-Future ~1.38.
+ *
+ * Runs through the parallel experiment harness (see fig3).
  */
 
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mtrap;
-    using namespace mtrap::bench;
-
-    const std::vector<Scheme> schemes = {
-        Scheme::MuonTrap,
-        Scheme::InvisiSpecSpectre,
-        Scheme::InvisiSpecFuture,
-        Scheme::SttSpectre,
-        Scheme::SttFuture,
-    };
-
-    ReportTable t("Figure 4: Parsec normalised execution time (4 threads)");
-    std::vector<std::string> hdr = {"benchmark"};
-    for (Scheme s : schemes)
-        hdr.push_back(schemeName(s));
-    t.header(hdr);
-
-    const RunOptions opt = figureRunOptions();
-    for (const std::string &name : parsecBenchmarkNames()) {
-        const Workload w = buildParsecWorkload(name);
-        t.rowNumeric(name, normalizedSweep(w, schemes, opt));
-        std::fprintf(stderr, "fig4: %s done\n", name.c_str());
-    }
-    t.geomeanRow();
-    emit(t);
-    return 0;
+    return mtrap::bench::suiteMain("fig4", argc, argv);
 }

@@ -7,51 +7,14 @@
  * Paper reference points: some benchmarks are fine with a single line;
  * streamcluster/freqmine blow up below 256 B; all slowdowns vanish by
  * 4 lines (256 B); 2048 B gives a ~6.9% average speedup.
+ *
+ * Runs through the parallel experiment harness (see fig3).
  */
 
 #include "bench_common.hh"
 
-#include "common/log.hh"
-
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mtrap;
-    using namespace mtrap::bench;
-
-    const std::vector<std::uint64_t> sizes = {64,  128,  256, 512,
-                                              1024, 2048, 4096};
-
-    ReportTable t("Figure 5: filter-cache size sweep (fully assoc., "
-                  "Parsec)");
-    std::vector<std::string> hdr = {"benchmark"};
-    for (std::uint64_t s : sizes)
-        hdr.push_back(strfmt("%lluB", static_cast<unsigned long long>(s)));
-    t.header(hdr);
-
-    const RunOptions opt = figureRunOptions();
-    for (const std::string &name : parsecBenchmarkNames()) {
-        const Workload w = buildParsecWorkload(name);
-        const RunResult base = runScheme(w, Scheme::Baseline, opt);
-        std::vector<double> row;
-        for (std::uint64_t size : sizes) {
-            SystemConfig cfg = SystemConfig::forScheme(Scheme::MuonTrap,
-                                                       4);
-            cfg.mem.mt.dataParams.sizeBytes = size;
-            cfg.mem.mt.dataParams.assoc =
-                static_cast<unsigned>(size / kLineBytes); // fully assoc.
-            const RunResult r =
-                runConfigured(w, cfg, opt,
-                              strfmt("fc%llu",
-                                     static_cast<unsigned long long>(
-                                         size)))
-                    .result;
-            row.push_back(normalizedTime(r, base));
-        }
-        t.rowNumeric(name, row);
-        std::fprintf(stderr, "fig5: %s done\n", name.c_str());
-    }
-    t.geomeanRow();
-    emit(t);
-    return 0;
+    return mtrap::bench::suiteMain("fig5", argc, argv);
 }

@@ -6,45 +6,14 @@
  *
  * Paper reference point: conflict misses hurt some benchmarks at low
  * associativity; 4-way is chosen as the sweet spot.
+ *
+ * Runs through the parallel experiment harness (see fig3).
  */
 
 #include "bench_common.hh"
 
-#include "common/log.hh"
-
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mtrap;
-    using namespace mtrap::bench;
-
-    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16, 32};
-
-    ReportTable t("Figure 6: filter-cache associativity sweep (2048 B, "
-                  "Parsec)");
-    std::vector<std::string> hdr = {"benchmark"};
-    for (unsigned a : assocs)
-        hdr.push_back(strfmt("%u-way", a));
-    t.header(hdr);
-
-    const RunOptions opt = figureRunOptions();
-    for (const std::string &name : parsecBenchmarkNames()) {
-        const Workload w = buildParsecWorkload(name);
-        const RunResult base = runScheme(w, Scheme::Baseline, opt);
-        std::vector<double> row;
-        for (unsigned assoc : assocs) {
-            SystemConfig cfg = SystemConfig::forScheme(Scheme::MuonTrap,
-                                                       4);
-            cfg.mem.mt.dataParams.sizeBytes = 2048;
-            cfg.mem.mt.dataParams.assoc = assoc;
-            const RunResult r =
-                runConfigured(w, cfg, opt, strfmt("a%u", assoc)).result;
-            row.push_back(normalizedTime(r, base));
-        }
-        t.rowNumeric(name, row);
-        std::fprintf(stderr, "fig6: %s done\n", name.c_str());
-    }
-    t.geomeanRow();
-    emit(t);
-    return 0;
+    return mtrap::bench::suiteMain("fig6", argc, argv);
 }

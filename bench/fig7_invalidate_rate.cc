@@ -7,44 +7,15 @@
  * Paper reference point: typically rare (most stores already own their
  * line in a private cache), with spikes on streaming/write-heavy
  * workloads (bwaves, gcc, lbm, libquantum, mcf, zeusmp).
+ *
+ * Runs through the parallel experiment harness (see fig3); the bus
+ * counters are captured by a per-job stats probe.
  */
 
 #include "bench_common.hh"
 
-#include "common/log.hh"
-
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mtrap;
-    using namespace mtrap::bench;
-
-    ReportTable t("Figure 7: write filter-cache-invalidate rate (SPEC, "
-                  "MuonTrap)");
-    t.header({"benchmark", "invalidate_rate", "store_upgrades",
-              "broadcasts"});
-
-    const RunOptions opt = figureRunOptions();
-    std::vector<double> rates;
-    for (const std::string &name : specBenchmarkNames()) {
-        const Workload w = buildSpecWorkload(name);
-        RunOutput out = runConfigured(
-            w, SystemConfig::forScheme(Scheme::MuonTrap, 1), opt,
-            "MuonTrap");
-        CoherenceBus &bus = out.system->mem().bus();
-        const double rate = bus.writeFilterInvalidateRate.value();
-        rates.push_back(rate);
-        t.row({name, strfmt("%.3f", rate),
-               strfmt("%llu", static_cast<unsigned long long>(
-                                  bus.storeUpgrades.value())),
-               strfmt("%llu", static_cast<unsigned long long>(
-                                  bus.storeUpgradeBroadcasts.value()))});
-        std::fprintf(stderr, "fig7: %s done\n", name.c_str());
-    }
-    double sum = 0;
-    for (double r : rates)
-        sum += r;
-    t.row({"mean", strfmt("%.3f", sum / rates.size()), "-", "-"});
-    emit(t);
-    return 0;
+    return mtrap::bench::suiteMain("fig7", argc, argv);
 }

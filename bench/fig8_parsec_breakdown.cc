@@ -10,77 +10,16 @@
  * Paper reference points: the insecure L0 already speeds Parsec up; the
  * protections cost little on top; coherency restrictions only matter
  * for ferret/streamcluster; clear-on-misspec costs ~2% extra.
+ *
+ * The cumulative steps are defined once in src/harness/suites.cc
+ * (shared with figure 9 and mtrap_batch); runs through the parallel
+ * experiment harness (see fig3).
  */
 
 #include "bench_common.hh"
 
-namespace
-{
-
-using namespace mtrap;
-
-/** The cumulative protection steps of figures 8/9. */
-std::vector<std::pair<std::string, MuonTrapConfig>>
-cumulativeSteps()
-{
-    std::vector<std::pair<std::string, MuonTrapConfig>> steps;
-
-    MuonTrapConfig c = MuonTrapConfig::insecureL0();
-    steps.emplace_back("insecure-L0", c);
-
-    c.protectData = true;
-    c.tlbFilter = true;
-    c.dataParams.name = "fcache_d";
-    steps.emplace_back("+fcache", c);
-
-    c.protectCoherence = true;
-    steps.emplace_back("+coherency", c);
-
-    c.instFilter = true;
-    c.instParams.name = "fcache_i";
-    steps.emplace_back("+ifcache", c);
-
-    c.commitPrefetch = true;
-    steps.emplace_back("+prefetch", c);
-
-    c.clearOnMisspec = true;
-    steps.emplace_back("+clear-misspec", c);
-
-    return steps;
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mtrap;
-    using namespace mtrap::bench;
-
-    const auto steps = cumulativeSteps();
-
-    ReportTable t("Figure 8: cumulative protection cost on Parsec");
-    std::vector<std::string> hdr = {"benchmark"};
-    for (const auto &[name, cfg] : steps)
-        hdr.push_back(name);
-    t.header(hdr);
-
-    const RunOptions opt = figureRunOptions();
-    for (const std::string &name : parsecBenchmarkNames()) {
-        const Workload w = buildParsecWorkload(name);
-        const RunResult base = runScheme(w, Scheme::Baseline, opt);
-        std::vector<double> row;
-        for (const auto &[step_name, mt] : steps) {
-            SystemConfig cfg = SystemConfig::forScheme(Scheme::Baseline,
-                                                       4);
-            cfg.mem.mt = mt;
-            row.push_back(normalizedTime(
-                runConfigured(w, cfg, opt, step_name).result, base));
-        }
-        t.rowNumeric(name, row);
-        std::fprintf(stderr, "fig8: %s done\n", name.c_str());
-    }
-    t.geomeanRow();
-    emit(t);
-    return 0;
+    return mtrap::bench::suiteMain("fig8", argc, argv);
 }

@@ -7,82 +7,14 @@
  * Paper reference points: geomean ~1.04 for full MuonTrap; clear-on-
  * misspec pushes SPEC to ~1.11; parallel L0/L1 lookup recovers the
  * serial-lookup penalty, bringing the geomean to ~1.02.
+ *
+ * Runs through the parallel experiment harness (see fig3/fig8).
  */
 
 #include "bench_common.hh"
 
-namespace
-{
-
-using namespace mtrap;
-
-std::vector<std::pair<std::string, MuonTrapConfig>>
-cumulativeSteps()
-{
-    std::vector<std::pair<std::string, MuonTrapConfig>> steps;
-
-    MuonTrapConfig c = MuonTrapConfig::insecureL0();
-    steps.emplace_back("insecure-L0", c);
-
-    c.protectData = true;
-    c.tlbFilter = true;
-    c.dataParams.name = "fcache_d";
-    steps.emplace_back("+fcache", c);
-
-    c.protectCoherence = true;
-    steps.emplace_back("+coherency", c);
-
-    c.instFilter = true;
-    c.instParams.name = "fcache_i";
-    steps.emplace_back("+ifcache", c);
-
-    c.commitPrefetch = true;
-    steps.emplace_back("+prefetch", c);
-
-    // Two variants on top of the full configuration.
-    MuonTrapConfig clear = c;
-    clear.clearOnMisspec = true;
-    steps.emplace_back("+clear-misspec", clear);
-
-    MuonTrapConfig par = c;
-    par.parallelL0L1 = true;
-    steps.emplace_back("parallel-L1D", par);
-
-    return steps;
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mtrap;
-    using namespace mtrap::bench;
-
-    const auto steps = cumulativeSteps();
-
-    ReportTable t("Figure 9: cumulative protection cost on SPEC CPU2006");
-    std::vector<std::string> hdr = {"benchmark"};
-    for (const auto &[name, cfg] : steps)
-        hdr.push_back(name);
-    t.header(hdr);
-
-    const RunOptions opt = figureRunOptions();
-    for (const std::string &name : specBenchmarkNames()) {
-        const Workload w = buildSpecWorkload(name);
-        const RunResult base = runScheme(w, Scheme::Baseline, opt);
-        std::vector<double> row;
-        for (const auto &[step_name, mt] : steps) {
-            SystemConfig cfg = SystemConfig::forScheme(Scheme::Baseline,
-                                                       1);
-            cfg.mem.mt = mt;
-            row.push_back(normalizedTime(
-                runConfigured(w, cfg, opt, step_name).result, base));
-        }
-        t.rowNumeric(name, row);
-        std::fprintf(stderr, "fig9: %s done\n", name.c_str());
-    }
-    t.geomeanRow();
-    emit(t);
-    return 0;
+    return mtrap::bench::suiteMain("fig9", argc, argv);
 }

@@ -1,59 +1,21 @@
 /**
  * @file
- * Security matrix: run all six paper attacks against every scheme and
- * print which leak. Complements the gtest suite with a human-readable
- * summary (the paper's qualitative security claims, §4/§5).
+ * Security matrix: run all six paper attacks (plus the Spectre-v2 BTB
+ * injection variant) against every scheme and print which leak.
+ * Complements the gtest suite with a human-readable summary (the
+ * paper's qualitative security claims, §4/§5).
+ *
+ * Each (scheme × attack) choreography is one harness job, so the whole
+ * matrix fans out across `--jobs N` worker threads. The headline
+ * property is asserted after the table: every attack leaks on the
+ * baseline and is blocked by MuonTrap — exit nonzero otherwise so
+ * CI-style use fails.
  */
 
-#include <cstdio>
-#include <iostream>
-
-#include "sim/report.hh"
-#include "workload/attacks.hh"
+#include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace mtrap;
-
-    const std::vector<Scheme> schemes = {
-        Scheme::Baseline,
-        Scheme::InsecureL0,
-        Scheme::MuonTrap,
-        Scheme::MuonTrapClearMisspec,
-    };
-
-    ReportTable t("Security matrix: LEAK = secret recovered via timing");
-    std::vector<std::string> hdr = {"attack"};
-    for (Scheme s : schemes)
-        hdr.push_back(schemeName(s));
-    t.header(hdr);
-
-    // Collect per scheme first (each runAllAttacks builds its systems).
-    std::vector<std::vector<AttackOutcome>> results;
-    for (Scheme s : schemes) {
-        results.push_back(runAllAttacks(s));
-        std::fprintf(stderr, "security: %s done\n", schemeName(s));
-    }
-
-    for (std::size_t a = 0; a < results[0].size(); ++a) {
-        std::vector<std::string> row = {results[0][a].attack};
-        for (std::size_t s = 0; s < schemes.size(); ++s)
-            row.push_back(results[s][a].leaked ? "LEAK" : "blocked");
-        t.row(row);
-    }
-    t.print(std::cout);
-
-    // The headline property: every attack leaks on the baseline and is
-    // blocked by MuonTrap. Exit nonzero otherwise so CI-style use fails.
-    bool ok = true;
-    for (std::size_t a = 0; a < results[0].size(); ++a) {
-        ok &= results[0][a].leaked;          // Baseline leaks
-        ok &= !results[2][a].leaked;         // MuonTrap blocks
-        ok &= !results[3][a].leaked;         // ...with clear-on-misspec
-    }
-    std::printf("\n%s\n", ok ? "PASS: baseline leaks every attack; MuonTrap "
-                               "blocks every attack"
-                             : "FAIL: unexpected leak matrix");
-    return ok ? 0 : 1;
+    return mtrap::bench::suiteMain("security", argc, argv);
 }

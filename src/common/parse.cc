@@ -1,0 +1,21 @@
+#include "common/parse.hh"
+
+#include <stdexcept>
+
+namespace mtrap
+{
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    try {
+        out = std::stoull(s);
+    } catch (const std::exception &) {
+        return false; // out of range
+    }
+    return true;
+}
+
+} // namespace mtrap

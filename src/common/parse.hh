@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Strict CLI-number parsing shared by every front end (mtrap_sim,
+ * mtrap_batch, the bench binaries), so junk like `--jobs abc` is a
+ * clean usage error everywhere instead of an uncaught-exception abort.
+ */
+
+#ifndef MTRAP_COMMON_PARSE_HH
+#define MTRAP_COMMON_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mtrap
+{
+
+/**
+ * Parse a non-negative decimal integer. Returns false (leaving `out`
+ * untouched) on an empty string, any non-digit character, or overflow.
+ */
+bool parseU64(const std::string &s, std::uint64_t &out);
+
+} // namespace mtrap
+
+#endif // MTRAP_COMMON_PARSE_HH

@@ -74,4 +74,14 @@ Rng::range(std::uint64_t lo, std::uint64_t hi)
     return lo + below(hi - lo + 1);
 }
 
+std::uint64_t
+mixSeeds(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t state = a ^ rotl(b, 23);
+    std::uint64_t z = splitmix64(state);
+    // A second round decorrelates (a, b) and (b, a).
+    state ^= b;
+    return z ^ splitmix64(state);
+}
+
 } // namespace mtrap

@@ -40,6 +40,13 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Deterministically combine two seeds into a new one (splitmix64-based
+ * avalanche). Used to derive per-job seeds from a global seed and to
+ * perturb configured structure seeds without correlation.
+ */
+std::uint64_t mixSeeds(std::uint64_t a, std::uint64_t b);
+
 } // namespace mtrap
 
 #endif // MTRAP_COMMON_RNG_HH

@@ -1,0 +1,75 @@
+#include "harness/job.hh"
+
+#include <stdexcept>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "workload/parsec_profiles.hh"
+#include "workload/spec_profiles.hh"
+
+namespace mtrap::harness
+{
+
+JobResult
+runJob(const JobSpec &job)
+{
+    JobResult r;
+    r.index = job.index;
+    r.suite = job.suite;
+    r.row = job.row;
+    r.col = job.col;
+    r.kind = job.kind;
+
+    if (job.custom) {
+        JobResult custom = job.custom(job);
+        custom.index = job.index;
+        custom.suite = job.suite;
+        custom.row = job.row;
+        custom.col = job.col;
+        custom.kind = job.kind;
+        return custom;
+    }
+
+    if (!job.workload)
+        throw std::runtime_error("job " + std::to_string(job.index)
+                                 + " has neither workload nor custom fn");
+
+    const Workload w = job.workload();
+    RunOutput out = runConfigured(w, job.cfg, job.opt, job.configName);
+    r.run = out.result;
+    if (job.collect)
+        job.collect(*out.system, r);
+    return r;
+}
+
+Workload
+buildNamedWorkload(const std::string &name, std::uint64_t seed)
+{
+    for (const std::string &n : specBenchmarkNames()) {
+        if (n == name) {
+            WorkloadProfile p = specProfile(name);
+            if (seed)
+                p.seed = mixSeeds(p.seed, seed);
+            return buildWorkload(p);
+        }
+    }
+    for (const std::string &n : parsecBenchmarkNames()) {
+        if (n == name) {
+            WorkloadProfile p = parsecProfile(name);
+            if (seed)
+                p.seed = mixSeeds(p.seed, seed);
+            return buildWorkload(p);
+        }
+    }
+    fatal("unknown workload '%s' (try --list)", name.c_str());
+}
+
+std::uint64_t
+jobSeed(std::uint64_t sweep_seed, std::size_t index)
+{
+    if (!sweep_seed)
+        return 0;
+    return mixSeeds(sweep_seed, 0x6a09e667f3bcc909ull + index);
+}
+
+} // namespace mtrap::harness

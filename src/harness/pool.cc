@@ -1,0 +1,155 @@
+#include "harness/pool.hh"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace mtrap::harness
+{
+
+/** Mutex+condvar queue of job indices. Producers push then close; the
+ *  condvar wakes workers either for a new index or for shutdown. */
+struct ExperimentPool::Queue
+{
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::vector<std::size_t> pending; // drained front-to-back
+    std::size_t head = 0;
+    bool closed = false;
+    bool cancelled = false;
+
+    void
+    push(std::size_t i)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            pending.push_back(i);
+        }
+        cv.notify_one();
+    }
+
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            closed = true;
+        }
+        cv.notify_all();
+    }
+
+    void
+    cancel()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            cancelled = true;
+        }
+        cv.notify_all();
+    }
+
+    /** Blocks for the next index; false on shutdown/cancellation. */
+    bool
+    pop(std::size_t &out)
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        cv.wait(lk, [&] {
+            return cancelled || head < pending.size() || closed;
+        });
+        if (cancelled || head >= pending.size())
+            return false;
+        out = pending[head++];
+        return true;
+    }
+};
+
+ExperimentPool::ExperimentPool(unsigned threads)
+    : threads_(threads ? threads
+                       : std::max(1u, std::thread::hardware_concurrency()))
+{
+}
+
+void
+ExperimentPool::worker(Queue &q, const std::vector<JobSpec> &jobs,
+                       std::vector<JobResult> &results,
+                       const Progress &progress)
+{
+    std::size_t i;
+    while (q.pop(i)) {
+        JobResult r;
+        try {
+            r = runJob(jobs[i]);
+        } catch (const std::exception &e) {
+            r.index = jobs[i].index;
+            r.suite = jobs[i].suite;
+            r.row = jobs[i].row;
+            r.col = jobs[i].col;
+            r.kind = jobs[i].kind;
+            r.ok = false;
+            r.error = e.what();
+        }
+        const bool failed = !r.ok;
+        {
+            std::lock_guard<std::mutex> lk(q.mtx);
+            results[i] = std::move(r);
+        }
+        if (progress) {
+            std::lock_guard<std::mutex> lk(q.mtx);
+            progress(results[i]);
+        }
+        if (failed)
+            q.cancel(); // fatal: stop handing out further jobs
+    }
+}
+
+std::vector<JobResult>
+ExperimentPool::run(const std::vector<JobSpec> &jobs,
+                    const Progress &progress)
+{
+    std::vector<JobResult> results(jobs.size());
+    // Pre-mark everything cancelled; executed jobs overwrite their slot.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        results[i].index = jobs[i].index;
+        results[i].suite = jobs[i].suite;
+        results[i].row = jobs[i].row;
+        results[i].col = jobs[i].col;
+        results[i].kind = jobs[i].kind;
+        results[i].ok = false;
+        results[i].error = "cancelled";
+    }
+
+    Queue q;
+    const unsigned n =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, jobs.size()));
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        workers.emplace_back([&] { worker(q, jobs, results, progress); });
+
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        q.push(i);
+    q.close();
+
+    for (auto &w : workers)
+        w.join();
+    return results;
+}
+
+std::vector<JobSpec>
+shardJobs(std::vector<JobSpec> jobs, unsigned shard_index,
+          unsigned shard_count)
+{
+    if (shard_count == 0 || shard_index >= shard_count)
+        fatal("bad shard %u/%u", shard_index, shard_count);
+    if (shard_count == 1)
+        return jobs;
+    std::vector<JobSpec> mine;
+    for (std::size_t k = 0; k < jobs.size(); ++k)
+        if (k % shard_count == shard_index)
+            mine.push_back(std::move(jobs[k]));
+    return mine;
+}
+
+} // namespace mtrap::harness

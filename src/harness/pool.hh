@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ExperimentPool: a fixed-size worker-thread pool draining a
+ * mutex+condvar job queue.
+ *
+ * Determinism contract: results are returned indexed by submission
+ * order and every job is self-contained, so the result vector is
+ * bit-identical for any thread count (the acceptance property the
+ * harness tests assert). The first job failure cancels all jobs that
+ * have not yet started; already-running jobs finish normally.
+ */
+
+#ifndef MTRAP_HARNESS_POOL_HH
+#define MTRAP_HARNESS_POOL_HH
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "harness/job.hh"
+
+namespace mtrap::harness
+{
+
+class ExperimentPool
+{
+  public:
+    /** `threads` == 0 picks std::thread::hardware_concurrency(). */
+    explicit ExperimentPool(unsigned threads = 0);
+
+    unsigned threads() const { return threads_; }
+
+    /** Called (serialised) as each job completes; for progress lines. */
+    using Progress = std::function<void(const JobResult &)>;
+
+    /**
+     * Run all jobs and return one result per job, in submission order.
+     * Jobs that never started because of cancellation come back with
+     * ok=false, error="cancelled".
+     */
+    std::vector<JobResult> run(const std::vector<JobSpec> &jobs,
+                               const Progress &progress = {});
+
+  private:
+    struct Queue;
+    void worker(Queue &q, const std::vector<JobSpec> &jobs,
+                std::vector<JobResult> &results,
+                const Progress &progress);
+
+    unsigned threads_;
+};
+
+/** Keep only this shard's jobs: job k of n goes to shard k % m. The
+ *  surviving specs retain their global indices, so shard outputs merge
+ *  into one deterministic sequence. */
+std::vector<JobSpec> shardJobs(std::vector<JobSpec> jobs,
+                               unsigned shard_index, unsigned shard_count);
+
+} // namespace mtrap::harness
+
+#endif // MTRAP_HARNESS_POOL_HH

@@ -1,0 +1,117 @@
+#include "harness/result_store.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "sim/json_stats.hh"
+
+namespace mtrap::harness
+{
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    return strfmt("%.9g", v);
+}
+
+} // namespace
+
+void
+ResultStore::add(JobResult r)
+{
+    results_.push_back(std::move(r));
+    dirty_ = true;
+}
+
+void
+ResultStore::addAll(std::vector<JobResult> rs)
+{
+    for (auto &r : rs)
+        add(std::move(r));
+}
+
+bool
+ResultStore::allOk() const
+{
+    for (const JobResult &r : results_)
+        if (!r.ok)
+            return false;
+    return true;
+}
+
+const std::vector<JobResult> &
+ResultStore::sorted() const
+{
+    if (dirty_) {
+        std::stable_sort(results_.begin(), results_.end(),
+                         [](const JobResult &a, const JobResult &b) {
+                             if (a.suite != b.suite)
+                                 return a.suite < b.suite;
+                             return a.index < b.index;
+                         });
+        dirty_ = false;
+    }
+    return results_;
+}
+
+void
+ResultStore::writeJson(std::ostream &os) const
+{
+    os << "[\n";
+    const auto &rs = sorted();
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        const JobResult &r = rs[i];
+        os << "  {\"suite\": \"" << jsonEscape(r.suite) << "\""
+           << ", \"index\": " << r.index
+           << ", \"row\": \"" << jsonEscape(r.row) << "\""
+           << ", \"col\": \"" << jsonEscape(r.col) << "\""
+           << ", \"kind\": \"" << jsonEscape(r.kind) << "\""
+           << ", \"workload\": \"" << jsonEscape(r.run.workload) << "\""
+           << ", \"config\": \"" << jsonEscape(r.run.configName) << "\""
+           << ", \"cycles\": " << r.run.cycles
+           << ", \"instructions\": " << r.run.instructionsPerCore
+           << ", \"ipc\": " << fmtDouble(r.run.ipc);
+        if (!r.metrics.empty()) {
+            os << ", \"metrics\": {";
+            bool first = true;
+            for (const auto &[k, v] : r.metrics) {
+                os << (first ? "" : ", ") << "\"" << jsonEscape(k)
+                   << "\": " << fmtDouble(v);
+                first = false;
+            }
+            os << "}";
+        }
+        if (!r.note.empty())
+            os << ", \"note\": \"" << jsonEscape(r.note) << "\"";
+        os << ", \"ok\": " << (r.ok ? "true" : "false");
+        if (!r.ok)
+            os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        os << "}" << (i + 1 < rs.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
+
+void
+ResultStore::writeCsv(std::ostream &os) const
+{
+    os << "suite,index,row,col,kind,workload,config,cycles,instructions,"
+          "ipc,note,ok,metrics\n";
+    for (const JobResult &r : sorted()) {
+        os << r.suite << "," << r.index << "," << r.row << "," << r.col
+           << "," << r.kind << "," << r.run.workload << ","
+           << r.run.configName << "," << r.run.cycles << ","
+           << r.run.instructionsPerCore << "," << fmtDouble(r.run.ipc)
+           << "," << r.note << "," << (r.ok ? "1" : "0") << ",";
+        bool first = true;
+        for (const auto &[k, v] : r.metrics) {
+            os << (first ? "" : ";") << k << "=" << fmtDouble(v);
+            first = false;
+        }
+        os << "\n";
+    }
+}
+
+} // namespace mtrap::harness

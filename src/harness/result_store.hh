@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ResultStore: aggregates JobResults (in any completion order), sorts
+ * them by global submission index, and serialises the set as CSV or
+ * JSON artifacts.
+ *
+ * Serialisation is fully deterministic — fixed field order, sorted
+ * metric keys, no timestamps — so a sweep's artifact is byte-identical
+ * for any worker count. Shard artifacts carry interleaved global
+ * indices (shard i of m holds jobs i, i+m, ...), so merging them back
+ * into the single-machine sequence needs a sort by (suite, index) —
+ * concatenation alone is not submission order.
+ */
+
+#ifndef MTRAP_HARNESS_RESULT_STORE_HH
+#define MTRAP_HARNESS_RESULT_STORE_HH
+
+#include <ostream>
+#include <vector>
+
+#include "harness/job.hh"
+
+namespace mtrap::harness
+{
+
+class ResultStore
+{
+  public:
+    void add(JobResult r);
+    void addAll(std::vector<JobResult> rs);
+
+    std::size_t size() const { return results_.size(); }
+    bool allOk() const;
+
+    /** Results sorted by submission index. */
+    const std::vector<JobResult> &sorted() const;
+
+    /** One JSON array, one object per job. */
+    void writeJson(std::ostream &os) const;
+    /** Header + one line per job; metrics flattened as k=v;k=v. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    mutable std::vector<JobResult> results_;
+    mutable bool dirty_ = false;
+};
+
+} // namespace mtrap::harness
+
+#endif // MTRAP_HARNESS_RESULT_STORE_HH

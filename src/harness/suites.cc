@@ -1,0 +1,422 @@
+#include "harness/suites.hh"
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/log.hh"
+#include "harness/sweep.hh"
+#include "sim/mem_system.hh"
+#include "workload/attacks.hh"
+#include "workload/parsec_profiles.hh"
+#include "workload/spec_profiles.hh"
+
+namespace mtrap::harness
+{
+
+namespace
+{
+
+/** The five protected schemes compared in figures 3 and 4. */
+const std::vector<Scheme> kFigureSchemes = {
+    Scheme::MuonTrap,         Scheme::InvisiSpecSpectre,
+    Scheme::InvisiSpecFuture, Scheme::SttSpectre,
+    Scheme::SttFuture,
+};
+
+const JobResult *
+find(const std::vector<JobResult> &rs, const std::string &row,
+     const std::string &col, const std::string &kind)
+{
+    for (const JobResult &r : rs)
+        if (r.row == row && r.col == col && r.kind == kind)
+            return &r;
+    return nullptr;
+}
+
+double
+normalized(const std::vector<JobResult> &rs, const std::string &row,
+           const std::string &col)
+{
+    const JobResult *base =
+        find(rs, row, schemeName(Scheme::Baseline), "baseline");
+    const JobResult *r = find(rs, row, col, "run");
+    if (!base || !r || !base->ok || !r->ok || base->run.cycles == 0)
+        fatal("suite: missing or failed result for %s/%s (render needs "
+              "the full, unsharded result set)",
+              row.c_str(), col.c_str());
+    return static_cast<double>(r->run.cycles)
+           / static_cast<double>(base->run.cycles);
+}
+
+/** Shared renderer for the normalised-execution-time figures. */
+std::function<ReportTable(const std::vector<JobResult> &)>
+normalizedRenderer(std::string title, std::vector<std::string> rows,
+                   std::vector<std::string> cols)
+{
+    return [title = std::move(title), rows = std::move(rows),
+            cols = std::move(cols)](const std::vector<JobResult> &rs) {
+        ReportTable t(title);
+        std::vector<std::string> hdr = {"benchmark"};
+        hdr.insert(hdr.end(), cols.begin(), cols.end());
+        t.header(hdr);
+        for (const std::string &row : rows) {
+            std::vector<double> values;
+            values.reserve(cols.size());
+            for (const std::string &col : cols)
+                values.push_back(normalized(rs, row, col));
+            t.rowNumeric(row, values);
+        }
+        t.geomeanRow();
+        return t;
+    };
+}
+
+Suite
+normalizedSuite(const std::string &name, std::string title,
+                const std::vector<std::string> &workload_names,
+                const RunOptions &opt, std::uint64_t seed,
+                const std::function<void(SweepBuilder &)> &columns)
+{
+    SweepBuilder b(name);
+    b.options(opt).seed(seed).workloads(workload_names).withBaseline();
+    columns(b);
+
+    Suite s;
+    s.name = name;
+    s.jobs = b.build();
+    s.render = normalizedRenderer(std::move(title), b.rowLabels(),
+                                  b.columnLabels());
+    return s;
+}
+
+/**
+ * The cumulative protection steps of figures 8 and 9: insecure L0 ->
+ * +fcache -> +coherency -> +ifcache -> +prefetch, then either stacked
+ * clear-on-misspec (figure 8) or the clear-on-misspec / parallel-L1D
+ * alternatives side by side (figure 9, `with_parallel`).
+ */
+std::vector<std::pair<std::string, MuonTrapConfig>>
+cumulativeSteps(bool with_parallel)
+{
+    std::vector<std::pair<std::string, MuonTrapConfig>> steps;
+
+    MuonTrapConfig c = MuonTrapConfig::insecureL0();
+    steps.emplace_back("insecure-L0", c);
+
+    c.protectData = true;
+    c.tlbFilter = true;
+    c.dataParams.name = "fcache_d";
+    steps.emplace_back("+fcache", c);
+
+    c.protectCoherence = true;
+    steps.emplace_back("+coherency", c);
+
+    c.instFilter = true;
+    c.instParams.name = "fcache_i";
+    steps.emplace_back("+ifcache", c);
+
+    c.commitPrefetch = true;
+    steps.emplace_back("+prefetch", c);
+
+    if (!with_parallel) {
+        c.clearOnMisspec = true;
+        steps.emplace_back("+clear-misspec", c);
+    } else {
+        MuonTrapConfig clear = c;
+        clear.clearOnMisspec = true;
+        steps.emplace_back("+clear-misspec", clear);
+
+        MuonTrapConfig par = c;
+        par.parallelL0L1 = true;
+        steps.emplace_back("parallel-L1D", par);
+    }
+    return steps;
+}
+
+void
+addStepColumns(SweepBuilder &b, bool with_parallel)
+{
+    for (const auto &[step_name, mt] : cumulativeSteps(with_parallel)) {
+        SystemConfig cfg = SystemConfig::forScheme(Scheme::Baseline, 1);
+        cfg.mem.mt = mt;
+        b.config(step_name, step_name, cfg);
+    }
+}
+
+Suite
+fig7Suite(const RunOptions &opt, std::uint64_t seed)
+{
+    SweepBuilder b("fig7");
+    b.options(opt)
+        .seed(seed)
+        .workloads(specBenchmarkNames())
+        .scheme(Scheme::MuonTrap)
+        .collect([](System &sys, JobResult &r) {
+            CoherenceBus &bus = sys.mem().bus();
+            r.metrics["invalidate_rate"] =
+                bus.writeFilterInvalidateRate.value();
+            r.metrics["store_upgrades"] =
+                static_cast<double>(bus.storeUpgrades.value());
+            r.metrics["broadcasts"] = static_cast<double>(
+                bus.storeUpgradeBroadcasts.value());
+        });
+
+    Suite s;
+    s.name = "fig7";
+    s.jobs = b.build();
+    s.render = [rows = b.rowLabels()](const std::vector<JobResult> &rs) {
+        ReportTable t("Figure 7: write filter-cache-invalidate rate "
+                      "(SPEC, MuonTrap)");
+        t.header({"benchmark", "invalidate_rate", "store_upgrades",
+                  "broadcasts"});
+        double sum = 0;
+        for (const std::string &row : rows) {
+            const JobResult *r =
+                find(rs, row, schemeName(Scheme::MuonTrap), "run");
+            if (!r || !r->ok)
+                fatal("fig7: missing result for %s", row.c_str());
+            const double rate = r->metrics.at("invalidate_rate");
+            sum += rate;
+            t.row({row, strfmt("%.3f", rate),
+                   strfmt("%llu",
+                          static_cast<unsigned long long>(
+                              r->metrics.at("store_upgrades"))),
+                   strfmt("%llu",
+                          static_cast<unsigned long long>(
+                              r->metrics.at("broadcasts")))});
+        }
+        t.row({"mean", strfmt("%.3f", sum / rows.size()), "-", "-"});
+        return t;
+    };
+    return s;
+}
+
+// ------------------------------------------------------- security matrix
+
+/** The attacks of runAllAttacks(), individually dispatchable so the
+ *  pool can fan them out. Names mirror what each function reports. */
+struct AttackEntry
+{
+    const char *name;
+    AttackOutcome (*fn)(Scheme, const MuonTrapConfig *);
+};
+
+const std::vector<AttackEntry> &
+attackEntries()
+{
+    static const std::vector<AttackEntry> entries = {
+        {"1:spectre-prime-probe", runSpectrePrimeProbe},
+        {"2:inclusion-policy", runInclusionPolicyAttack},
+        {"3:shared-data", runSharedDataAttack},
+        {"4:filter-coherency", runFilterCacheCoherencyAttack},
+        {"5:prefetcher", runPrefetcherAttack},
+        {"6:icache", runIcacheAttack},
+        {"v2:btb-injection", runSpectreBtbInjection},
+    };
+    return entries;
+}
+
+Suite
+securitySuite(const RunOptions &opt, std::uint64_t seed)
+{
+    // The attacks are fixed choreographies (prime, run gadget, probe)
+    // built inside attacks.cc: run lengths and seeds don't apply to
+    // them. Say so instead of silently ignoring the flags.
+    if (seed != 0)
+        warn("security suite ignores --seed (attacks use fixed "
+             "choreography)");
+    if (opt.warmupInstructions != kDefaultWarmupInstructions
+        || opt.measureInstructions != kDefaultMeasureInstructions)
+        warn("security suite ignores --instructions/--warmup (attacks "
+             "use fixed choreography)");
+
+    const std::vector<Scheme> schemes = {
+        Scheme::Baseline,
+        Scheme::InsecureL0,
+        Scheme::MuonTrap,
+        Scheme::MuonTrapClearMisspec,
+    };
+
+    Suite s;
+    s.name = "security";
+    s.emitCsv = false;
+    s.progressByCol = true;
+
+    for (Scheme scheme : schemes) {
+        for (const AttackEntry &a : attackEntries()) {
+            JobSpec j;
+            j.index = s.jobs.size();
+            j.suite = s.name;
+            j.row = a.name;
+            j.col = schemeName(scheme);
+            j.custom = [fn = a.fn, scheme](const JobSpec &) {
+                const AttackOutcome out = fn(scheme, nullptr);
+                JobResult r;
+                r.note = out.leaked ? "LEAK" : "blocked";
+                r.metrics["leaked"] = out.leaked ? 1.0 : 0.0;
+                r.metrics["probe0_time"] =
+                    static_cast<double>(out.probe0Time);
+                r.metrics["probe1_time"] =
+                    static_cast<double>(out.probe1Time);
+                return r;
+            };
+            s.jobs.push_back(std::move(j));
+        }
+    }
+
+    auto cell = [](const std::vector<JobResult> &rs,
+                   const std::string &row,
+                   Scheme scheme) -> const JobResult & {
+        const JobResult *r = find(rs, row, schemeName(scheme), "run");
+        if (!r || !r->ok)
+            fatal("security: missing result for %s/%s", row.c_str(),
+                  schemeName(scheme));
+        return *r;
+    };
+
+    s.render = [schemes, cell](const std::vector<JobResult> &rs) {
+        ReportTable t("Security matrix: LEAK = secret recovered via "
+                      "timing");
+        std::vector<std::string> hdr = {"attack"};
+        for (Scheme scheme : schemes)
+            hdr.push_back(schemeName(scheme));
+        t.header(hdr);
+        for (const AttackEntry &a : attackEntries()) {
+            std::vector<std::string> row = {a.name};
+            for (Scheme scheme : schemes)
+                row.push_back(cell(rs, a.name, scheme).note);
+            t.row(row);
+        }
+        return t;
+    };
+
+    // The headline property: every attack leaks on the baseline and is
+    // blocked by MuonTrap (with and without clear-on-misspec).
+    s.verdict = [cell](const std::vector<JobResult> &rs,
+                       std::ostream &os) {
+        bool ok = true;
+        for (const AttackEntry &a : attackEntries()) {
+            ok &= cell(rs, a.name, Scheme::Baseline).note == "LEAK";
+            ok &= cell(rs, a.name, Scheme::MuonTrap).note == "blocked";
+            ok &= cell(rs, a.name, Scheme::MuonTrapClearMisspec).note
+                  == "blocked";
+        }
+        os << "\n"
+           << (ok ? "PASS: baseline leaks every attack; MuonTrap blocks "
+                    "every attack"
+                  : "FAIL: unexpected leak matrix")
+           << "\n";
+        return ok ? 0 : 1;
+    };
+    return s;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "fig3", "fig4", "fig5", "fig6",
+        "fig7", "fig8", "fig9", "security",
+    };
+    return names;
+}
+
+Suite
+buildSuite(const std::string &name, const RunOptions &opt,
+           std::uint64_t seed)
+{
+    if (name == "fig3")
+        return normalizedSuite(
+            name, "Figure 3: SPEC CPU2006 normalised execution time",
+            specBenchmarkNames(), opt, seed,
+            [](SweepBuilder &b) { b.schemes(kFigureSchemes); });
+    if (name == "fig4")
+        return normalizedSuite(
+            name,
+            "Figure 4: Parsec normalised execution time (4 threads)",
+            parsecBenchmarkNames(), opt, seed,
+            [](SweepBuilder &b) { b.schemes(kFigureSchemes); });
+    if (name == "fig5")
+        return normalizedSuite(
+            name,
+            "Figure 5: filter-cache size sweep (fully assoc., Parsec)",
+            parsecBenchmarkNames(), opt, seed, [](SweepBuilder &b) {
+                b.filterSizes({64, 128, 256, 512, 1024, 2048, 4096});
+            });
+    if (name == "fig6")
+        return normalizedSuite(
+            name,
+            "Figure 6: filter-cache associativity sweep (2048 B, Parsec)",
+            parsecBenchmarkNames(), opt, seed, [](SweepBuilder &b) {
+                b.filterAssocs({1, 2, 4, 8, 16, 32}, 2048);
+            });
+    if (name == "fig7")
+        return fig7Suite(opt, seed);
+    if (name == "fig8")
+        return normalizedSuite(
+            name, "Figure 8: cumulative protection cost on Parsec",
+            parsecBenchmarkNames(), opt, seed,
+            [](SweepBuilder &b) { addStepColumns(b, false); });
+    if (name == "fig9")
+        return normalizedSuite(
+            name, "Figure 9: cumulative protection cost on SPEC CPU2006",
+            specBenchmarkNames(), opt, seed,
+            [](SweepBuilder &b) { addStepColumns(b, true); });
+    if (name == "security")
+        return securitySuite(opt, seed);
+    fatal("unknown suite '%s' (try one of fig3..fig9, security, all)",
+          name.c_str());
+}
+
+int
+runSuite(const Suite &suite, ExperimentPool &pool, bool render_table,
+         ResultStore *store)
+{
+    // Legacy progress lines fire when a whole row (workload) or column
+    // (scheme) finishes; completion order varies with the pool, the
+    // line set does not.
+    std::map<std::string, unsigned> remaining;
+    for (const JobSpec &j : suite.jobs)
+        ++remaining[suite.progressByCol ? j.col : j.row];
+
+    std::vector<JobResult> results = pool.run(
+        suite.jobs, [&](const JobResult &r) {
+            const std::string &key =
+                suite.progressByCol ? r.col : r.row;
+            if (--remaining[key] == 0)
+                std::fprintf(stderr, "%s: %s done\n",
+                             suite.name.c_str(), key.c_str());
+        });
+
+    int rc = 0;
+    for (const JobResult &r : results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "%s: job %llu (%s/%s) failed: %s\n",
+                         suite.name.c_str(),
+                         static_cast<unsigned long long>(r.index),
+                         r.row.c_str(), r.col.c_str(), r.error.c_str());
+            rc = 1;
+        }
+    }
+
+    if (render_table && rc == 0) {
+        const ReportTable t = suite.render(results);
+        t.print(std::cout);
+        if (suite.emitCsv) {
+            std::printf("--- csv ---\n");
+            t.printCsv(std::cout);
+            std::printf("-----------\n");
+        }
+        if (suite.verdict)
+            rc = suite.verdict(results, std::cout);
+    }
+
+    if (store)
+        store->addAll(std::move(results));
+    return rc;
+}
+
+} // namespace mtrap::harness

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's experiment suites (figures 3-9 and the security matrix)
+ * expressed as harness job lists plus renderers that reproduce the
+ * legacy bench binaries' tables byte-for-byte.
+ *
+ * Both the per-figure bench binaries and the mtrap_batch CLI are thin
+ * wrappers around buildSuite()/runSuite(): the benches render one
+ * suite's table, mtrap_batch runs any subset (optionally sharded) and
+ * archives the raw results through a ResultStore.
+ */
+
+#ifndef MTRAP_HARNESS_SUITES_HH
+#define MTRAP_HARNESS_SUITES_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/pool.hh"
+#include "harness/result_store.hh"
+#include "sim/report.hh"
+
+namespace mtrap::harness
+{
+
+/** One runnable experiment suite. */
+struct Suite
+{
+    std::string name;
+    std::vector<JobSpec> jobs;
+
+    /** Build the legacy table from the full result set. */
+    std::function<ReportTable(const std::vector<JobResult> &)> render;
+    /**
+     * Post-table pass/fail hook (the security matrix's LEAK check);
+     * prints its message and returns the suite's exit code. Null means
+     * unconditional 0.
+     */
+    std::function<int(const std::vector<JobResult> &, std::ostream &)>
+        verdict;
+
+    /** Echo a CSV block after the table (legacy emit() behaviour; the
+     *  security matrix prints its table without one). */
+    bool emitCsv = true;
+    /** Legacy progress lines group by row (workload) or by column
+     *  (scheme, for the security matrix). */
+    bool progressByCol = false;
+};
+
+/** All suite names, figure order: fig3..fig9, security. */
+const std::vector<std::string> &suiteNames();
+
+/** Build one suite (fatal on unknown name). `seed` = 0 reproduces the
+ *  legacy serial benches exactly. */
+Suite buildSuite(const std::string &name, const RunOptions &opt,
+                 std::uint64_t seed = 0);
+
+/**
+ * Run `suite` on `pool`: emits the legacy "<suite>: <group> done"
+ * progress lines on stderr as row/column groups complete, renders the
+ * table (and verdict) to stdout when `render_table`, and moves the raw
+ * results into `store` when non-null. Returns the suite's exit code
+ * (nonzero on job failure or verdict failure).
+ */
+int runSuite(const Suite &suite, ExperimentPool &pool, bool render_table,
+             ResultStore *store);
+
+} // namespace mtrap::harness
+
+#endif // MTRAP_HARNESS_SUITES_HH

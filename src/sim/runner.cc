@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include "common/log.hh"
+#include "common/rng.hh"
 
 namespace mtrap
 {
@@ -13,6 +14,15 @@ runConfigured(const Workload &w, const SystemConfig &cfg,
     if (c.cores < w.threads())
         c.cores = w.threads();
     c.mem.cores = c.cores;
+    if (opt.seed) {
+        c.mem.l1d.seed = mixSeeds(c.mem.l1d.seed, opt.seed);
+        c.mem.l1i.seed = mixSeeds(c.mem.l1i.seed, opt.seed);
+        c.mem.l2.seed = mixSeeds(c.mem.l2.seed, opt.seed);
+        c.mem.mt.dataParams.seed =
+            mixSeeds(c.mem.mt.dataParams.seed, opt.seed);
+        c.mem.mt.instParams.seed =
+            mixSeeds(c.mem.mt.instParams.seed, opt.seed);
+    }
 
     auto sys = std::make_unique<System>(c);
     sys->loadWorkload(w);

@@ -17,12 +17,25 @@
 namespace mtrap
 {
 
-/** Run lengths. Small by gem5 standards but big enough for stable
- *  relative timings in this model. */
+/** Default run lengths, shared by the runner, the CLI front ends and
+ *  the figure benches. Small by gem5 standards but big enough for
+ *  stable relative timings in this model. */
+inline constexpr std::uint64_t kDefaultWarmupInstructions = 30'000;
+inline constexpr std::uint64_t kDefaultMeasureInstructions = 100'000;
+
+/** Run lengths and reproducibility knobs for one measured run. */
 struct RunOptions
 {
-    std::uint64_t warmupInstructions = 30'000;
-    std::uint64_t measureInstructions = 120'000;
+    std::uint64_t warmupInstructions = kDefaultWarmupInstructions;
+    std::uint64_t measureInstructions = kDefaultMeasureInstructions;
+    /**
+     * Experiment seed. 0 (the default) leaves every structure's
+     * configured seed untouched, so legacy results are unchanged; any
+     * other value is mixed into the cache/filter replacement seeds so a
+     * run can be re-randomised reproducibly (mtrap_sim --seed, harness
+     * per-job seeds).
+     */
+    std::uint64_t seed = 0;
 };
 
 /** Outcome of one measured run. */

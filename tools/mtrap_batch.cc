@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Batch experiment front end: run any of the paper's figure suites (or
+ * the security matrix) through the parallel experiment harness, with
+ * optional sharding across machines and CSV/JSON artifact emission.
+ *
+ * Usage:
+ *   mtrap_batch --list
+ *   mtrap_batch --suite fig3 [options]
+ *   mtrap_batch --suite all --jobs 8 --out results.json
+ *   mtrap_batch --suite fig9 --shard 1/4 --out shard1.json
+ *
+ * Options:
+ *   --suite NAME         fig3|fig4|fig5|fig6|fig7|fig8|fig9|security|all
+ *                        (repeatable; "all" expands to every suite)
+ *   --jobs N             worker threads (default: hardware concurrency)
+ *   --shard i/m          run only jobs k with k%m == i (0-based). Tables
+ *                        need the full result set, so sharded runs emit
+ *                        artifacts only.
+ *   --out FILE           write all results as JSON ("-" = stdout)
+ *   --csv FILE           write all results as CSV ("-" = stdout)
+ *   --seed S             nonzero: re-randomise deterministically (per-job
+ *                        seeds derived from S); 0 (default) reproduces
+ *                        the serial benches exactly
+ *   --instructions N     measured instructions per core (default 100000)
+ *   --warmup N           warmup instructions per core (default 30000)
+ *   --no-tables          skip table rendering even when unsharded
+ *
+ * Determinism: results (and therefore --out/--csv artifacts) are
+ * byte-identical for any --jobs value.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/parse.hh"
+#include "harness/suites.hh"
+
+namespace
+{
+
+using namespace mtrap;
+using namespace mtrap::harness;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mtrap_batch --list | --suite NAME [--suite "
+                 "NAME...]\n"
+                 "                   [--jobs N] [--shard i/m] [--out "
+                 "FILE] [--csv FILE]\n"
+                 "                   [--seed S] [--instructions N] "
+                 "[--warmup N] [--no-tables]\n");
+    std::exit(1);
+}
+
+/** Strict decimal parse; fatal (not abort) on junk like --jobs abc. */
+std::uint64_t
+parseNumber(const std::string &s, const char *flag)
+{
+    std::uint64_t v;
+    if (!parseU64(s, v))
+        fatal("%s wants a number, got '%s'", flag, s.c_str());
+    return v;
+}
+
+void
+parseShard(const std::string &spec, unsigned &index, unsigned &count)
+{
+    const std::size_t slash = spec.find('/');
+    if (slash == std::string::npos || slash == 0
+        || slash + 1 >= spec.size())
+        fatal("--shard wants i/m (e.g. 0/4), got '%s'", spec.c_str());
+    index = static_cast<unsigned>(
+        parseNumber(spec.substr(0, slash), "--shard"));
+    count = static_cast<unsigned>(
+        parseNumber(spec.substr(slash + 1), "--shard"));
+    if (count == 0 || index >= count)
+        fatal("--shard %s: need 0 <= i < m", spec.c_str());
+}
+
+void
+writeArtifact(const ResultStore &store, const std::string &path, bool csv)
+{
+    if (path == "-") {
+        csv ? store.writeCsv(std::cout) : store.writeJson(std::cout);
+        return;
+    }
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    csv ? store.writeCsv(os) : store.writeJson(os);
+    std::fprintf(stderr, "mtrap_batch: wrote %s (%llu results)\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(store.size()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> suites;
+    unsigned jobs = 0;
+    unsigned shard_index = 0, shard_count = 1;
+    std::string out_json, out_csv;
+    std::uint64_t seed = 0;
+    RunOptions opt; // defaults: kDefault{Warmup,Measure}Instructions
+    bool tables = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            std::printf("Suites:\n");
+            for (const std::string &n : suiteNames())
+                std::printf("  %s\n", n.c_str());
+            std::printf("  all\n");
+            return 0;
+        } else if (arg == "--suite") {
+            suites.push_back(next());
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(parseNumber(next(), "--jobs"));
+        } else if (arg == "--shard") {
+            parseShard(next(), shard_index, shard_count);
+        } else if (arg == "--out") {
+            out_json = next();
+        } else if (arg == "--csv") {
+            out_csv = next();
+        } else if (arg == "--seed") {
+            seed = parseNumber(next(), "--seed");
+        } else if (arg == "--instructions") {
+            opt.measureInstructions =
+                parseNumber(next(), "--instructions");
+        } else if (arg == "--warmup") {
+            opt.warmupInstructions = parseNumber(next(), "--warmup");
+        } else if (arg == "--no-tables") {
+            tables = false;
+        } else {
+            usage();
+        }
+    }
+    if (suites.empty())
+        usage();
+
+    // Expand "all" and validate every name up front, so a typo in a
+    // later --suite cannot discard hours of completed results.
+    std::vector<std::string> expanded;
+    for (const std::string &s : suites) {
+        if (s == "all") {
+            expanded.insert(expanded.end(), suiteNames().begin(),
+                            suiteNames().end());
+            continue;
+        }
+        bool known = false;
+        for (const std::string &n : suiteNames())
+            known |= (n == s);
+        if (!known)
+            fatal("unknown suite '%s' (try --list)", s.c_str());
+        expanded.push_back(s);
+    }
+
+    const bool sharded = shard_count > 1;
+    if (sharded && tables) {
+        std::fprintf(stderr,
+                     "mtrap_batch: sharded run, skipping tables "
+                     "(artifacts only)\n");
+        tables = false;
+    }
+
+    ExperimentPool pool(jobs);
+    std::fprintf(stderr, "mtrap_batch: %u worker thread(s), shard %u/%u\n",
+                 pool.threads(), shard_index, shard_count);
+
+    ResultStore store;
+    int rc = 0;
+    for (const std::string &name : expanded) {
+        Suite suite = buildSuite(name, opt, seed);
+        suite.jobs = shardJobs(std::move(suite.jobs), shard_index,
+                               shard_count);
+        const int suite_rc = runSuite(suite, pool, tables, &store);
+        if (suite_rc != 0)
+            rc = suite_rc;
+    }
+
+    if (!out_json.empty())
+        writeArtifact(store, out_json, /*csv=*/false);
+    if (!out_csv.empty())
+        writeArtifact(store, out_csv, /*csv=*/true);
+    return rc;
+}

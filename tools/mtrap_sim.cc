@@ -16,6 +16,10 @@
  *                        STT-Spectre | STT-Future   (default MuonTrap)
  *   --instructions N     measured instructions per core (default 100000)
  *   --warmup N           warmup instructions per core (default 30000)
+ *   --seed S             nonzero: deterministically re-randomise the
+ *                        workload generation and replacement seeds (the
+ *                        same path harness jobs use); 0 = configured
+ *                        seeds (default)
  *   --filter-size BYTES  data filter-cache size (default 2048)
  *   --filter-assoc N     data filter-cache associativity (default 4)
  *   --baseline           also run the unprotected baseline and report
@@ -30,6 +34,8 @@
 #include <string>
 
 #include "common/log.hh"
+#include "common/parse.hh"
+#include "harness/job.hh"
 #include "sim/json_stats.hh"
 #include "sim/runner.hh"
 #include "workload/parsec_profiles.hh"
@@ -46,22 +52,20 @@ usage()
     std::fprintf(stderr,
                  "usage: mtrap_sim --list | --workload NAME "
                  "[--scheme NAME] [--instructions N]\n"
-                 "                 [--warmup N] [--filter-size B] "
-                 "[--filter-assoc N]\n"
+                 "                 [--warmup N] [--seed S] "
+                 "[--filter-size B] [--filter-assoc N]\n"
                  "                 [--baseline] [--stats] [--json]\n");
     std::exit(1);
 }
 
-Workload
-findWorkload(const std::string &name)
+/** Strict decimal parse; usage() (not abort) on junk like --seed abc. */
+std::uint64_t
+parseNumber(const std::string &s)
 {
-    for (const std::string &n : specBenchmarkNames())
-        if (n == name)
-            return buildSpecWorkload(name);
-    for (const std::string &n : parsecBenchmarkNames())
-        if (n == name)
-            return buildParsecWorkload(name);
-    fatal("unknown workload '%s' (try --list)", name.c_str());
+    std::uint64_t v;
+    if (!parseU64(s, v))
+        usage();
+    return v;
 }
 
 } // namespace
@@ -73,9 +77,7 @@ main(int argc, char **argv)
 
     std::string workload_name;
     Scheme scheme = Scheme::MuonTrap;
-    RunOptions opt;
-    opt.measureInstructions = 100'000;
-    opt.warmupInstructions = 30'000;
+    RunOptions opt; // defaults: kDefault{Warmup,Measure}Instructions
     std::uint64_t filter_size = 0;
     unsigned filter_assoc = 0;
     bool with_baseline = false, stats = false, json = false;
@@ -103,13 +105,15 @@ main(int argc, char **argv)
         } else if (arg == "--scheme") {
             scheme = parseScheme(next());
         } else if (arg == "--instructions") {
-            opt.measureInstructions = std::stoull(next());
+            opt.measureInstructions = parseNumber(next());
         } else if (arg == "--warmup") {
-            opt.warmupInstructions = std::stoull(next());
+            opt.warmupInstructions = parseNumber(next());
+        } else if (arg == "--seed") {
+            opt.seed = parseNumber(next());
         } else if (arg == "--filter-size") {
-            filter_size = std::stoull(next());
+            filter_size = parseNumber(next());
         } else if (arg == "--filter-assoc") {
-            filter_assoc = static_cast<unsigned>(std::stoul(next()));
+            filter_assoc = static_cast<unsigned>(parseNumber(next()));
         } else if (arg == "--baseline") {
             with_baseline = true;
         } else if (arg == "--stats") {
@@ -123,7 +127,10 @@ main(int argc, char **argv)
     if (workload_name.empty())
         usage();
 
-    const Workload w = findWorkload(workload_name);
+    // --seed re-randomises both the synthetic program generation and
+    // (via RunOptions::seed) the structure replacement seeds.
+    const Workload w = harness::buildNamedWorkload(workload_name,
+                                                   opt.seed);
     SystemConfig cfg = SystemConfig::forScheme(
         scheme, std::max(1u, w.threads()));
     if (filter_size)
