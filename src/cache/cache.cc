@@ -43,48 +43,6 @@ Cache::Cache(const CacheParams &params, StatGroup *parent)
     mshrFree_.assign(std::max(1u, params.mshrs), 0);
 }
 
-unsigned
-Cache::setIndex(Addr paddr) const
-{
-    return static_cast<unsigned>(lineNum(paddr) & (sets_ - 1));
-}
-
-CacheLine *
-Cache::lookup(Addr paddr)
-{
-    const Addr ln = lineNum(paddr);
-    const unsigned set = setIndex(paddr);
-    CacheLine *base = &lines_[static_cast<std::size_t>(set)
-                              * params_.assoc];
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        CacheLine &l = base[w];
-        if (l.valid() && l.ptag == ln) {
-            repl_->touched(set, w, l);
-            return &l;
-        }
-    }
-    return nullptr;
-}
-
-CacheLine *
-Cache::peek(Addr paddr)
-{
-    const Addr ln = lineNum(paddr);
-    const unsigned set = setIndex(paddr);
-    CacheLine *base = &lines_[static_cast<std::size_t>(set)
-                              * params_.assoc];
-    for (unsigned w = 0; w < params_.assoc; ++w)
-        if (base[w].valid() && base[w].ptag == ln)
-            return &base[w];
-    return nullptr;
-}
-
-const CacheLine *
-Cache::peek(Addr paddr) const
-{
-    return const_cast<Cache *>(this)->peek(paddr);
-}
-
 CacheLine &
 Cache::fill(Addr paddr, CoherState st, Eviction *ev)
 {
@@ -100,7 +58,7 @@ Cache::fill(Addr paddr, CoherState st, Eviction *ev)
     for (unsigned w = 0; w < params_.assoc; ++w) {
         if (base[w].valid() && base[w].ptag == ln) {
             base[w].state = st;
-            repl_->touched(set, w, base[w]);
+            repl_->touchLine(set, w, base[w]);
             if (ev)
                 *ev = Eviction{};
             return base[w];
@@ -118,10 +76,7 @@ Cache::fill(Addr paddr, CoherState st, Eviction *ev)
 
     Eviction local{};
     if (way == params_.assoc) {
-        std::vector<CacheLine *> view(params_.assoc);
-        for (unsigned w = 0; w < params_.assoc; ++w)
-            view[w] = &base[w];
-        way = repl_->victim(set, view);
+        way = repl_->victim(set, base, params_.assoc);
         CacheLine &v = base[way];
         local.valid = true;
         local.ptag = v.ptag;
@@ -164,14 +119,6 @@ Cache::invalidateAll()
     }
 }
 
-void
-Cache::forEachLine(const std::function<void(CacheLine &)> &fn)
-{
-    for (auto &l : lines_)
-        if (l.valid())
-            fn(l);
-}
-
 unsigned
 Cache::validLineCount() const
 {
@@ -189,13 +136,14 @@ Cache::reserveMshr(Addr paddr, Cycle when, Cycle miss_latency)
 
     // Merge with an outstanding fill of the same line: the data arrives
     // with the first fill, no new slot is consumed.
-    auto inf = inflightFills_.find(line);
-    if (inf != inflightFills_.end() && inf->second > when) {
-        ++mshrMerges;
-        const Cycle arrival = inf->second;
-        return arrival > when + miss_latency
-                   ? arrival - when - miss_latency
-                   : 0;
+    if (const Cycle *arr = inflightFills_.find(line)) {
+        if (*arr > when) {
+            ++mshrMerges;
+            const Cycle arrival = *arr;
+            return arrival > when + miss_latency
+                       ? arrival - when - miss_latency
+                       : 0;
+        }
     }
 
     // Pick the slot that frees earliest.
@@ -206,17 +154,17 @@ Cache::reserveMshr(Addr paddr, Cycle when, Cycle miss_latency)
         ++mshrStalls;
     }
     *it = when + delay + miss_latency;
-    inflightFills_[line] = *it;
+    inflightFills_.put(line, *it);
 
-    // Bound the tracking map (stale entries are harmless but wasteful).
+    // Bound the tracking map (timestamps are not globally monotonic —
+    // wrong-path issues run "in the past" — so dropping an entry whose
+    // arrival has passed *this* access's time is a semantic decision,
+    // not just a space one; keep the historical threshold and filter).
     if (inflightFills_.size() > 8 * mshrFree_.size()) {
-        for (auto f = inflightFills_.begin();
-             f != inflightFills_.end();) {
-            if (f->second <= when)
-                f = inflightFills_.erase(f);
-            else
-                ++f;
-        }
+        inflightFills_.eraseIf(
+            [when](std::uint64_t, std::uint64_t arrival) {
+                return arrival <= when;
+            });
     }
     return delay;
 }

@@ -12,13 +12,13 @@
 #ifndef MTRAP_CACHE_CACHE_HH
 #define MTRAP_CACHE_CACHE_HH
 
-#include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/line.hh"
+#include "common/buffer_pool.hh"
+#include "common/flat_map.hh"
 #include "cache/replacement.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -63,13 +63,42 @@ class Cache
     /**
      * Look up a physical address. Returns the line (updating replacement
      * state) or nullptr on miss. `paddr` is a full byte address.
+     * Defined inline: this is the single hottest call in the memory
+     * system and is dispatched from several translation units.
      */
-    CacheLine *lookup(Addr paddr);
+    CacheLine *lookup(Addr paddr)
+    {
+        const Addr ln = lineNum(paddr);
+        const unsigned set = setIndex(paddr);
+        CacheLine *base =
+            &lines_[static_cast<std::size_t>(set) * params_.assoc];
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            CacheLine &l = base[w];
+            if (l.valid() && l.ptag == ln) {
+                repl_->touchLine(set, w, l);
+                return &l;
+            }
+        }
+        return nullptr;
+    }
 
     /** Look up without perturbing replacement state (for probes and
      *  snoops). */
-    CacheLine *peek(Addr paddr);
-    const CacheLine *peek(Addr paddr) const;
+    CacheLine *peek(Addr paddr)
+    {
+        const Addr ln = lineNum(paddr);
+        const unsigned set = setIndex(paddr);
+        CacheLine *base =
+            &lines_[static_cast<std::size_t>(set) * params_.assoc];
+        for (unsigned w = 0; w < params_.assoc; ++w)
+            if (base[w].valid() && base[w].ptag == ln)
+                return &base[w];
+        return nullptr;
+    }
+    const CacheLine *peek(Addr paddr) const
+    {
+        return const_cast<Cache *>(this)->peek(paddr);
+    }
 
     /**
      * Install a line for `paddr` with state `st`. If the set is full the
@@ -86,8 +115,16 @@ class Cache
      *  this with a flash clear). */
     virtual void invalidateAll();
 
-    /** Iterate over every valid line (snoop helpers, verification). */
-    void forEachLine(const std::function<void(CacheLine &)> &fn);
+    /** Iterate over every valid line (snoop helpers, verification).
+     *  Templated visitor — the callable is inlined into the loop, no
+     *  std::function construction or indirect call per line. */
+    template <typename Fn>
+    void forEachLine(Fn &&fn)
+    {
+        for (auto &l : lines_)
+            if (l.valid())
+                fn(l);
+    }
 
     /** Number of currently valid lines. */
     unsigned validLineCount() const;
@@ -105,15 +142,21 @@ class Cache
     virtual ~Cache() = default;
 
   protected:
-    unsigned setIndex(Addr paddr) const;
+    unsigned setIndex(Addr paddr) const
+    {
+        return static_cast<unsigned>(lineNum(paddr) & (sets_ - 1));
+    }
 
     CacheParams params_;
     unsigned sets_;
-    std::vector<CacheLine> lines_;
+    /** Pool-allocated: systems are built and torn down constantly (the
+     *  attack choreographies, every harness job) and recycling the
+     *  multi-megabyte line arrays avoids first-touch page faults. */
+    std::vector<CacheLine, PoolAllocator<CacheLine>> lines_;
     std::unique_ptr<Replacement> repl_;
     std::vector<Cycle> mshrFree_;
     /** Outstanding fills: line number -> data-arrival cycle. */
-    std::unordered_map<Addr, Cycle> inflightFills_;
+    FlatWordMap inflightFills_;
 
     StatGroup stats_;
 

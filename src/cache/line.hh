@@ -30,15 +30,24 @@ enum class CoherState : std::uint8_t
 /** Human-readable state name. */
 const char *coherStateName(CoherState s);
 
-/** Metadata for one cache line. */
+/**
+ * Metadata for one cache line.
+ *
+ * Kept deliberately small (24 bytes): the line arrays of a Table-1
+ * system total several megabytes and every lookup/peek walks them, so
+ * their footprint sets the simulator's hardware-cache behaviour. The
+ * filter caches' virtual tags live in a FilterCache-side array rather
+ * than here, and the replacement stamp is shared between LRU (updated
+ * on touch and fill) and FIFO (updated on fill only — the policy
+ * controls when it advances, see Replacement::touchLine).
+ */
 struct CacheLine
 {
     /** Physical line number (paddr >> kLineShift); tag+index combined. */
     Addr ptag = kAddrInvalid;
-    /** Virtual line number, used only by filter caches (VIPT, §4.4). */
-    Addr vtag = kAddrInvalid;
-    /** Owning address space, used only by filter caches. */
-    Asid asid = 0;
+    /** Replacement bookkeeping: policy-defined stamp (LRU last-touch /
+     *  FIFO fill order). */
+    std::uint64_t replStamp = 0;
     CoherState state = CoherState::Invalid;
     /**
      * MuonTrap committed bit (§4.2): false while the line was brought in
@@ -59,10 +68,6 @@ struct CacheLine
     /** True if the line was installed by a prefetch and not yet demand
      *  referenced (prefetcher accuracy accounting). */
     bool prefetched = false;
-    /** Replacement bookkeeping: last-touch stamp (LRU). */
-    std::uint64_t lastUse = 0;
-    /** Replacement bookkeeping: fill stamp (FIFO). */
-    std::uint64_t fillStamp = 0;
 
     bool valid() const { return state != CoherState::Invalid; }
 

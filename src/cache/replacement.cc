@@ -32,15 +32,19 @@ replPolicyName(ReplPolicy p)
 void
 Replacement::touched(unsigned, unsigned, CacheLine &line)
 {
-    line.lastUse = ++stamp_;
+    line.replStamp = ++stamp_;
 }
 
 void
 Replacement::filled(unsigned, unsigned, CacheLine &line)
 {
+    line.replStamp = ++stamp_;
+}
+
+void
+FifoReplacement::touched(unsigned, unsigned, CacheLine &)
+{
     ++stamp_;
-    line.lastUse = stamp_;
-    line.fillStamp = stamp_;
 }
 
 std::unique_ptr<Replacement>
@@ -61,34 +65,35 @@ Replacement::create(ReplPolicy p, unsigned sets, unsigned ways,
 }
 
 unsigned
-LruReplacement::victim(unsigned, const std::vector<CacheLine *> &set)
+LruReplacement::victim(unsigned, const CacheLine *set, unsigned ways)
 {
     unsigned best = 0;
-    for (unsigned w = 1; w < set.size(); ++w)
-        if (set[w]->lastUse < set[best]->lastUse)
+    for (unsigned w = 1; w < ways; ++w)
+        if (set[w].replStamp < set[best].replStamp)
             best = w;
     return best;
 }
 
 unsigned
-FifoReplacement::victim(unsigned, const std::vector<CacheLine *> &set)
+FifoReplacement::victim(unsigned, const CacheLine *set, unsigned ways)
 {
     unsigned best = 0;
-    for (unsigned w = 1; w < set.size(); ++w)
-        if (set[w]->fillStamp < set[best]->fillStamp)
+    for (unsigned w = 1; w < ways; ++w)
+        if (set[w].replStamp < set[best].replStamp)
             best = w;
     return best;
 }
 
 unsigned
-RandomReplacement::victim(unsigned, const std::vector<CacheLine *> &set)
+RandomReplacement::victim(unsigned, const CacheLine *, unsigned ways)
 {
-    return static_cast<unsigned>(rng_.below(set.size()));
+    return static_cast<unsigned>(rng_.below(ways));
 }
 
 TreePlruReplacement::TreePlruReplacement(unsigned sets, unsigned ways)
     : ways_(ways)
 {
+    touchKind_ = TouchKind::Virtual;
     if (!isPow2(ways))
         fatal("tree-plru requires power-of-two associativity, got %u", ways);
     nodesPerSet_ = ways > 1 ? ways - 1 : 1;
@@ -120,13 +125,13 @@ TreePlruReplacement::mark(unsigned set_idx, unsigned way)
 }
 
 unsigned
-TreePlruReplacement::victim(unsigned set_idx,
-                            const std::vector<CacheLine *> &set)
+TreePlruReplacement::victim(unsigned set_idx, const CacheLine *,
+                            unsigned ways)
 {
     if (ways_ <= 1)
         return 0;
-    if (set.size() != ways_)
-        panic("tree-plru: set size %zu != ways %u", set.size(), ways_);
+    if (ways != ways_)
+        panic("tree-plru: set size %u != ways %u", ways, ways_);
     const std::uint8_t *tree = &bits_[static_cast<std::size_t>(set_idx)
                                       * nodesPerSet_];
     unsigned node = 0;

@@ -32,11 +32,14 @@ class Replacement
     virtual ~Replacement() = default;
 
     /**
-     * Choose a victim way in `set`. Invalid ways are preferred by the
-     * caller before this is consulted, so every way here is valid.
+     * Choose a victim way among the `ways` contiguous lines at `set`.
+     * Invalid ways are preferred by the caller before this is
+     * consulted, so every way here is valid. Takes the line array
+     * directly (no per-call view construction — this is the fill hot
+     * path).
      */
-    virtual unsigned victim(unsigned set_idx,
-                            const std::vector<CacheLine *> &set) = 0;
+    virtual unsigned victim(unsigned set_idx, const CacheLine *set,
+                            unsigned ways) = 0;
 
     /** A hit touched `way`. */
     virtual void touched(unsigned set_idx, unsigned way, CacheLine &line);
@@ -44,29 +47,60 @@ class Replacement
     /** A fill installed into `way`. */
     virtual void filled(unsigned set_idx, unsigned way, CacheLine &line);
 
+    /**
+     * Hit-path dispatch. Most policies need no virtual call per cache
+     * hit:
+     *  - Stamp (LRU, Random): write the shared stamp to the line.
+     *  - CountOnly (FIFO): advance the counter but leave the line's
+     *    stamp as its fill order — exactly the stamp stream the old
+     *    separate lastUse/fillStamp pair produced.
+     *  - Virtual (TreePLRU): full virtual dispatch (tree-bit updates).
+     */
+    void touchLine(unsigned set_idx, unsigned way, CacheLine &line)
+    {
+        switch (touchKind_) {
+          case TouchKind::Stamp:
+            line.replStamp = ++stamp_;
+            break;
+          case TouchKind::CountOnly:
+            ++stamp_;
+            break;
+          case TouchKind::Virtual:
+            touched(set_idx, way, line);
+            break;
+        }
+    }
+
     /** Factory. `sets`/`ways` describe the cache geometry. */
     static std::unique_ptr<Replacement> create(ReplPolicy p, unsigned sets,
                                                unsigned ways,
                                                std::uint64_t seed);
 
   protected:
+    enum class TouchKind : std::uint8_t { Stamp, CountOnly, Virtual };
+
     std::uint64_t stamp_ = 0;
+    TouchKind touchKind_ = TouchKind::Stamp;
 };
 
 /** Least-recently-used via per-line stamps. */
 class LruReplacement : public Replacement
 {
   public:
-    unsigned victim(unsigned set_idx,
-                    const std::vector<CacheLine *> &set) override;
+    unsigned victim(unsigned set_idx, const CacheLine *set,
+                    unsigned ways) override;
 };
 
 /** First-in-first-out via fill stamps. */
 class FifoReplacement : public Replacement
 {
   public:
-    unsigned victim(unsigned set_idx,
-                    const std::vector<CacheLine *> &set) override;
+    FifoReplacement() { touchKind_ = TouchKind::CountOnly; }
+    unsigned victim(unsigned set_idx, const CacheLine *set,
+                    unsigned ways) override;
+    /** Touches advance the stamp counter but must not overwrite the
+     *  line's fill-order stamp. */
+    void touched(unsigned set_idx, unsigned way, CacheLine &line) override;
 };
 
 /** Uniform-random victim. */
@@ -74,8 +108,8 @@ class RandomReplacement : public Replacement
 {
   public:
     explicit RandomReplacement(std::uint64_t seed) : rng_(seed) {}
-    unsigned victim(unsigned set_idx,
-                    const std::vector<CacheLine *> &set) override;
+    unsigned victim(unsigned set_idx, const CacheLine *set,
+                    unsigned ways) override;
 
   private:
     Rng rng_;
@@ -87,8 +121,8 @@ class TreePlruReplacement : public Replacement
   public:
     TreePlruReplacement(unsigned sets, unsigned ways);
 
-    unsigned victim(unsigned set_idx,
-                    const std::vector<CacheLine *> &set) override;
+    unsigned victim(unsigned set_idx, const CacheLine *set,
+                    unsigned ways) override;
     void touched(unsigned set_idx, unsigned way, CacheLine &line) override;
     void filled(unsigned set_idx, unsigned way, CacheLine &line) override;
 

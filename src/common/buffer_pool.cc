@@ -1,0 +1,13 @@
+#include "common/buffer_pool.hh"
+
+namespace mtrap
+{
+
+BufferPool &
+BufferPool::instance()
+{
+    static BufferPool *pool = new BufferPool();
+    return *pool;
+}
+
+} // namespace mtrap

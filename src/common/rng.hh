@@ -47,6 +47,22 @@ class Rng
  */
 std::uint64_t mixSeeds(std::uint64_t a, std::uint64_t b);
 
+/**
+ * The splitmix64 increment-and-finalize step: full avalanche of one
+ * 64-bit value. The single definition behind the deterministic page
+ * mapper, the functional memory's pseudo-contents and FlatWordMap's
+ * hash — these must stay bit-identical to each other's history, so
+ * they share it.
+ */
+inline std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 } // namespace mtrap
 
 #endif // MTRAP_COMMON_RNG_HH

@@ -143,6 +143,14 @@ BranchPredictor::snapshot() const
 }
 
 void
+BranchPredictor::snapshotInto(Snapshot &s) const
+{
+    s.globalHistory = globalHistory_;
+    s.ras = ras_;
+    s.rasTop = rasTop_;
+}
+
+void
 BranchPredictor::restore(const Snapshot &s)
 {
     globalHistory_ = s.globalHistory;

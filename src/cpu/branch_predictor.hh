@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/buffer_pool.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -73,6 +74,9 @@ class BranchPredictor
         unsigned rasTop = 0;
     };
     Snapshot snapshot() const;
+    /** Snapshot into existing storage (reuses the RAS vector's capacity;
+     *  the checkpoint-pool path, taken on every mispredict). */
+    void snapshotInto(Snapshot &s) const;
     void restore(const Snapshot &s);
 
   private:
@@ -94,7 +98,8 @@ class BranchPredictor
         Addr pc = kAddrInvalid;
         Addr target = kAddrInvalid;
     };
-    std::vector<BtbEntry> btb_;
+    /** 4096 x 16 B: pool-allocated, rebuilt with every System. */
+    std::vector<BtbEntry, PoolAllocator<BtbEntry>> btb_;
 
     std::vector<Addr> ras_;
     unsigned rasTop_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "perf/odometer.hh"
 
 namespace mtrap
 {
@@ -32,10 +33,6 @@ Core::Core(CoreId id, const CoreParams &params, MemIface *mem,
            StatGroup *parent)
     : id_(id), params_(params), mem_(mem),
       bpred_(params.bpred, parent),
-      intUnits_(params.intAlus, 0),
-      fpUnits_(params.fpAlus, 0),
-      mulUnits_(params.mulDivs, 0),
-      memUnits_(params.memPorts, 0),
       stats_(strfmt("core%u", id), parent),
       committed(&stats_, "committed", "instructions committed"),
       committedLoads(&stats_, "committed_loads", "loads committed"),
@@ -65,6 +62,30 @@ Core::Core(CoreId id, const CoreParams &params, MemIface *mem,
         fatal("core%u: null memory interface", id);
     if (params.robSize < params.lqSize || params.robSize < params.sqSize)
         fatal("core%u: ROB smaller than LQ/SQ", id);
+    if (params.intAlus > FuPool::kMaxUnits ||
+        params.fpAlus > FuPool::kMaxUnits ||
+        params.mulDivs > FuPool::kMaxUnits ||
+        params.memPorts > FuPool::kMaxUnits)
+        fatal("core%u: more than %u units of one class", id,
+              FuPool::kMaxUnits);
+    taintTracked_ = params.defense == CoreDefense::SttSpectre ||
+                    params.defense == CoreDefense::SttFuture;
+    intUnits_.count = std::max(1u, params.intAlus);
+    fpUnits_.count = std::max(1u, params.fpAlus);
+    mulUnits_.count = std::max(1u, params.mulDivs);
+    memUnits_.count = std::max(1u, params.memPorts);
+
+    // Window ring: power-of-two capacity covering the ROB.
+    std::size_t cap = 1;
+    while (cap < params.robSize + 1u)
+        cap <<= 1;
+    winBuf_.resize(cap);
+    winMask_ = cap - 1;
+}
+
+Core::~Core()
+{
+    perf::SimOdometer::instance().add(committedEver_, fetchCycle_);
 }
 
 void
@@ -74,8 +95,7 @@ Core::setContext(const ArchContext &ctx)
     regDone_.fill(fetchCycle_);
     regTaint_.fill(0);
     lastIfetchLine_ = kAddrInvalid;
-    specStack_.clear();
-    olderDoneMax_ = fetchCycle_;
+    specDepth_ = 0;
     lastBranchDone_ = 0;
 }
 
@@ -184,50 +204,51 @@ Core::aluResult(const MicroOp &op) const
 // Store buffer (functional wrong-path isolation + forwarding)
 // --------------------------------------------------------------------------
 
+const Core::BufferedStore *
+Core::findBufferedStore(Addr vaddr) const
+{
+    // Backwards: the youngest store to the address wins (forwarding).
+    for (auto it = storeBuffer_.rbegin(); it != storeBuffer_.rend(); ++it)
+        if (it->vaddr == vaddr)
+            return &*it;
+    return nullptr;
+}
+
 std::uint64_t
 Core::functionalLoad(Addr vaddr)
 {
-    auto it = storeBuffer_.find(vaddr);
-    if (it != storeBuffer_.end() && !it->second.empty())
-        return it->second.back().value;
+    if (const BufferedStore *s = findBufferedStore(vaddr))
+        return s->value;
     return mem_->read(ctx_.asid, vaddr);
 }
 
 void
 Core::bufferStore(Addr vaddr, std::uint64_t value, SeqNum seq)
 {
-    storeBuffer_[vaddr].push_back(BufferedStore{seq, value});
+    storeBuffer_.push_back(BufferedStore{vaddr, seq, value});
 }
 
 void
 Core::unbufferStoresAfter(SeqNum first_squashed)
 {
-    for (auto it = storeBuffer_.begin(); it != storeBuffer_.end();) {
-        auto &vec = it->second;
-        while (!vec.empty() && vec.back().seq >= first_squashed)
-            vec.pop_back();
-        if (vec.empty())
-            it = storeBuffer_.erase(it);
-        else
-            ++it;
-    }
+    // Sequence numbers only grow along the buffer: wrong-path stores are
+    // a suffix.
+    while (!storeBuffer_.empty() &&
+           storeBuffer_.back().seq >= first_squashed)
+        storeBuffer_.pop_back();
 }
 
 void
 Core::releaseStore(Addr vaddr, SeqNum seq, std::uint64_t value)
 {
     mem_->write(ctx_.asid, vaddr, value);
-    auto it = storeBuffer_.find(vaddr);
-    if (it != storeBuffer_.end()) {
-        auto &vec = it->second;
-        auto pos = std::find_if(vec.begin(), vec.end(),
-                                [seq](const BufferedStore &s) {
-                                    return s.seq == seq;
-                                });
-        if (pos != vec.end())
-            vec.erase(pos);
-        if (vec.empty())
+    // Commits run in sequence order, so the released store sits at (or
+    // very near) the front.
+    for (auto it = storeBuffer_.begin(); it != storeBuffer_.end(); ++it) {
+        if (it->seq == seq) {
             storeBuffer_.erase(it);
+            return;
+        }
     }
 }
 
@@ -247,9 +268,10 @@ Core::allocFetchSlot()
 }
 
 Cycle
-Core::fuAvailable(std::vector<Cycle> &units, Cycle ready)
+Core::fuAvailable(FuPool &units, Cycle ready)
 {
-    auto it = std::min_element(units.begin(), units.end());
+    auto it = std::min_element(units.until.begin(),
+                               units.until.begin() + units.count);
     const Cycle start = std::max(*it, ready);
     *it = start + 1; // units accept one op per cycle (pipelined)
     return start;
@@ -260,7 +282,7 @@ Core::fuAvailable(std::vector<Cycle> &units, Cycle ready)
 // --------------------------------------------------------------------------
 
 void
-Core::appendEntry(WinEntry e)
+Core::appendEntry(WinEntry &e)
 {
     // In-order commit: 'commitWidth' per cycle, after commitReadyC.
     Cycle c = std::max(e.commitReadyC + 1, lastCommitC_);
@@ -278,25 +300,27 @@ Core::appendEntry(WinEntry e)
         ++loadsInFlight_;
     if (e.isStore)
         ++storesInFlight_;
-    window_.push_back(std::move(e));
+    // `e` already lives in the ring's next slot; publish it.
+    ++winCount_;
 }
 
 void
 Core::popHead()
 {
-    WinEntry &e = window_.front();
+    WinEntry &e = winFront();
     commitActions(e);
     if (e.isLoad)
         --loadsInFlight_;
     if (e.isStore)
         --storesInFlight_;
-    window_.pop_front();
+    winPopFront();
 }
 
 void
 Core::commitActions(const WinEntry &e)
 {
     ++committed;
+    ++committedEver_;
     if (e.isLoad)
         ++committedLoads;
     if (e.isStore) {
@@ -314,7 +338,7 @@ Core::commitActions(const WinEntry &e)
 void
 Core::drain()
 {
-    while (!window_.empty())
+    while (!winEmpty())
         popHead();
     if (lastCommitC_ > fetchCycle_) {
         fetchCycle_ = lastCommitC_;
@@ -329,10 +353,13 @@ Core::drain()
 void
 Core::enterWrongPath(std::uint64_t correct_pc, Cycle resolve_at)
 {
-    Checkpoint chk;
+    if (specDepth_ == specStack_.size())
+        specStack_.emplace_back();
+    Checkpoint &chk = specStack_[specDepth_++];
     chk.regs = ctx_.regs;
     chk.regDone = regDone_;
-    chk.regTaint = regTaint_;
+    if (taintTracked_)
+        chk.regTaint = regTaint_;
     chk.callStack = ctx_.callStack;
     chk.correctPc = correct_pc;
     chk.resolveAt = resolve_at;
@@ -340,11 +367,9 @@ Core::enterWrongPath(std::uint64_t correct_pc, Cycle resolve_at)
     chk.lastCommitC = lastCommitC_;
     chk.commitSlotCycle = commitSlotCycle_;
     chk.commitsInSlot = commitsInSlot_;
-    chk.olderDoneMax = olderDoneMax_;
     chk.lastBranchDone = lastBranchDone_;
     chk.lastIfetchLine = lastIfetchLine_;
-    chk.bpred = bpred_.snapshot();
-    specStack_.push_back(std::move(chk));
+    bpred_.snapshotInto(chk.bpred);
 }
 
 void
@@ -356,27 +381,31 @@ Core::squash()
     Checkpoint &chk = specStack_.front();
 
     // Discard wrong-path entries from the window tail, fixing up the
-    // in-flight load/store occupancy as they go.
-    while (!window_.empty() &&
-           window_.back().seq >= chk.firstWrongSeq) {
-        const WinEntry &e = window_.back();
+    // in-flight load/store occupancy as they go (the wrong path can be
+    // a whole ROB's worth of entries; walk the ring directly).
+    std::size_t n = winCount_;
+    while (n > 0) {
+        const WinEntry &e = winBuf_[(winHead_ + n - 1) & winMask_];
+        if (e.seq < chk.firstWrongSeq)
+            break;
         if (e.isLoad)
             --loadsInFlight_;
         if (e.isStore)
             --storesInFlight_;
-        window_.pop_back();
+        --n;
     }
+    winCount_ = n;
     unbufferStoresAfter(chk.firstWrongSeq);
 
     ctx_.regs = chk.regs;
     regDone_ = chk.regDone;
-    regTaint_ = chk.regTaint;
+    if (taintTracked_)
+        regTaint_ = chk.regTaint;
     ctx_.callStack = chk.callStack;
     ctx_.pc = chk.correctPc;
     lastCommitC_ = chk.lastCommitC;
     commitSlotCycle_ = chk.commitSlotCycle;
     commitsInSlot_ = chk.commitsInSlot;
-    olderDoneMax_ = chk.olderDoneMax;
     lastBranchDone_ = std::max(chk.lastBranchDone, chk.resolveAt);
     lastIfetchLine_ = chk.lastIfetchLine;
     bpred_.restore(chk.bpred);
@@ -386,7 +415,7 @@ Core::squash()
 
     ++squashes;
     mem_->onSquash(id_, fetchCycle_);
-    specStack_.clear();
+    specDepth_ = 0;
 }
 
 // --------------------------------------------------------------------------
@@ -419,6 +448,7 @@ Core::drainAndApplySerializing(const MicroOp &op, Cycle done_c)
     fetchedThisCycle_ = 0;
     lastCommitC_ = std::max(lastCommitC_, fetchCycle_);
     ++committed;
+    ++committedEver_;
 }
 
 // --------------------------------------------------------------------------
@@ -461,8 +491,9 @@ Core::retireEligible()
     const SeqNum barrier = inWrongPath()
                                ? specStack_.front().firstWrongSeq
                                : nextSeq_;
-    while (!window_.empty() && window_.front().seq < barrier &&
-           window_.front().commitC <= fetchCycle_) {
+    while (!winEmpty() && winFront().seq < barrier &&
+           winFront().commitC <= fetchCycle_ &&
+           committed.value() < commitStop_) {
         popHead();
     }
 }
@@ -489,8 +520,15 @@ std::uint64_t
 Core::run(std::uint64_t max_commits)
 {
     const std::uint64_t start = committed.value();
-    while (!ctx_.halted && committed.value() - start < max_commits)
+    const std::uint64_t stop =
+        max_commits > kNoCommitStop - start ? kNoCommitStop
+                                            : start + max_commits;
+    commitStop_ = stop;
+    budgetStall_ = false;
+    while (!ctx_.halted && !budgetStall_ && committed.value() < stop)
         stepOne();
+    commitStop_ = kNoCommitStop;
+    budgetStall_ = false;
     return committed.value() - start;
 }
 
@@ -506,7 +544,7 @@ Core::fetchOne()
         return;
     }
 
-    const MicroOp op = prog.ops[ctx_.pc];
+    const MicroOp &op = prog.ops[ctx_.pc];
     const std::uint64_t pc = ctx_.pc;
 
     // Serializing ops never execute speculatively: on the wrong path
@@ -518,6 +556,16 @@ Core::fetchOne()
             squash();
             return;
         }
+        // The implied drain would blow the commit budget: retire what
+        // the budget still allows and stop; a later run() fetches the
+        // op. The deferred commit actions keep their timestamps, so the
+        // simulation stream is unchanged.
+        if (committed.value() + winSize() + 1 > commitStop_) {
+            while (!winEmpty() && committed.value() < commitStop_)
+                popHead();
+            budgetStall_ = true;
+            return;
+        }
         // Timing: the op issues after its fetch and all older work.
         const Cycle fc = allocFetchSlot();
         ++fetched;
@@ -527,13 +575,18 @@ Core::fetchOne()
     }
 
     // Structural stalls: ROB, LQ, SQ.
-    while (window_.size() >= params_.robSize ||
+    while (winSize() >= params_.robSize ||
            (op.type == OpType::Load && loadsInFlight_ >= params_.lqSize) ||
            (op.type == OpType::Store && storesInFlight_ >= params_.sqSize)) {
-        if (window_.empty())
+        if (committed.value() >= commitStop_) {
+            // Making room would exceed the commit budget.
+            budgetStall_ = true;
+            return;
+        }
+        if (winEmpty())
             panic("core%u: structural stall with empty window", id_);
-        if (fetchCycle_ < window_.front().commitC) {
-            fetchCycle_ = window_.front().commitC;
+        if (fetchCycle_ < winFront().commitC) {
+            fetchCycle_ = winFront().commitC;
             fetchedThisCycle_ = 0;
             // The stall may have pushed us past a pending resolve point.
             if (inWrongPath() &&
@@ -550,10 +603,20 @@ Core::fetchOne()
     if (inWrongPath())
         ++wrongPathFetched;
 
-    WinEntry e;
+    // Build the entry in its ring slot. Only the fields every path
+    // reads are reset; vaddr/storeValue/ifetchVaddr/doneC are written
+    // by exactly the paths that later read them (guarded by the flags
+    // cleared here), so the stale slot contents are never observed.
+    WinEntry &e = winNextSlot();
     e.seq = nextSeq_++;
     e.pcIndex = pc;
     e.type = op.type;
+    e.commitReadyC = 0;
+    e.isLoad = false;
+    e.isStore = false;
+    e.accessedMemory = false;
+    e.tlbMiss = false;
+    e.newIfetchLine = false;
 
     chargeIfetch(pc, e);
 
@@ -571,15 +634,17 @@ Core::fetchOne()
       case OpType::FpAlu: {
         const Cycle ready = std::max({dispatch, regReady(op.src1),
                                       regReady(op.src2)});
-        std::vector<Cycle> *units = &intUnits_;
+        FuPool *units = &intUnits_;
         if (op.type == OpType::FpAlu)
             units = &fpUnits_;
         else if (op.type != OpType::IntAlu)
             units = &mulUnits_;
         const Cycle start = fuAvailable(*units, ready);
         e.doneC = start + opLatency(op.type);
-        const Cycle taint = std::max(regTaintClear(op.src1),
-                                     regTaintClear(op.src2));
+        const Cycle taint =
+            taintTracked_ ? std::max(regTaintClear(op.src1),
+                                     regTaintClear(op.src2))
+                          : 0;
         writeReg(op.dst, aluResult(op), e.doneC, taint);
         break;
       }
@@ -593,8 +658,7 @@ Core::fetchOne()
                                      regReady(op.index)});
         // STT: transmitters (loads/stores) with tainted address operands
         // are delayed until the taint clears.
-        if (params_.defense == CoreDefense::SttSpectre ||
-            params_.defense == CoreDefense::SttFuture) {
+        if (taintTracked_) {
             addr_ready = std::max({addr_ready, regTaintClear(op.base),
                                    regTaintClear(op.index)});
         }
@@ -628,12 +692,11 @@ Core::fetchOne()
         } else {
             e.isLoad = true;
             // Store-to-load forwarding.
-            auto sbit = storeBuffer_.find(va);
-            if (sbit != storeBuffer_.end() && !sbit->second.empty()) {
+            if (const BufferedStore *s = findBufferedStore(va)) {
                 ++forwardedLoads;
                 e.doneC = issue + 1;
-                writeReg(op.dst, sbit->second.back().value, e.doneC,
-                         regTaintClear(op.base));
+                writeReg(op.dst, s->value, e.doneC,
+                         taintTracked_ ? regTaintClear(op.base) : 0);
                 break;
             }
 
@@ -739,8 +802,7 @@ Core::fetchOne()
             const std::uint64_t wrong = actual ? pc + 1 : taken_pc;
             const Cycle resolve = e.doneC + params_.redirectPenalty;
             e.commitReadyC = e.doneC;
-            olderDoneMax_ = std::max(olderDoneMax_, e.doneC);
-            appendEntry(std::move(e));
+            appendEntry(e);
             enterWrongPath(correct, resolve);
             ctx_.pc = wrong;
             return;
@@ -772,8 +834,7 @@ Core::fetchOne()
             ++bpred_.mispredicts;
             const Cycle resolve = e.doneC + params_.redirectPenalty;
             e.commitReadyC = e.doneC;
-            olderDoneMax_ = std::max(olderDoneMax_, e.doneC);
-            appendEntry(std::move(e));
+            appendEntry(e);
             enterWrongPath(actual, resolve);
             ctx_.pc = predicted;   // speculate down the BTB target
             return;
@@ -815,8 +876,7 @@ Core::fetchOne()
             ++bpred_.mispredicts;
             const Cycle resolve = e.doneC + params_.redirectPenalty;
             e.commitReadyC = e.doneC;
-            olderDoneMax_ = std::max(olderDoneMax_, e.doneC);
-            appendEntry(std::move(e));
+            appendEntry(e);
             enterWrongPath(actual, resolve);
             ctx_.pc = predicted;
             return;
@@ -830,8 +890,7 @@ Core::fetchOne()
 
     if (e.commitReadyC < e.doneC)
         e.commitReadyC = e.doneC;
-    olderDoneMax_ = std::max(olderDoneMax_, e.doneC);
-    appendEntry(std::move(e));
+    appendEntry(e);
     ctx_.pc = next_pc;
 }
 

@@ -30,8 +30,6 @@
 #define MTRAP_CPU_CORE_HH
 
 #include <array>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -97,6 +95,9 @@ class Core
     Core(CoreId id, const CoreParams &params, MemIface *mem,
          StatGroup *parent);
 
+    /** Reports lifetime totals to the perf odometer. */
+    ~Core();
+
     CoreId id() const { return id_; }
     const CoreParams &params() const { return params_; }
     BranchPredictor &predictor() { return bpred_; }
@@ -132,6 +133,36 @@ class Core
      */
     bool stepOne();
 
+    /**
+     * Step until `target_committed` total commits or Halt, with no
+     * commit budget (System::run's single-core loop; keeping the loop
+     * next to stepOne lets the compiler fuse them).
+     */
+    void stepLoop(std::uint64_t target_committed)
+    {
+        while (!ctx_.halted && committed.value() < target_committed)
+            stepOne();
+    }
+
+    /**
+     * Multi-core epoch (System::run): step while this core remains the
+     * global minimum — strictly below `second_now`, or equal with the
+     * lower core id (`wins_ties`). Always steps at least once. Returns
+     * false once halted or `target_committed` is reached (the caller
+     * drops the core from its heap), true when the runner-up overtakes.
+     */
+    bool stepEpoch(std::uint64_t target_committed, bool has_second,
+                   Cycle second_now, bool wins_ties)
+    {
+        do {
+            stepOne();
+            if (ctx_.halted || committed.value() >= target_committed)
+                return false;
+        } while (!has_second || fetchCycle_ < second_now ||
+                 (fetchCycle_ == second_now && wins_ties));
+        return true;
+    }
+
     /** Run until `max_commits` more instructions commit or Halt. */
     std::uint64_t run(std::uint64_t max_commits);
 
@@ -144,23 +175,24 @@ class Core
 
   private:
     /** Sliding-window record of one in-flight (or wrong-path)
-     *  instruction. */
+     *  instruction. Field order keeps the struct at 72 bytes — one is
+     *  written per fetch, so its size is fetch-path memory traffic. */
     struct WinEntry
     {
         SeqNum seq = 0;
         std::uint64_t pcIndex = 0;
-        OpType type = OpType::Nop;
         Cycle doneC = 0;
         Cycle commitReadyC = 0;
         Cycle commitC = 0;
+        Addr vaddr = kAddrInvalid;
+        std::uint64_t storeValue = 0;
+        Addr ifetchVaddr = kAddrInvalid;
+        OpType type = OpType::Nop;
         bool isLoad = false;
         bool isStore = false;
         bool accessedMemory = false;
         bool tlbMiss = false;
-        Addr vaddr = kAddrInvalid;
-        std::uint64_t storeValue = 0;
         bool newIfetchLine = false;
-        Addr ifetchVaddr = kAddrInvalid;
     };
 
     /** Checkpoint taken at a mispredicted branch. */
@@ -180,16 +212,26 @@ class Core
         Cycle lastCommitC = 0;
         Cycle commitSlotCycle = 0;
         unsigned commitsInSlot = 0;
-        Cycle olderDoneMax = 0;
         Cycle lastBranchDone = 0;
         Addr lastIfetchLine = kAddrInvalid;
         BranchPredictor::Snapshot bpred;
     };
 
+    /**
+     * One class of functional units: per-unit next-free cycles, inline
+     * storage (no heap indirection on the per-op scheduling path).
+     */
+    struct FuPool
+    {
+        static constexpr unsigned kMaxUnits = 16;
+        std::array<Cycle, kMaxUnits> until{};
+        unsigned count = 0;
+    };
+
     // --- pipeline helpers ------------------------------------------------
     void fetchOne();
     Cycle allocFetchSlot();
-    Cycle fuAvailable(std::vector<Cycle> &units, Cycle ready);
+    Cycle fuAvailable(FuPool &units, Cycle ready);
     Cycle regReady(std::uint8_t r) const;
     Cycle regTaintClear(std::uint8_t r) const;
     std::uint64_t regValue(std::uint8_t r) const;
@@ -198,7 +240,7 @@ class Core
     bool evalBranch(const MicroOp &op) const;
     std::uint64_t aluResult(const MicroOp &op) const;
 
-    void appendEntry(WinEntry e);
+    void appendEntry(WinEntry &e);
     void popHead();
     void retireEligible();
     void commitActions(const WinEntry &e);
@@ -213,7 +255,7 @@ class Core
     void unbufferStoresAfter(SeqNum first_squashed);
     void releaseStore(Addr vaddr, SeqNum seq, std::uint64_t value);
 
-    bool inWrongPath() const { return !specStack_.empty(); }
+    bool inWrongPath() const { return specDepth_ > 0; }
 
     // --- identity ---------------------------------------------------------
     CoreId id_;
@@ -231,31 +273,96 @@ class Core
     Cycle fetchCycle_ = 0;
     unsigned fetchedThisCycle_ = 0;
     Addr lastIfetchLine_ = kAddrInvalid;
-    std::deque<WinEntry> window_;
+
+    /**
+     * The in-flight window as a fixed ring buffer. Occupancy is bounded
+     * by the ROB size, so a power-of-two ring sized at construction
+     * replaces std::deque — which allocated and freed chunk nodes
+     * continuously as the window advanced through memory.
+     */
+    std::vector<WinEntry> winBuf_;
+    std::size_t winMask_ = 0;
+    std::size_t winHead_ = 0;
+    std::size_t winCount_ = 0;
+
+    bool winEmpty() const { return winCount_ == 0; }
+    std::size_t winSize() const { return winCount_; }
+    WinEntry &winFront() { return winBuf_[winHead_ & winMask_]; }
+    WinEntry &winBack()
+    {
+        return winBuf_[(winHead_ + winCount_ - 1) & winMask_];
+    }
+    /** The (not yet pushed) slot the next fetched entry will occupy;
+     *  fetchOne builds the entry in place and appendEntry publishes it
+     *  by bumping the count — no 72-byte copy per instruction. */
+    WinEntry &winNextSlot()
+    {
+        return winBuf_[(winHead_ + winCount_) & winMask_];
+    }
+    void winPopFront() { ++winHead_; --winCount_; }
+    void winPopBack() { --winCount_; }
+
     unsigned loadsInFlight_ = 0;
     unsigned storesInFlight_ = 0;
     Cycle lastCommitC_ = 0;
     Cycle commitSlotCycle_ = 0;
     unsigned commitsInSlot_ = 0;
-    Cycle olderDoneMax_ = 0;
     Cycle lastBranchDone_ = 0;
+    /** Lifetime commits, immune to stat resets (perf odometer). */
+    std::uint64_t committedEver_ = 0;
+
+    /** True only for the STT defences: everything else never produces a
+     *  nonzero taint, so taint propagation (and its checkpointing) is
+     *  skipped wholesale on those cores. */
+    bool taintTracked_ = false;
+
+    /**
+     * Commit budget for the active run() call: retirement stops once
+     * committed.value() reaches this, making run(n) return exactly n
+     * for non-halting programs (no commit-width overshoot). Deferred
+     * retirements happen on the next run()/drain() with unchanged
+     * timestamps and ordering, so the simulated timing stream is
+     * identical — only the chunking of bookkeeping changes. stepOne()
+     * called outside run() (System::run) sees the no-budget sentinel
+     * and behaves exactly as before.
+     */
+    static constexpr std::uint64_t kNoCommitStop = ~std::uint64_t{0};
+    std::uint64_t commitStop_ = kNoCommitStop;
+    /** Set when fetchOne() could not proceed without exceeding the
+     *  commit budget (serializing op or structural stall at the budget
+     *  boundary); run() returns instead of spinning. */
+    bool budgetStall_ = false;
 
     // --- wrong-path state ---------------------------------------------------
+    /** Checkpoint pool: the live stack is specStack_[0..specDepth_).
+     *  Slots beyond the depth keep their heap storage (call-stack and
+     *  RAS vectors) so re-entering speculation never allocates. */
     std::vector<Checkpoint> specStack_;
+    std::size_t specDepth_ = 0;
 
     // --- functional units ----------------------------------------------------
-    std::vector<Cycle> intUnits_;
-    std::vector<Cycle> fpUnits_;
-    std::vector<Cycle> mulUnits_;
-    std::vector<Cycle> memUnits_;
+    FuPool intUnits_;
+    FuPool fpUnits_;
+    FuPool mulUnits_;
+    FuPool memUnits_;
 
     // --- store buffer ----------------------------------------------------------
+    /**
+     * In-flight (uncommitted) stores, in fetch order — which is also
+     * sequence-number order, so a squash removes a suffix. Bounded by
+     * the SQ size, so linear scans beat any hashed structure and the
+     * buffer never allocates after the first few stores.
+     */
     struct BufferedStore
     {
+        Addr vaddr;
         SeqNum seq;
         std::uint64_t value;
     };
-    std::unordered_map<Addr, std::vector<BufferedStore>> storeBuffer_;
+    std::vector<BufferedStore> storeBuffer_;
+
+    /** Youngest buffered store to `vaddr`, or nullptr. */
+    const BufferedStore *findBufferedStore(Addr vaddr) const;
 
     StatGroup stats_;
 

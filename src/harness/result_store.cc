@@ -17,6 +17,29 @@ fmtDouble(double v)
     return strfmt("%.9g", v);
 }
 
+/**
+ * RFC 4180 field quoting: a field containing a comma, double quote, CR
+ * or LF is wrapped in double quotes with embedded quotes doubled. Clean
+ * fields pass through verbatim, so artifacts from well-behaved sweeps
+ * are unchanged.
+ */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\r\n") == std::string::npos)
+        return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
 } // namespace
 
 void
@@ -100,17 +123,23 @@ ResultStore::writeCsv(std::ostream &os) const
     os << "suite,index,row,col,kind,workload,config,cycles,instructions,"
           "ipc,note,ok,metrics\n";
     for (const JobResult &r : sorted()) {
-        os << r.suite << "," << r.index << "," << r.row << "," << r.col
-           << "," << r.kind << "," << r.run.workload << ","
-           << r.run.configName << "," << r.run.cycles << ","
+        os << csvField(r.suite) << "," << r.index << ","
+           << csvField(r.row) << "," << csvField(r.col) << ","
+           << csvField(r.kind) << "," << csvField(r.run.workload) << ","
+           << csvField(r.run.configName) << "," << r.run.cycles << ","
            << r.run.instructionsPerCore << "," << fmtDouble(r.run.ipc)
-           << "," << r.note << "," << (r.ok ? "1" : "0") << ",";
+           << "," << csvField(r.note) << "," << (r.ok ? "1" : "0")
+           << ",";
+        std::string metrics;
         bool first = true;
         for (const auto &[k, v] : r.metrics) {
-            os << (first ? "" : ";") << k << "=" << fmtDouble(v);
+            metrics += (first ? "" : ";");
+            metrics += k;
+            metrics += "=";
+            metrics += fmtDouble(v);
             first = false;
         }
-        os << "\n";
+        os << csvField(metrics) << "\n";
     }
 }
 

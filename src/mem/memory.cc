@@ -65,24 +65,4 @@ MainMemory::access(const Access &acc)
     return lat;
 }
 
-std::uint64_t
-MainMemory::read(Addr addr) const
-{
-    const Addr word = addr & ~static_cast<Addr>(7);
-    auto it = store_.find(word);
-    if (it != store_.end())
-        return it->second;
-    // Deterministic pseudo-contents for untouched memory.
-    std::uint64_t z = word + 0x9e3779b97f4a7c15ull;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-void
-MainMemory::write(Addr addr, std::uint64_t value)
-{
-    store_[addr & ~static_cast<Addr>(7)] = value;
-}
-
 } // namespace mtrap

@@ -13,9 +13,9 @@
 #define MTRAP_MEM_MEMORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/access.hh"
@@ -50,11 +50,22 @@ class MainMemory
 
     /** Functional read of the 64-bit word containing `addr`. Unwritten
      *  memory reads as a deterministic hash of the address, so workloads
-     *  see stable, non-zero "data" without pre-initialisation. */
-    std::uint64_t read(Addr addr) const;
+     *  see stable, non-zero "data" without pre-initialisation. Inline:
+     *  every functional load in every core lands here. */
+    std::uint64_t read(Addr addr) const
+    {
+        const Addr word = addr & ~static_cast<Addr>(7);
+        if (const std::uint64_t *v = store_.find(word))
+            return *v;
+        // Deterministic pseudo-contents for untouched memory.
+        return mix64(word);
+    }
 
     /** Functional write of the 64-bit word containing `addr`. */
-    void write(Addr addr, std::uint64_t value);
+    void write(Addr addr, std::uint64_t value)
+    {
+        store_.put(addr & ~static_cast<Addr>(7), value);
+    }
 
     /** Number of distinct words ever written. */
     std::size_t footprintWords() const { return store_.size(); }
@@ -66,7 +77,9 @@ class MainMemory
     Addr rowOf(Addr addr) const;
 
     MemoryParams params_;
-    std::unordered_map<Addr, std::uint64_t> store_;
+    /** Sparse word store; open-addressing map because every functional
+     *  load lands here. */
+    FlatWordMap store_;
     /** Currently open row per bank (kAddrInvalid = closed). */
     std::vector<Addr> openRow_;
 

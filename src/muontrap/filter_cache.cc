@@ -27,6 +27,7 @@ toCacheParams(const FilterCacheParams &p)
 FilterCache::FilterCache(const FilterCacheParams &params, StatGroup *parent)
     : Cache(toCacheParams(params), parent),
       validBit_(lines_.size(), false),
+      vtags_(lines_.size()),
       fstats_(params.name + "_filter", parent),
       flashClears(&fstats_, "flash_clears",
                   "single-cycle whole-cache invalidations"),
@@ -57,11 +58,12 @@ FilterCache::lookupVirt(Asid asid, Addr vaddr, Addr paddr)
     CacheLine *l = Cache::lookup(paddr);
     if (!l)
         return nullptr;
-    if (!validBit_[wayOf(l)]) {
+    const unsigned way = wayOf(l);
+    if (!validBit_[way]) {
         // SRAM content survives a flash clear but must be invisible.
         return nullptr;
     }
-    if (l->vtag != lineNum(vaddr) || l->asid != asid) {
+    if (vtags_[way].vtag != lineNum(vaddr) || vtags_[way].asid != asid) {
         // Physical hit through a different virtual alias or another
         // address space: treated as a miss on the CPU side; the fill
         // path will overwrite it (physical addressing on fill).
@@ -78,8 +80,9 @@ FilterCache::fillVirt(Asid asid, Addr vaddr, Addr paddr, bool speculative,
     // Detect an alias about to be displaced (same physical line under a
     // different virtual tag) for accounting.
     if (CacheLine *prev = Cache::peek(paddr)) {
-        if (validBit_[wayOf(prev)] &&
-            (prev->vtag != lineNum(vaddr) || prev->asid != asid))
+        const unsigned way = wayOf(prev);
+        if (validBit_[way] && (vtags_[way].vtag != lineNum(vaddr) ||
+                               vtags_[way].asid != asid))
             ++aliasOverwrites;
     }
 
@@ -93,13 +96,14 @@ FilterCache::fillVirt(Asid asid, Addr vaddr, Addr paddr, bool speculative,
     if (ev)
         *ev = local;
 
-    l.vtag = lineNum(vaddr);
-    l.asid = asid;
+    const unsigned way = wayOf(&l);
+    vtags_[way].vtag = lineNum(vaddr);
+    vtags_[way].asid = asid;
     l.committed = !speculative;
     l.sePending = se_pending;
     l.fillLevel = fill_level;
     l.dirty = false;            // write-through: never dirty
-    validBit_[wayOf(&l)] = true;
+    validBit_[way] = true;
 
     if (speculative)
         ++speculativeFills;

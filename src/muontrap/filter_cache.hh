@@ -100,6 +100,19 @@ class FilterCache : public Cache
     /** Register-file valid bit per line (parallel-clearable). */
     std::vector<bool> validBit_;
 
+    /**
+     * Virtual tag + ASID per line, parallel to the base line array.
+     * Kept out of CacheLine so the (much larger) non-speculative
+     * caches' line arrays stay small; only stale when the valid bit is
+     * clear or until fillVirt() rewrites it after a physical fill.
+     */
+    struct VirtTag
+    {
+        Addr vtag = kAddrInvalid;
+        Asid asid = 0;
+    };
+    std::vector<VirtTag> vtags_;
+
     unsigned wayOf(const CacheLine *l) const;
 
     StatGroup fstats_;

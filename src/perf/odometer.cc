@@ -1,0 +1,13 @@
+#include "perf/odometer.hh"
+
+namespace mtrap::perf
+{
+
+SimOdometer &
+SimOdometer::instance()
+{
+    static SimOdometer odo;
+    return odo;
+}
+
+} // namespace mtrap::perf

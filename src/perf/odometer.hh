@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Process-wide simulation-work odometer.
+ *
+ * Every Core adds its lifetime totals (committed instructions, final
+ * front-end cycle) here when it is destroyed. The perf harness reads the
+ * odometer before and after a scenario body, so throughput can be
+ * computed uniformly for any scenario — including ones (the attack
+ * vignettes) that build and discard whole systems internally and never
+ * surface a RunResult.
+ *
+ * Counters are atomics because the experiment harness destroys systems
+ * from worker threads; the adds happen once per core lifetime, never on
+ * the simulation hot path.
+ */
+
+#ifndef MTRAP_PERF_ODOMETER_HH
+#define MTRAP_PERF_ODOMETER_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace mtrap::perf
+{
+
+/** Monotonic totals of simulation work done by destroyed cores. */
+class SimOdometer
+{
+  public:
+    static SimOdometer &instance();
+
+    /** Called by Core's destructor. */
+    void add(std::uint64_t instructions, std::uint64_t cycles)
+    {
+        instructions_.fetch_add(instructions, std::memory_order_relaxed);
+        cycles_.fetch_add(cycles, std::memory_order_relaxed);
+    }
+
+    std::uint64_t instructions() const
+    {
+        return instructions_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of per-core final clocks (core-cycles, not makespan). */
+    std::uint64_t cycles() const
+    {
+        return cycles_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> instructions_{0};
+    std::atomic<std::uint64_t> cycles_{0};
+};
+
+} // namespace mtrap::perf
+
+#endif // MTRAP_PERF_ODOMETER_HH

@@ -1,0 +1,274 @@
+#include "perf/perf_suite.hh"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hh"
+#include "perf/odometer.hh"
+#include "sim/json_stats.hh"
+#include "sim/runner.hh"
+#include "sim/scheduler.hh"
+#include "workload/attacks.hh"
+#include "workload/parsec_profiles.hh"
+#include "workload/spec_profiles.hh"
+
+namespace mtrap::perf
+{
+
+namespace
+{
+
+RunOptions
+runOptionsFor(const PerfOptions &opt)
+{
+    RunOptions ro;
+    ro.measureInstructions = opt.measureInstructions;
+    ro.warmupInstructions = opt.warmupInstructions;
+    return ro;
+}
+
+/** Scheme-on-workload scenario body shared by most of the suite. */
+PerfScenario
+schemeScenario(std::string name, std::string description,
+               std::function<Workload()> workload, Scheme scheme)
+{
+    PerfScenario s;
+    s.name = std::move(name);
+    s.description = std::move(description);
+    s.body = [workload = std::move(workload),
+              scheme](const PerfOptions &opt) {
+        const Workload w = workload();
+        (void)runScheme(w, scheme, runOptionsFor(opt));
+    };
+    return s;
+}
+
+void
+contextSwitchBody(const PerfOptions &opt)
+{
+    SystemConfig cfg = SystemConfig::forScheme(Scheme::MuonTrap, 1);
+    System sys(cfg);
+    const Workload w1 = buildSpecWorkload("hmmer");
+    const Workload w2 = buildSpecWorkload("gamess");
+    const Workload w3 = buildSpecWorkload("mcf");
+    const Workload w4 = buildSpecWorkload("sjeng");
+    for (const Workload *w : {&w1, &w2, &w3, &w4})
+        if (w->init)
+            w->init(sys.mem());
+
+    // A deliberately small quantum so the run is dominated by drains,
+    // filter flushes and cold-filter restarts — the context-switch cost
+    // MuonTrap's design accepts (§4.3).
+    Scheduler sched(&sys.core(0), /*quantum=*/5'000);
+    sched.addTask(&w1.threadPrograms[0], 1);
+    sched.addTask(&w2.threadPrograms[0], 2);
+    sched.addTask(&w3.threadPrograms[0], 3);
+    sched.addTask(&w4.threadPrograms[0], 4);
+    sched.run(opt.measureInstructions + opt.warmupInstructions);
+}
+
+void
+attackVignetteBody(const PerfOptions &opt)
+{
+    // The headline prime-and-probe vignette, on both sides of the fence.
+    // Besides timing the squash/flush-heavy choreography, assert the
+    // security outcome so a perf run can never silently bless a broken
+    // build. A single pair takes well under a millisecond, so full mode
+    // runs a few to keep the wall-clock sample meaningful.
+    const unsigned iters = opt.quick ? 1 : 3;
+    for (unsigned i = 0; i < iters; ++i) {
+        AttackOutcome base = runSpectrePrimeProbe(Scheme::Baseline);
+        if (!base.leaked)
+            throw std::runtime_error("attack vignette: baseline no "
+                                     "longer leaks (simulation broken?)");
+        AttackOutcome mt = runSpectrePrimeProbe(Scheme::MuonTrap);
+        if (mt.leaked)
+            throw std::runtime_error("attack vignette: MuonTrap leaked");
+    }
+}
+
+} // namespace
+
+PerfOptions
+PerfOptions::quickPreset()
+{
+    PerfOptions o;
+    o.measureInstructions = 20'000;
+    o.warmupInstructions = 5'000;
+    o.repeats = 1;
+    o.quick = true;
+    return o;
+}
+
+std::vector<PerfScenario>
+defaultScenarios()
+{
+    std::vector<PerfScenario> s;
+
+    s.push_back(schemeScenario(
+        "spec-gcc-1core-baseline",
+        "1-core SPEC profile (gcc) on the unprotected baseline",
+        [] { return buildSpecWorkload("gcc"); }, Scheme::Baseline));
+
+    s.push_back(schemeScenario(
+        "spec-mcf-1core-muontrap",
+        "1-core memory-bound SPEC profile (mcf) under full MuonTrap",
+        [] { return buildSpecWorkload("mcf"); }, Scheme::MuonTrap));
+
+    s.push_back(schemeScenario(
+        "parsec-canneal-4core-muontrap",
+        "4-core PARSEC profile (canneal) under full MuonTrap",
+        [] { return buildParsecWorkload("canneal", 4); },
+        Scheme::MuonTrap));
+
+    s.push_back(schemeScenario(
+        "parsec-streamcluster-4core-invisispec",
+        "4-core PARSEC profile (streamcluster) under InvisiSpec-Spectre",
+        [] { return buildParsecWorkload("streamcluster", 4); },
+        Scheme::InvisiSpecSpectre));
+
+    s.push_back(schemeScenario(
+        "parsec-blackscholes-4core-stt",
+        "4-core PARSEC profile (blackscholes) under STT-Future",
+        [] { return buildParsecWorkload("blackscholes", 4); },
+        Scheme::SttFuture));
+
+    PerfScenario sched;
+    sched.name = "sched-context-switch-muontrap";
+    sched.description =
+        "four SPEC profiles round-robined on one MuonTrap core with a "
+        "5k-cycle quantum (drain + filter-flush heavy)";
+    sched.body = contextSwitchBody;
+    s.push_back(std::move(sched));
+
+    PerfScenario attack;
+    attack.name = "attack-spectre-prime-probe";
+    attack.description =
+        "Spectre prime-and-probe choreography on baseline (must leak) "
+        "and MuonTrap (must not)";
+    attack.body = attackVignetteBody;
+    s.push_back(std::move(attack));
+
+    return s;
+}
+
+std::vector<ScenarioResult>
+runScenarios(const std::vector<PerfScenario> &scenarios,
+             const PerfOptions &opt, std::ostream *progress)
+{
+    using Clock = std::chrono::steady_clock;
+    SimOdometer &odo = SimOdometer::instance();
+
+    std::vector<ScenarioResult> results;
+    results.reserve(scenarios.size());
+
+    for (const PerfScenario &sc : scenarios) {
+        ScenarioResult r;
+        r.name = sc.name;
+
+        const unsigned reps = opt.repeats ? opt.repeats : 1;
+        for (unsigned rep = 0; rep < reps && r.ok; ++rep) {
+            const std::uint64_t i0 = odo.instructions();
+            const std::uint64_t c0 = odo.cycles();
+            const auto t0 = Clock::now();
+            try {
+                sc.body(opt);
+            } catch (const std::exception &e) {
+                r.ok = false;
+                r.error = e.what();
+                break;
+            }
+            const double wall =
+                std::chrono::duration<double>(Clock::now() - t0).count();
+            const std::uint64_t instr = odo.instructions() - i0;
+            const std::uint64_t cycles = odo.cycles() - c0;
+            if (rep == 0 || wall < r.wallSeconds) {
+                r.wallSeconds = wall;
+                r.instructions = instr;
+                r.simCycles = cycles;
+            }
+        }
+
+        if (r.ok && r.instructions == 0) {
+            r.ok = false;
+            r.error = "scenario reported zero simulation work";
+        }
+
+        if (progress) {
+            if (r.ok) {
+                *progress << strfmt(
+                    "perf: %-40s %8.3fs  %10.0f kinst/s  %10.0f kcyc/s\n",
+                    r.name.c_str(), r.wallSeconds,
+                    r.instructionsPerSecond() / 1e3,
+                    r.cyclesPerSecond() / 1e3);
+            } else {
+                *progress << "perf: " << r.name
+                          << " FAILED: " << r.error << "\n";
+            }
+            progress->flush();
+        }
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+double
+aggregateScoreKips(const std::vector<ScenarioResult> &results)
+{
+    if (results.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (const ScenarioResult &r : results) {
+        const double ips = r.ok ? r.instructionsPerSecond() : 0.0;
+        if (ips <= 0.0)
+            return 0.0;
+        logsum += std::log(ips / 1e3);
+    }
+    return std::exp(logsum / static_cast<double>(results.size()));
+}
+
+void
+writeBenchJson(const std::vector<ScenarioResult> &results,
+               const PerfOptions &opt, std::ostream &os)
+{
+    bool all_ok = true;
+    double wall_total = 0.0;
+    for (const ScenarioResult &r : results) {
+        all_ok = all_ok && r.ok;
+        wall_total += r.wallSeconds;
+    }
+
+    os << "{\n";
+    os << "  \"schema\": \"mtrap-bench-v1\",\n";
+    os << "  \"mode\": \"" << (opt.quick ? "quick" : "full") << "\",\n";
+    os << "  \"repeats\": " << opt.repeats << ",\n";
+    os << "  \"measure_instructions\": " << opt.measureInstructions
+       << ",\n";
+    os << "  \"warmup_instructions\": " << opt.warmupInstructions
+       << ",\n";
+    os << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &r = results[i];
+        os << "    {\"name\": \"" << jsonEscape(r.name) << "\""
+           << ", \"ok\": " << (r.ok ? "true" : "false")
+           << ", \"wall_seconds\": " << strfmt("%.6f", r.wallSeconds)
+           << ", \"sim_cycles\": " << r.simCycles
+           << ", \"instructions\": " << r.instructions
+           << ", \"cycles_per_second\": "
+           << strfmt("%.1f", r.cyclesPerSecond())
+           << ", \"instructions_per_second\": "
+           << strfmt("%.1f", r.instructionsPerSecond());
+        if (!r.ok)
+            os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"aggregate\": {\"score_kips\": "
+       << strfmt("%.1f", aggregateScoreKips(results))
+       << ", \"wall_seconds_total\": " << strfmt("%.6f", wall_total)
+       << ", \"ok\": " << (all_ok ? "true" : "false") << "}\n";
+    os << "}\n";
+}
+
+} // namespace mtrap::perf

@@ -71,22 +71,32 @@ MemSystem::MemSystem(const MemSystemParams &params, StatGroup *parent)
         bus_->addNode(node);
     }
 
-    // Walkers are created last: they capture `this` for their accesses.
+    // Walkers are created last: they route their PTE reads back through
+    // this object (ptwAccess).
     for (CoreId c = 0; c < params_.cores; ++c) {
         walker_.push_back(std::make_unique<PageTableWalker>(
-            &vm_, c,
-            [this, c](const Access &acc) {
-                DataAccessResult r = dataAccessPhys(
-                    c, acc.asid, acc.paddr, acc.paddr, acc.pc,
-                    /*is_store=*/false, acc.speculative, acc.when);
-                AccessResult out;
-                out.latency = r.latency;
-                out.nacked = r.nacked;
-                out.serviceLevel = r.serviceLevel;
-                return out;
-            },
-            &stats_));
+            &vm_, c, this, &stats_));
     }
+
+    for (CoreId c = 0; c < params_.cores; ++c) {
+        side_.push_back(CoreSide{l1d_[c].get(), l1i_[c].get(),
+                                 dtlb_[c].get(), itlb_[c].get(),
+                                 mt_[c].get(), walker_[c].get(),
+                                 specBuffer_[c].get()});
+    }
+}
+
+AccessResult
+MemSystem::ptwAccess(const Access &acc)
+{
+    DataAccessResult r = dataAccessPhys(
+        acc.core, acc.asid, acc.paddr, acc.paddr, acc.pc,
+        /*is_store=*/false, acc.speculative, acc.when);
+    AccessResult out;
+    out.latency = r.latency;
+    out.nacked = r.nacked;
+    out.serviceLevel = r.serviceLevel;
+    return out;
 }
 
 MemSystem::~MemSystem() = default;
@@ -100,14 +110,14 @@ MemSystem::translate(CoreId core, Asid asid, Addr vaddr, Cycle when,
                      bool speculative, bool ifetch)
 {
     Translation tr;
-    Tlb &tlb = ifetch ? *itlb_[core] : *dtlb_[core];
+    Tlb &tlb = ifetch ? *side_[core].itlb : *side_[core].dtlb;
 
     if (const TlbEntry *e = tlb.lookup(asid, vaddr)) {
         tr.paddr = (e->ppn << kPageShift) | (vaddr & (kPageBytes - 1));
         return tr;
     }
 
-    MuonTrapCore &mt = *mt_[core];
+    MuonTrapCore &mt = *side_[core].mt;
     if (Tlb *ftlb = mt.filterTlb()) {
         if (const TlbEntry *e = ftlb->lookup(asid, vaddr)) {
             tr.paddr = (e->ppn << kPageShift)
@@ -118,7 +128,7 @@ MemSystem::translate(CoreId core, Asid asid, Addr vaddr, Cycle when,
 
     // Full miss: hardware walk through the data hierarchy.
     tr.miss = true;
-    tr.latency = walker_[core]->walk(asid, vaddr, when, speculative);
+    tr.latency = side_[core].walker->walk(asid, vaddr, when, speculative);
     tr.paddr = vm_.translate(asid, vaddr);
 
     // MuonTrap: speculative translations go to the filter TLB only,
@@ -185,7 +195,7 @@ MemSystem::baselineDataAccess(CoreId core, Asid asid, Addr paddr, Addr pc,
                               bool is_store, Cycle when, Cycle lat_so_far)
 {
     (void)asid;
-    Cache &l1 = *l1d_[core];
+    Cache &l1 = *side_[core].l1d;
     DataAccessResult out;
     out.latency = lat_so_far + l1.params().hitLatency;
 
@@ -241,9 +251,9 @@ MemSystem::filterDataAccess(CoreId core, Asid asid, Addr vaddr, Addr paddr,
                             Addr pc, bool is_store, bool speculative,
                             Cycle when, Cycle lat_so_far)
 {
-    MuonTrapCore &mt = *mt_[core];
+    MuonTrapCore &mt = *side_[core].mt;
     FilterCache &l0 = *mt.dataFilter();
-    Cache &l1 = *l1d_[core];
+    Cache &l1 = *side_[core].l1d;
     const bool protect = params_.mt.protectData;
     const bool coh = params_.mt.protectCoherence;
     const bool parallel = params_.mt.parallelL0L1;
@@ -363,7 +373,7 @@ MemSystem::commitFilterLine(CoreId core, CacheLine &line, Addr paddr,
     line.committed = true;
     ++commitWriteThroughs;
 
-    Cache &l1 = *l1d_[core];
+    Cache &l1 = *side_[core].l1d;
     if (line.sePending) {
         // Asynchronous SE->E upgrade launched from the L1 (§4.5); does
         // not block commit.
@@ -398,13 +408,13 @@ MemSystem::commitData(CoreId core, Asid asid, Addr vaddr, Addr pc,
                       bool is_store, bool tlb_missed, Cycle when)
 {
     const Addr paddr = vm_.translate(asid, vaddr);
-    MuonTrapCore &mt = *mt_[core];
+    MuonTrapCore &mt = *side_[core].mt;
 
     // Promote the translation out of the filter TLB (§4.7).
     if (tlb_missed && mt.filterTlb()) {
-        dtlb_[core]->insert(asid, vaddr, paddr);
+        side_[core].dtlb->insert(asid, vaddr, paddr);
         if (params_.mt.tlbFilter)
-            walker_[core]->retranslate(asid, vaddr, when);
+            side_[core].walker->retranslate(asid, vaddr, when);
     }
 
     if (params_.mt.enabled && params_.mt.protectData) {
@@ -413,7 +423,7 @@ MemSystem::commitData(CoreId core, Asid asid, Addr vaddr, Addr pc,
         if (line) {
             if (!line->committed)
                 commitFilterLine(core, *line, paddr, pc, when);
-        } else if (!l1d_[core]->peek(paddr)) {
+        } else if (!side_[core].l1d->peek(paddr)) {
             // Evicted before commit and not already committed into the
             // L1 by an earlier instruction: a valid in-order execution
             // would have cached it, so refetch straight into the L1
@@ -421,7 +431,7 @@ MemSystem::commitData(CoreId core, Asid asid, Addr vaddr, Addr pc,
             ++recommitFetches;
             SnoopOutcome so = bus_->readRequest(
                 core, paddr, false, params_.mt.protectCoherence, true);
-            fillL1(*l1d_[core], paddr,
+            fillL1(*side_[core].l1d, paddr,
                    so.wouldBeExclusive ? CoherState::Exclusive
                                        : CoherState::Shared);
             if (channel_ && params_.mt.commitPrefetch) {
@@ -447,7 +457,7 @@ MemSystem::commitData(CoreId core, Asid asid, Addr vaddr, Addr pc,
     // execute-time prefetch usually did; an eviction in between forces a
     // re-request).
     if (is_store) {
-        Cache &l1 = *l1d_[core];
+        Cache &l1 = *side_[core].l1d;
         CacheLine *own = l1.peek(paddr);
         if (!own || own->state != CoherState::Modified) {
             bus_->writeRequest(core, paddr, false, false, true);
@@ -470,8 +480,8 @@ MemSystem::ifetchAccess(CoreId core, Asid asid, Addr vaddr, Cycle when)
     Cycle lat = tr.latency;
     const Addr paddr = tr.paddr;
 
-    MuonTrapCore &mt = *mt_[core];
-    Cache &l1i = *l1i_[core];
+    MuonTrapCore &mt = *side_[core].mt;
+    Cache &l1i = *side_[core].l1i;
 
     if (FilterCache *fi = mt.instFilter()) {
         lat += fi->params().hitLatency;
@@ -526,13 +536,13 @@ void
 MemSystem::commitIfetch(CoreId core, Asid asid, Addr vaddr, Cycle when)
 {
     (void)when;
-    MuonTrapCore &mt = *mt_[core];
+    MuonTrapCore &mt = *side_[core].mt;
     const Addr paddr = vm_.translate(asid, vaddr);
 
     // Promote the instruction-side translation: a committed fetch makes
     // the mapping architectural.
     if (mt.filterTlb())
-        itlb_[core]->insert(asid, vaddr, paddr);
+        side_[core].itlb->insert(asid, vaddr, paddr);
 
     FilterCache *fi = mt.instFilter();
     if (!fi)
@@ -545,19 +555,19 @@ MemSystem::commitIfetch(CoreId core, Asid asid, Addr vaddr, Cycle when)
             // for read-only instruction lines.
             line->committed = true;
             ++commitWriteThroughs;
-            if (!l1i_[core]->peek(paddr))
-                fillL1(*l1i_[core], paddr, CoherState::Shared);
+            if (!side_[core].l1i->peek(paddr))
+                fillL1(*side_[core].l1i, paddr, CoherState::Shared);
             if (!l2_->peek(paddr))
                 l2_->fill(paddr, CoherState::Shared);
         }
-    } else if (!l1i_[core]->peek(paddr)) {
+    } else if (!side_[core].l1i->peek(paddr)) {
         // Evicted from the instruction filter before commit: as on the
         // data side (§4.2), a valid in-order execution would have cached
         // the line, so bring it into the L1I now.
         ++recommitFetches;
         bus_->readRequest(core, paddr, false,
                           params_.mt.protectCoherence, true);
-        fillL1(*l1i_[core], paddr, CoherState::Shared);
+        fillL1(*side_[core].l1i, paddr, CoherState::Shared);
     }
 }
 
@@ -571,13 +581,13 @@ MemSystem::dataProbe(CoreId core, Asid asid, Addr vaddr, Cycle when)
     (void)when;
     ++probes;
     // InvisiSpec's speculative buffer: allocation may stall when full.
-    Cycle lat = specBuffer_[core]->allocate(vaddr, when);
+    Cycle lat = side_[core].spec->allocate(vaddr, when);
 
     // Translation for the probe is functional (InvisiSpec does not
     // protect the TLB; the real TLB fill happens at exposure).
     const Addr paddr = vm_.translate(asid, vaddr);
 
-    Cache &l1 = *l1d_[core];
+    Cache &l1 = *side_[core].l1d;
     lat += l1.params().hitLatency;
     if (l1.peek(paddr))
         return lat;
@@ -598,7 +608,7 @@ Cycle
 MemSystem::timeProbe(CoreId core, Asid asid, Addr vaddr)
 {
     const Addr paddr = vm_.translate(asid, vaddr);
-    MuonTrapCore &mt = *mt_[core];
+    MuonTrapCore &mt = *side_[core].mt;
 
     Cycle lat = 0;
     if (FilterCache *fd = mt.dataFilter()) {
@@ -610,7 +620,7 @@ MemSystem::timeProbe(CoreId core, Asid asid, Addr vaddr)
             return lat;
         }
     }
-    Cache &l1 = *l1d_[core];
+    Cache &l1 = *side_[core].l1d;
     lat += l1.params().hitLatency;
     if (l1.peek(paddr))
         return lat;
@@ -630,7 +640,7 @@ Cycle
 MemSystem::timeStoreProbe(CoreId core, Asid asid, Addr vaddr)
 {
     const Addr paddr = vm_.translate(asid, vaddr);
-    Cache &l1 = *l1d_[core];
+    Cache &l1 = *side_[core].l1d;
 
     Cycle lat = l1.params().hitLatency;
     const CacheLine *own = l1.peek(paddr);
@@ -656,7 +666,7 @@ Cycle
 MemSystem::timeIfetchProbe(CoreId core, Asid asid, Addr vaddr)
 {
     const Addr paddr = vm_.translate(asid, vaddr);
-    MuonTrapCore &mt = *mt_[core];
+    MuonTrapCore &mt = *side_[core].mt;
 
     Cycle lat = 0;
     if (FilterCache *fi = mt.instFilter()) {
@@ -664,7 +674,7 @@ MemSystem::timeIfetchProbe(CoreId core, Asid asid, Addr vaddr)
         if (fi->lookupVirt(asid, vaddr, paddr))
             return lat;
     }
-    Cache &l1i = *l1i_[core];
+    Cache &l1i = *side_[core].l1i;
     lat += l1i.params().hitLatency;
     if (l1i.peek(paddr))
         return lat;
@@ -684,37 +694,37 @@ void
 MemSystem::onSyscall(CoreId core, Cycle when)
 {
     (void)when;
-    mt_[core]->flush(FlushReason::Syscall);
+    side_[core].mt->flush(FlushReason::Syscall);
 }
 
 void
 MemSystem::onSandboxSwitch(CoreId core, Cycle when)
 {
     (void)when;
-    mt_[core]->flush(FlushReason::Sandbox);
+    side_[core].mt->flush(FlushReason::Sandbox);
 }
 
 void
 MemSystem::onContextSwitch(CoreId core, Cycle when)
 {
     (void)when;
-    mt_[core]->flush(FlushReason::ContextSwitch);
-    specBuffer_[core]->clear();
+    side_[core].mt->flush(FlushReason::ContextSwitch);
+    side_[core].spec->clear();
 }
 
 void
 MemSystem::onFlushBarrier(CoreId core, Cycle when)
 {
     (void)when;
-    mt_[core]->flush(FlushReason::Explicit);
+    side_[core].mt->flush(FlushReason::Explicit);
 }
 
 void
 MemSystem::onSquash(CoreId core, Cycle when)
 {
     (void)when;
-    mt_[core]->flush(FlushReason::Misspeculation);
-    specBuffer_[core]->clear();
+    side_[core].mt->flush(FlushReason::Misspeculation);
+    side_[core].spec->clear();
 }
 
 std::uint64_t

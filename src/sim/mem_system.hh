@@ -54,9 +54,10 @@ struct MemSystemParams
 };
 
 /**
- * Concrete MemIface implementation shared by every scheme.
+ * Concrete MemIface implementation shared by every scheme. Also the
+ * PTE-read sink for its per-core page-table walkers.
  */
-class MemSystem : public MemIface
+class MemSystem : public MemIface, public PtwAccessIface
 {
   public:
     MemSystem(const MemSystemParams &params, StatGroup *parent);
@@ -83,6 +84,11 @@ class MemSystem : public MemIface
     void onSquash(CoreId core, Cycle when) override;
     std::uint64_t read(Asid asid, Addr vaddr) override;
     void write(Asid asid, Addr vaddr, std::uint64_t value) override;
+
+    // --- PtwAccessIface -----------------------------------------------------
+    /** Walker PTE read: a physically-addressed load down the data path
+     *  of the issuing core (acc.core). */
+    AccessResult ptwAccess(const Access &acc) override;
 
     // --- component access (tests, attacks, examples) -----------------------
     AddressSpace &addressSpace() { return vm_; }
@@ -158,6 +164,24 @@ class MemSystem : public MemIface
     std::unique_ptr<CoherenceBus> bus_;
     std::unique_ptr<StridePrefetcher> prefetcher_;
     std::unique_ptr<PrefetchCommitChannel> channel_;
+
+    /**
+     * Raw per-core component pointers for the access hot paths: one
+     * contiguous load instead of a vector<unique_ptr> double
+     * indirection per component touch. The unique_ptr vectors below
+     * own the objects.
+     */
+    struct CoreSide
+    {
+        Cache *l1d;
+        Cache *l1i;
+        Tlb *dtlb;
+        Tlb *itlb;
+        MuonTrapCore *mt;
+        PageTableWalker *walker;
+        SpecBuffer *spec;
+    };
+    std::vector<CoreSide> side_;
 
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::vector<std::unique_ptr<Cache>> l1i_;

@@ -51,24 +51,70 @@ System::loadWorkload(const Workload &w)
 void
 System::run(std::uint64_t max_commits_per_core)
 {
-    std::vector<std::uint64_t> target(numCores());
-    for (unsigned c = 0; c < numCores(); ++c)
-        target[c] = cores_[c]->committedCount() + max_commits_per_core;
+    // Single-core fast path: no interleaving decisions to make, so skip
+    // the scheduling structure entirely.
+    if (numCores() == 1) {
+        Core &core = *cores_[0];
+        core.stepLoop(core.committedCount() + max_commits_per_core);
+        return;
+    }
 
-    while (true) {
-        // Pick the active core with the smallest front-end clock so the
-        // global interleaving approximates one shared time base.
-        Core *best = nullptr;
-        for (unsigned c = 0; c < numCores(); ++c) {
-            Core &core = *cores_[c];
-            if (core.halted() || core.committedCount() >= target[c])
-                continue;
-            if (!best || core.now() < best->now())
-                best = &core;
+    // Multi-core: keep the active cores in a flat array and pick the
+    // one with the lexicographically smallest (front-end clock, core
+    // id) — exactly the core the historical per-step linear scan chose,
+    // so the interleaving (and every figure table) is unchanged. With a
+    // handful of cores a fused min/second-min scan beats any heap, and
+    // the scan only reruns when leadership changes: the leader is
+    // epoch-batched (stepped repeatedly) until its clock passes the
+    // runner-up's, which is observationally identical to re-scanning
+    // per step.
+    struct Entry
+    {
+        Cycle now;
+        unsigned idx;
+        Core *core;
+        std::uint64_t target;
+
+        bool operator<(const Entry &o) const
+        {
+            return now != o.now ? now < o.now : idx < o.idx;
         }
-        if (!best)
-            break;
-        best->stepOne();
+    };
+
+    std::vector<Entry> act;
+    act.reserve(numCores());
+    for (unsigned c = 0; c < numCores(); ++c) {
+        Core &core = *cores_[c];
+        const std::uint64_t target =
+            core.committedCount() + max_commits_per_core;
+        if (!core.halted() && core.committedCount() < target)
+            act.push_back(Entry{core.now(), c, &core, target});
+    }
+
+    while (!act.empty()) {
+        // One pass: leader (min) and runner-up (second-min).
+        std::size_t mi = 0, si = act.size();
+        for (std::size_t i = 1; i < act.size(); ++i) {
+            if (act[i] < act[mi]) {
+                si = mi;
+                mi = i;
+            } else if (si == act.size() || act[i] < act[si]) {
+                si = i;
+            }
+        }
+
+        Entry &top = act[mi];
+        const bool has_second = si != act.size();
+        const bool active = top.core->stepEpoch(
+            top.target, has_second, has_second ? act[si].now : 0,
+            has_second ? top.idx < act[si].idx : false);
+
+        if (active) {
+            top.now = top.core->now();
+        } else {
+            act[mi] = act.back();
+            act.pop_back();
+        }
     }
 }
 

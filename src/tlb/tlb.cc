@@ -1,24 +1,10 @@
 #include "tlb/tlb.hh"
 
 #include "common/log.hh"
+#include "common/rng.hh"
 
 namespace mtrap
 {
-
-namespace
-{
-
-/** Deterministic page-number scrambler (splitmix-style). */
-std::uint64_t
-mix(std::uint64_t z)
-{
-    z += 0x9e3779b97f4a7c15ull;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-} // namespace
 
 AddressSpace::AddressSpace() = default;
 
@@ -32,16 +18,24 @@ Addr
 AddressSpace::translate(Asid asid, Addr vaddr) const
 {
     const Addr vpn = pageNum(vaddr);
-    auto it = aliases_.find(key(asid, vpn));
+    const std::uint64_t k = key(asid, vpn);
+    if (k == mruKey_)
+        return (mruPpn_ << kPageShift) | (vaddr & (kPageBytes - 1));
+
     Addr ppn;
+    // Most workloads install no aliases at all; skip the hash probe
+    // (this sits under every functional load and every page walk).
+    auto it = aliases_.empty() ? aliases_.end() : aliases_.find(k);
     if (it != aliases_.end()) {
         ppn = it->second;
     } else {
         // Deterministic private page in a 38-bit physical space, away
         // from the page-table region (which has bit 45 set).
-        ppn = mix(key(asid, vpn)) & ((1ull << 26) - 1);
+        ppn = mix64(k) & ((1ull << 26) - 1);
         ppn |= static_cast<Addr>(asid & 0xff) << 26;
     }
+    mruKey_ = k;
+    mruPpn_ = ppn;
     return (ppn << kPageShift) | (vaddr & (kPageBytes - 1));
 }
 
@@ -53,6 +47,9 @@ AddressSpace::alias(Asid asid, Addr vaddr, Addr paddr, std::uint64_t bytes)
     const std::uint64_t pages = (bytes + kPageBytes - 1) / kPageBytes;
     for (std::uint64_t p = 0; p < pages; ++p)
         aliases_[key(asid, pageNum(vaddr) + p)] = pageNum(paddr) + p;
+    // The cached translation may be superseded by the new mapping.
+    mruKey_ = ~std::uint64_t{0};
+    mruPpn_ = kAddrInvalid;
 }
 
 Addr
@@ -65,7 +62,7 @@ AddressSpace::pteAddr(Asid asid, Addr vaddr, unsigned level) const
     const unsigned shift = 9 * (kWalkLevels - 1 - level);
     const Addr index = (vpn >> shift) & 0x1ff;
     // Each (asid, level, upper-bits) group gets its own table page.
-    const Addr table_id = mix(key(asid, (vpn >> (shift + 9)) + 1)
+    const Addr table_id = mix64(key(asid, (vpn >> (shift + 9)) + 1)
                               ^ (static_cast<std::uint64_t>(level) << 56))
                           & ((1ull << 24) - 1);
     return (1ull << 45) | (table_id << kPageShift) | (index * 8);
@@ -85,13 +82,13 @@ Tlb::Tlb(const TlbParams &params, StatGroup *parent)
 }
 
 const TlbEntry *
-Tlb::lookup(Asid asid, Addr vaddr)
+Tlb::lookupSlow(Asid asid, Addr vpn)
 {
-    const Addr vpn = pageNum(vaddr);
     for (auto &e : entries_) {
         if (e.valid && e.asid == asid && e.vpn == vpn) {
             e.lastUse = ++stamp_;
             ++hits;
+            mru_ = &e;
             return &e;
         }
     }
@@ -103,28 +100,25 @@ bool
 Tlb::insert(Asid asid, Addr vaddr, Addr paddr)
 {
     const Addr vpn = pageNum(vaddr);
-    // Refresh if present.
+    // One pass: refresh if present, else remember the first invalid
+    // slot and the LRU entry (same victim the two-pass version chose).
+    TlbEntry *first_invalid = nullptr;
+    TlbEntry *lru = &entries_[0];
     for (auto &e : entries_) {
         if (e.valid && e.asid == asid && e.vpn == vpn) {
             e.ppn = pageNum(paddr);
             e.lastUse = ++stamp_;
             return false;
         }
+        if (!e.valid && !first_invalid)
+            first_invalid = &e;
+        if (e.lastUse < lru->lastUse)
+            lru = &e;
     }
-    // Prefer an invalid slot.
-    TlbEntry *victim = nullptr;
-    for (auto &e : entries_) {
-        if (!e.valid) {
-            victim = &e;
-            break;
-        }
-    }
+    TlbEntry *victim = first_invalid;
     bool evicted = false;
     if (!victim) {
-        victim = &entries_[0];
-        for (auto &e : entries_)
-            if (e.lastUse < victim->lastUse)
-                victim = &e;
+        victim = lru;
         evicted = true;
         ++evictions;
     }

@@ -57,6 +57,13 @@ class AddressSpace
   private:
     std::unordered_map<std::uint64_t, Addr> aliases_;
 
+    /** Last translation, (asid,vpn) -> ppn: translate() is a pure
+     *  function of its inputs (given the alias table), sits under every
+     *  functional load, and accesses have strong page locality. alias()
+     *  invalidates it. */
+    mutable std::uint64_t mruKey_ = ~std::uint64_t{0};
+    mutable Addr mruPpn_ = kAddrInvalid;
+
     static std::uint64_t key(Asid asid, Addr vpn);
 };
 
@@ -85,8 +92,19 @@ class Tlb
   public:
     Tlb(const TlbParams &params, StatGroup *parent);
 
-    /** Look up a translation; nullptr on miss. Updates LRU on hit. */
-    const TlbEntry *lookup(Asid asid, Addr vaddr);
+    /** Look up a translation; nullptr on miss. Updates LRU on hit.
+     *  Inline: sits under every data and instruction access. */
+    const TlbEntry *lookup(Asid asid, Addr vaddr)
+    {
+        const Addr vpn = pageNum(vaddr);
+        if (mru_ && mru_->valid && mru_->asid == asid &&
+            mru_->vpn == vpn) {
+            mru_->lastUse = ++stamp_;
+            ++hits;
+            return mru_;
+        }
+        return lookupSlow(asid, vpn);
+    }
 
     /** Install (or refresh) a translation; returns whether a valid
      *  entry was evicted (the TLB prime-and-probe observable). */
@@ -102,9 +120,17 @@ class Tlb
     unsigned capacity() const { return params_.entries; }
 
   private:
+    /** Associative scan behind the MRU fast path (takes the vpn). */
+    const TlbEntry *lookupSlow(Asid asid, Addr vpn);
+
     TlbParams params_;
     std::vector<TlbEntry> entries_;
     std::uint64_t stamp_ = 0;
+    /** Most-recently-hit entry: accesses have strong page locality, so
+     *  checking it first skips the associative scan almost always. The
+     *  full valid/asid/vpn compare is repeated on the hint, so a stale
+     *  hint (after invalidate/flush/overwrite) just falls back. */
+    TlbEntry *mru_ = nullptr;
 
     StatGroup stats_;
 

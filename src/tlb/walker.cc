@@ -6,8 +6,8 @@ namespace mtrap
 {
 
 PageTableWalker::PageTableWalker(const AddressSpace *vm, CoreId core,
-                                 AccessFn fn, StatGroup *parent)
-    : vm_(vm), core_(core), access_(std::move(fn)),
+                                 PtwAccessIface *access, StatGroup *parent)
+    : vm_(vm), core_(core), access_(access),
       stats_("ptw", parent),
       walks(&stats_, "walks", "page-table walks performed"),
       retranslations(&stats_, "retranslations",
@@ -33,7 +33,7 @@ PageTableWalker::doWalk(Asid asid, Addr vaddr, Cycle when, bool speculative)
         acc.asid = asid;
         acc.speculative = speculative;
         acc.when = when + total;
-        AccessResult r = access_(acc);
+        AccessResult r = access_->ptwAccess(acc);
         // PTW reads never demote remote exclusives in practice (page
         // tables are read-shared); a NACK would mean retry, modelled as
         // the non-speculative latency.

@@ -13,8 +13,6 @@
 #ifndef MTRAP_TLB_WALKER_HH
 #define MTRAP_TLB_WALKER_HH
 
-#include <functional>
-
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/access.hh"
@@ -24,17 +22,26 @@ namespace mtrap
 {
 
 /**
+ * Sink for the walker's PTE reads (the memory system's data path for
+ * one core). A plain virtual interface rather than a std::function:
+ * every TLB miss issues kWalkLevels reads through it, making this a hot
+ * indirection.
+ */
+class PtwAccessIface
+{
+  public:
+    virtual ~PtwAccessIface() = default;
+    virtual AccessResult ptwAccess(const Access &acc) = 0;
+};
+
+/**
  * Page-table walker bound to one core's data-side hierarchy.
  */
 class PageTableWalker
 {
   public:
-    /** Function the walker uses to access memory (the memory system's
-     *  data path for this core). */
-    using AccessFn = std::function<AccessResult(const Access &)>;
-
-    PageTableWalker(const AddressSpace *vm, CoreId core, AccessFn fn,
-                    StatGroup *parent);
+    PageTableWalker(const AddressSpace *vm, CoreId core,
+                    PtwAccessIface *access, StatGroup *parent);
 
     /**
      * Perform a full walk for `vaddr` of `asid`.
@@ -57,7 +64,7 @@ class PageTableWalker
 
     const AddressSpace *vm_;
     CoreId core_;
-    AccessFn access_;
+    PtwAccessIface *access_;
 
     StatGroup stats_;
 

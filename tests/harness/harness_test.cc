@@ -196,6 +196,55 @@ TEST(ResultStore, SerialisationIsDeterministicAndSorted)
         EXPECT_EQ(sorted[i].index, i);
 }
 
+TEST(ResultStore, CsvQuotesHostileFieldsPerRfc4180)
+{
+    ResultStore s;
+    JobResult r;
+    r.index = 0;
+    r.suite = "fig,il";                    // embedded comma
+    r.row = "say \"hi\"";                  // embedded quotes
+    r.col = "two\nlines";                  // embedded newline
+    r.kind = "run";
+    r.run.workload = "name,with,commas";
+    r.run.configName = "cfg\"quoted\"";
+    r.run.cycles = 7;
+    r.run.instructionsPerCore = 3;
+    r.run.ipc = 0.5;
+    r.note = "note, with \"both\"\r\n";
+    r.metrics["k,ey"] = 1.0;
+    s.add(std::move(r));
+
+    std::ostringstream os;
+    s.writeCsv(os);
+    const std::string csv = os.str();
+
+    // Header + one (logical) record; the record's embedded newlines are
+    // inside quotes.
+    EXPECT_EQ(csv.rfind("suite,index,row,col,kind,", 0), 0u);
+    EXPECT_NE(csv.find("\"fig,il\",0"), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_NE(csv.find("\"two\nlines\""), std::string::npos);
+    EXPECT_NE(csv.find("\"name,with,commas\""), std::string::npos);
+    EXPECT_NE(csv.find("\"cfg\"\"quoted\"\"\""), std::string::npos);
+    EXPECT_NE(csv.find("\"note, with \"\"both\"\"\r\n\""),
+              std::string::npos);
+    EXPECT_NE(csv.find("\"k,ey=1\""), std::string::npos);
+
+    // A well-behaved record still serialises unquoted.
+    ResultStore clean;
+    JobResult c;
+    c.suite = "fig3";
+    c.row = "mcf";
+    c.col = "MuonTrap";
+    c.kind = "run";
+    c.run.workload = "mcf";
+    c.run.configName = "MuonTrap";
+    clean.add(std::move(c));
+    std::ostringstream cs;
+    clean.writeCsv(cs);
+    EXPECT_EQ(cs.str().find('"'), std::string::npos);
+}
+
 TEST(Suites, EverySuiteBuildsAndFig4Renders)
 {
     for (const std::string &name : suiteNames()) {

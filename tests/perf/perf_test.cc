@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the perf-benchmark subsystem: a down-scaled run of the full
+ * scenario suite (every scenario must produce nonzero throughput), a
+ * real parse of the emitted BENCH.json, and the aggregate score.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "perf/odometer.hh"
+#include "perf/perf_suite.hh"
+
+namespace mtrap::perf
+{
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON validator — enough to prove BENCH.json
+ * is well-formed (objects, arrays, strings with escapes, numbers,
+ * true/false/null).
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &s) : s_(s) {}
+
+    bool valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') { ++pos_; return true; }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') { ++pos_; return true; }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(const char *lit)
+    {
+        const std::string l(lit);
+        if (s_.compare(pos_, l.size(), l) != 0)
+            return false;
+        pos_ += l.size();
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+PerfOptions
+tinyOptions()
+{
+    PerfOptions opt;
+    opt.measureInstructions = 2'000;
+    opt.warmupInstructions = 500;
+    opt.repeats = 1;
+    opt.quick = true;
+    return opt;
+}
+
+TEST(PerfSuite, DownScaledSuiteAllScenariosReportThroughput)
+{
+    const PerfOptions opt = tinyOptions();
+    const std::vector<ScenarioResult> results =
+        runScenarios(defaultScenarios(), opt, nullptr);
+
+    ASSERT_EQ(results.size(), defaultScenarios().size());
+    for (const ScenarioResult &r : results) {
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+        EXPECT_GT(r.wallSeconds, 0.0) << r.name;
+        EXPECT_GT(r.instructions, 0u) << r.name;
+        EXPECT_GT(r.simCycles, 0u) << r.name;
+        EXPECT_GT(r.instructionsPerSecond(), 0.0) << r.name;
+        EXPECT_GT(r.cyclesPerSecond(), 0.0) << r.name;
+    }
+    EXPECT_GT(aggregateScoreKips(results), 0.0);
+}
+
+TEST(PerfSuite, BenchJsonIsWellFormedAndCarriesTheSchema)
+{
+    const PerfOptions opt = tinyOptions();
+    // One cheap scenario is enough to exercise the writer.
+    std::vector<PerfScenario> suite = defaultScenarios();
+    suite.resize(1);
+    const std::vector<ScenarioResult> results =
+        runScenarios(suite, opt, nullptr);
+
+    std::ostringstream os;
+    writeBenchJson(results, opt, os);
+    const std::string json = os.str();
+
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    EXPECT_NE(json.find("\"schema\": \"mtrap-bench-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"mode\": \"quick\""), std::string::npos);
+    EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
+    EXPECT_NE(json.find("\"instructions_per_second\""),
+              std::string::npos);
+}
+
+TEST(PerfSuite, FailedScenarioIsReportedNotThrown)
+{
+    PerfScenario bad;
+    bad.name = "always-fails";
+    bad.body = [](const PerfOptions &) {
+        throw std::runtime_error("intentional");
+    };
+    const std::vector<ScenarioResult> results =
+        runScenarios({bad}, tinyOptions(), nullptr);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_NE(results[0].error.find("intentional"), std::string::npos);
+    EXPECT_EQ(aggregateScoreKips(results), 0.0);
+
+    std::ostringstream os;
+    writeBenchJson(results, tinyOptions(), os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+}
+
+TEST(PerfSuite, OdometerAdvancesWithSimulationWork)
+{
+    SimOdometer &odo = SimOdometer::instance();
+    const std::uint64_t i0 = odo.instructions();
+    const std::uint64_t c0 = odo.cycles();
+
+    std::vector<PerfScenario> suite = defaultScenarios();
+    suite.resize(1);
+    (void)runScenarios(suite, tinyOptions(), nullptr);
+
+    EXPECT_GT(odo.instructions(), i0);
+    EXPECT_GT(odo.cycles(), c0);
+}
+
+} // namespace
+} // namespace mtrap::perf

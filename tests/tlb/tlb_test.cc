@@ -150,20 +150,38 @@ TEST(Tlb, EvictionReturnValueSignalsPrimeProbeObservable)
 
 // --- walker ------------------------------------------------------------------
 
+/** Adapts a test lambda to the walker's PtwAccessIface. */
+template <typename Fn>
+class LambdaPtw : public PtwAccessIface
+{
+  public:
+    explicit LambdaPtw(Fn fn) : fn_(std::move(fn)) {}
+    AccessResult ptwAccess(const Access &acc) override { return fn_(acc); }
+
+  private:
+    Fn fn_;
+};
+
+template <typename Fn>
+LambdaPtw<Fn>
+makePtw(Fn fn)
+{
+    return LambdaPtw<Fn>(std::move(fn));
+}
+
 TEST(Walker, IssuesOneReadPerLevel)
 {
     StatGroup g("g");
     AddressSpace vm;
     unsigned accesses = 0;
-    PageTableWalker w(&vm, 0,
-                      [&accesses](const Access &acc) {
-                          EXPECT_EQ(acc.kind, AccessKind::Ptw);
-                          ++accesses;
-                          AccessResult r;
-                          r.latency = 10;
-                          return r;
-                      },
-                      &g);
+    auto ptw = makePtw([&accesses](const Access &acc) {
+        EXPECT_EQ(acc.kind, AccessKind::Ptw);
+        ++accesses;
+        AccessResult r;
+        r.latency = 10;
+        return r;
+    });
+    PageTableWalker w(&vm, 0, &ptw, &g);
     const Cycle lat = w.walk(1, 0x1000, 0, true);
     EXPECT_EQ(accesses, AddressSpace::kWalkLevels);
     EXPECT_EQ(lat, 10 * AddressSpace::kWalkLevels);
@@ -175,12 +193,11 @@ TEST(Walker, SpeculativeFlagPropagates)
     StatGroup g("g");
     AddressSpace vm;
     bool all_spec = true;
-    PageTableWalker w(&vm, 0,
-                      [&all_spec](const Access &acc) {
-                          all_spec &= acc.speculative;
-                          return AccessResult{1, false, 2};
-                      },
-                      &g);
+    auto ptw = makePtw([&all_spec](const Access &acc) {
+        all_spec &= acc.speculative;
+        return AccessResult{1, false, 2};
+    });
+    PageTableWalker w(&vm, 0, &ptw, &g);
     w.walk(1, 0x1000, 0, true);
     EXPECT_TRUE(all_spec);
 }
@@ -190,12 +207,11 @@ TEST(Walker, RetranslateIsNonSpeculative)
     StatGroup g("g");
     AddressSpace vm;
     bool any_spec = false;
-    PageTableWalker w(&vm, 0,
-                      [&any_spec](const Access &acc) {
-                          any_spec |= acc.speculative;
-                          return AccessResult{1, false, 0};
-                      },
-                      &g);
+    auto ptw = makePtw([&any_spec](const Access &acc) {
+        any_spec |= acc.speculative;
+        return AccessResult{1, false, 0};
+    });
+    PageTableWalker w(&vm, 0, &ptw, &g);
     w.retranslate(1, 0x1000, 100);
     EXPECT_FALSE(any_spec);
     EXPECT_EQ(w.retranslations.value(), 1u);
@@ -207,13 +223,12 @@ TEST(Walker, SequentialTimingAccumulates)
     AddressSpace vm;
     Cycle last_when = 0;
     bool monotonic = true;
-    PageTableWalker w(&vm, 0,
-                      [&](const Access &acc) {
-                          monotonic &= (acc.when >= last_when);
-                          last_when = acc.when;
-                          return AccessResult{7, false, 2};
-                      },
-                      &g);
+    auto ptw = makePtw([&](const Access &acc) {
+        monotonic &= (acc.when >= last_when);
+        last_when = acc.when;
+        return AccessResult{7, false, 2};
+    });
+    PageTableWalker w(&vm, 0, &ptw, &g);
     w.walk(1, 0x1000, 50, false);
     EXPECT_TRUE(monotonic) << "walk levels are dependent accesses";
 }

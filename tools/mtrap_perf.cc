@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Simulator-throughput benchmark front end.
+ *
+ * Runs the fixed perf suite (1-core SPEC, 4-core PARSEC under
+ * MuonTrap/InvisiSpec/STT, a scheduler context-switch workload, the
+ * Spectre attack vignette), times every scenario, and writes BENCH.json
+ * (schema "mtrap-bench-v1", see src/perf/perf_suite.hh).
+ *
+ * Usage:
+ *   mtrap_perf [--out BENCH.json] [--quick] [--repeat N]
+ *              [--instructions N] [--warmup N] [--scenario NAME]...
+ *   mtrap_perf --list
+ *
+ * Options:
+ *   --out FILE         write BENCH.json here ("-" = stdout; default
+ *                      BENCH.json in the current directory)
+ *   --quick            CI smoke preset: ~10x shorter runs, 1 repeat
+ *   --repeat N         wall-time repeats per scenario (best-of-N)
+ *   --instructions N   measured instructions per core per scenario
+ *   --warmup N         warmup instructions per core
+ *   --scenario NAME    run only the named scenario(s) (repeatable)
+ *   --list             print scenario names and exit
+ *
+ * Exit status is nonzero if any scenario fails.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/parse.hh"
+#include "perf/perf_suite.hh"
+
+namespace
+{
+
+using namespace mtrap;
+using namespace mtrap::perf;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mtrap_perf [--out FILE] [--quick] [--repeat N]\n"
+                 "                  [--instructions N] [--warmup N]\n"
+                 "                  [--scenario NAME]... | --list\n");
+    std::exit(1);
+}
+
+std::uint64_t
+parseNumber(const std::string &s, const char *flag)
+{
+    std::uint64_t v;
+    if (!parseU64(s, v))
+        fatal("%s wants a number, got '%s'", flag, s.c_str());
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --quick selects the preset the other knobs start from, wherever
+    // it appears on the line; explicit knobs then always win. So
+    // "--repeat 3 --quick" == "--quick --repeat 3": the quick scales
+    // with three repeats, and the emitted mode label matches the run.
+    PerfOptions opt;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--quick")
+            opt = PerfOptions::quickPreset();
+
+    std::string out_path = "BENCH.json";
+    std::vector<std::string> only;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const PerfScenario &s : defaultScenarios())
+                std::printf("%-40s %s\n", s.name.c_str(),
+                            s.description.c_str());
+            return 0;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--quick") {
+            // handled in the pre-pass
+        } else if (arg == "--repeat") {
+            opt.repeats = static_cast<unsigned>(
+                parseNumber(next(), "--repeat"));
+        } else if (arg == "--instructions") {
+            opt.measureInstructions =
+                parseNumber(next(), "--instructions");
+        } else if (arg == "--warmup") {
+            opt.warmupInstructions = parseNumber(next(), "--warmup");
+        } else if (arg == "--scenario") {
+            only.push_back(next());
+        } else {
+            usage();
+        }
+    }
+    if (opt.repeats == 0)
+        fatal("--repeat wants at least 1");
+
+    std::vector<PerfScenario> scenarios = defaultScenarios();
+    if (!only.empty()) {
+        std::vector<PerfScenario> filtered;
+        for (const std::string &name : only) {
+            bool found = false;
+            for (PerfScenario &s : scenarios) {
+                if (s.name == name) {
+                    filtered.push_back(std::move(s));
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                fatal("unknown scenario '%s' (try --list)", name.c_str());
+        }
+        scenarios = std::move(filtered);
+    }
+
+    std::fprintf(stderr, "mtrap_perf: %zu scenario(s), %s mode, "
+                         "%llu measured + %llu warmup instructions, "
+                         "best of %u\n",
+                 scenarios.size(), opt.quick ? "quick" : "full",
+                 static_cast<unsigned long long>(opt.measureInstructions),
+                 static_cast<unsigned long long>(opt.warmupInstructions),
+                 opt.repeats);
+
+    const std::vector<ScenarioResult> results =
+        runScenarios(scenarios, opt, &std::cerr);
+
+    if (out_path == "-") {
+        writeBenchJson(results, opt, std::cout);
+    } else {
+        std::ofstream os(out_path);
+        if (!os)
+            fatal("cannot open '%s' for writing", out_path.c_str());
+        writeBenchJson(results, opt, os);
+        std::fprintf(stderr, "mtrap_perf: wrote %s\n", out_path.c_str());
+    }
+
+    bool ok = true;
+    for (const ScenarioResult &r : results)
+        ok = ok && r.ok;
+    std::fprintf(stderr, "mtrap_perf: aggregate score %.1f kinst/s (%s)\n",
+                 aggregateScoreKips(results), ok ? "ok" : "FAILED");
+    return ok ? 0 : 1;
+}
