@@ -37,7 +37,7 @@ Cache::Cache(const CacheParams &params, StatGroup *parent)
     if (!isPow2(sets_))
         fatal("%s: set count %u must be a power of two",
               params.name.c_str(), sets_);
-    lines_.resize(static_cast<std::size_t>(sets_) * params.assoc);
+    lines_.allocate(sets_, params.assoc);
     repl_ = Replacement::create(params.repl, sets_, params.assoc,
                                 params.seed);
     mshrFree_.assign(std::max(1u, params.mshrs), 0);
@@ -51,8 +51,7 @@ Cache::fill(Addr paddr, CoherState st, Eviction *ev)
 
     const Addr ln = lineNum(paddr);
     const unsigned set = setIndex(paddr);
-    CacheLine *base = &lines_[static_cast<std::size_t>(set)
-                              * params_.assoc];
+    CacheLine *base = lines_.set(set); // first fill touch constructs
 
     // Refill of a line already present just updates state.
     for (unsigned w = 0; w < params_.assoc; ++w) {
@@ -111,21 +110,22 @@ Cache::invalidate(Addr paddr)
 void
 Cache::invalidateAll()
 {
-    for (auto &l : lines_) {
+    lines_.forEachTouchedLine([this](CacheLine &l) {
         if (l.valid()) {
             l.clear();
             ++invalidations;
         }
-    }
+    });
 }
 
 unsigned
 Cache::validLineCount() const
 {
     unsigned n = 0;
-    for (const auto &l : lines_)
+    lines_.forEachTouchedLine([&n](const CacheLine &l) {
         if (l.valid())
             ++n;
+    });
     return n;
 }
 

@@ -13,7 +13,9 @@
 #define MTRAP_CACHE_CACHE_HH
 
 #include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "cache/line.hh"
@@ -49,6 +51,118 @@ struct Eviction
 };
 
 /**
+ * Lazily-initialised cache-line storage over a pooled buffer.
+ *
+ * A Table-1 L2's line array is ~2 MB of metadata, and eagerly
+ * default-constructing it dominated System construction (~0.5 ms) for
+ * the short-run sweeps (attack choreographies, harness job churn) that
+ * build thousands of systems while touching a handful of sets each.
+ * Storage comes raw from the BufferPool; a per-set bitmap records which
+ * sets have been constructed, and a set's lines are default-initialised
+ * on first *fill* touch. Probes of untouched sets report a miss without
+ * faulting the set in, so construction cost is O(sets/64) words instead
+ * of O(size).
+ */
+class LineArray
+{
+  public:
+    LineArray() = default;
+    LineArray(const LineArray &) = delete;
+    LineArray &operator=(const LineArray &) = delete;
+
+    ~LineArray()
+    {
+        BufferPool::instance().release(data_, bytes());
+    }
+
+    /** Allocate (uninitialised) storage for sets*ways lines. */
+    void allocate(unsigned sets, unsigned ways)
+    {
+        static_assert(std::is_trivially_destructible_v<CacheLine>,
+                      "lazy storage skips destructors");
+        sets_ = sets;
+        ways_ = ways;
+        data_ = static_cast<CacheLine *>(
+            BufferPool::instance().acquire(bytes()));
+        if (!data_)
+            throw std::bad_alloc();
+        initBits_.assign((sets + 63) / 64, 0);
+    }
+
+    std::size_t size() const
+    {
+        return static_cast<std::size_t>(sets_) * ways_;
+    }
+    CacheLine *data() { return data_; }
+    const CacheLine *data() const { return data_; }
+
+    /** Line `i` of the flat array; the caller must know its set has
+     *  been touched (e.g. FilterCache's valid-bit bookkeeping). */
+    CacheLine &operator[](std::size_t i) { return data_[i]; }
+
+    /** Base of `set`'s ways, constructing them on first touch. */
+    CacheLine *set(unsigned set)
+    {
+        std::uint64_t &word = initBits_[set >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (set & 63);
+        CacheLine *base = data_ + static_cast<std::size_t>(set) * ways_;
+        if (!(word & bit)) {
+            word |= bit;
+            for (unsigned w = 0; w < ways_; ++w)
+                new (base + w) CacheLine();
+        }
+        return base;
+    }
+
+    /** Base of `set`'s ways, or nullptr while untouched (probes of
+     *  never-filled sets miss without faulting the set in). */
+    CacheLine *setIfTouched(unsigned set)
+    {
+        if (!(initBits_[set >> 6] & (std::uint64_t{1} << (set & 63))))
+            return nullptr;
+        return data_ + static_cast<std::size_t>(set) * ways_;
+    }
+
+    const CacheLine *setIfTouched(unsigned set) const
+    {
+        return const_cast<LineArray *>(this)->setIfTouched(set);
+    }
+
+    /** Visit every line of every touched set. */
+    template <typename Fn>
+    void forEachTouchedLine(Fn &&fn)
+    {
+        for (unsigned s = 0; s < sets_; ++s) {
+            CacheLine *base = setIfTouched(s);
+            if (!base)
+                continue;
+            for (unsigned w = 0; w < ways_; ++w)
+                fn(base[w]);
+        }
+    }
+    template <typename Fn>
+    void forEachTouchedLine(Fn &&fn) const
+    {
+        for (unsigned s = 0; s < sets_; ++s) {
+            const CacheLine *base = setIfTouched(s);
+            if (!base)
+                continue;
+            for (unsigned w = 0; w < ways_; ++w)
+                fn(base[w]);
+        }
+    }
+
+  private:
+    std::size_t bytes() const { return size() * sizeof(CacheLine); }
+
+    CacheLine *data_ = nullptr;
+    unsigned sets_ = 0;
+    unsigned ways_ = 0;
+    /** Bit per set: ways constructed. */
+    std::vector<std::uint64_t> initBits_;
+};
+
+/**
  * Set-associative tag array with statistics and MSHR accounting.
  */
 class Cache
@@ -70,8 +184,9 @@ class Cache
     {
         const Addr ln = lineNum(paddr);
         const unsigned set = setIndex(paddr);
-        CacheLine *base =
-            &lines_[static_cast<std::size_t>(set) * params_.assoc];
+        CacheLine *base = lines_.setIfTouched(set);
+        if (!base)
+            return nullptr;
         for (unsigned w = 0; w < params_.assoc; ++w) {
             CacheLine &l = base[w];
             if (l.valid() && l.ptag == ln) {
@@ -88,8 +203,9 @@ class Cache
     {
         const Addr ln = lineNum(paddr);
         const unsigned set = setIndex(paddr);
-        CacheLine *base =
-            &lines_[static_cast<std::size_t>(set) * params_.assoc];
+        CacheLine *base = lines_.setIfTouched(set);
+        if (!base)
+            return nullptr;
         for (unsigned w = 0; w < params_.assoc; ++w)
             if (base[w].valid() && base[w].ptag == ln)
                 return &base[w];
@@ -121,9 +237,10 @@ class Cache
     template <typename Fn>
     void forEachLine(Fn &&fn)
     {
-        for (auto &l : lines_)
+        lines_.forEachTouchedLine([&](CacheLine &l) {
             if (l.valid())
                 fn(l);
+        });
     }
 
     /** Number of currently valid lines. */
@@ -149,10 +266,11 @@ class Cache
 
     CacheParams params_;
     unsigned sets_;
-    /** Pool-allocated: systems are built and torn down constantly (the
-     *  attack choreographies, every harness job) and recycling the
-     *  multi-megabyte line arrays avoids first-touch page faults. */
-    std::vector<CacheLine, PoolAllocator<CacheLine>> lines_;
+    /** Pool-backed and lazily constructed: systems are built and torn
+     *  down constantly (the attack choreographies, every harness job);
+     *  recycling avoids first-touch page faults and the per-set lazy
+     *  init avoids paying for megabytes of untouched metadata. */
+    LineArray lines_;
     std::unique_ptr<Replacement> repl_;
     std::vector<Cycle> mshrFree_;
     /** Outstanding fills: line number -> data-arrival cycle. */

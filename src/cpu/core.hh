@@ -121,6 +121,16 @@ class Core
     /** Current front-end cycle (the core's clock). */
     Cycle now() const { return fetchCycle_; }
 
+    /** Push the front-end clock forward to `c` (never backward): the
+     *  scheduler parks the core across an idle gang slot. */
+    void advanceClockTo(Cycle c)
+    {
+        if (c > fetchCycle_) {
+            fetchCycle_ = c;
+            fetchedThisCycle_ = 0;
+        }
+    }
+
     /** Cycle at which the last instruction committed. */
     Cycle lastCommitCycle() const { return lastCommitC_; }
 

@@ -30,6 +30,23 @@ runJob(const JobSpec &job)
         return custom;
     }
 
+    if (job.scheduled) {
+        if (job.mix.empty())
+            throw std::runtime_error("scheduled job "
+                                     + std::to_string(job.index)
+                                     + " has an empty mix");
+        std::vector<Workload> mix;
+        mix.reserve(job.mix.size());
+        for (const auto &factory : job.mix)
+            mix.push_back(factory());
+        RunOutput out = runMixConfigured(mix, job.cfg, job.sched,
+                                         job.opt, job.configName);
+        r.run = out.result;
+        if (job.collect)
+            job.collect(*out.system, r);
+        return r;
+    }
+
     if (!job.workload)
         throw std::runtime_error("job " + std::to_string(job.index)
                                  + " has neither workload nor custom fn");
@@ -43,14 +60,14 @@ runJob(const JobSpec &job)
 }
 
 Workload
-buildNamedWorkload(const std::string &name, std::uint64_t seed)
+buildNamedWorkload(const std::string &name, std::uint64_t seed, Asid asid)
 {
     for (const std::string &n : specBenchmarkNames()) {
         if (n == name) {
             WorkloadProfile p = specProfile(name);
             if (seed)
                 p.seed = mixSeeds(p.seed, seed);
-            return buildWorkload(p);
+            return buildWorkload(p, asid);
         }
     }
     for (const std::string &n : parsecBenchmarkNames()) {
@@ -58,7 +75,7 @@ buildNamedWorkload(const std::string &name, std::uint64_t seed)
             WorkloadProfile p = parsecProfile(name);
             if (seed)
                 p.seed = mixSeeds(p.seed, seed);
-            return buildWorkload(p);
+            return buildWorkload(p, asid);
         }
     }
     fatal("unknown workload '%s' (try --list)", name.c_str());

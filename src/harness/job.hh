@@ -48,6 +48,16 @@ struct JobSpec
     std::string configName = "custom";
     RunOptions opt;
 
+    /**
+     * Multiprogrammed job: when `scheduled` is set, every factory in
+     * `mix` is built inside the worker and the whole mix time-shares
+     * cfg.cores cores under the gang scheduler (`sched`), via
+     * runMixConfigured. `workload` is ignored in that case.
+     */
+    bool scheduled = false;
+    std::vector<std::function<Workload()>> mix;
+    SchedParams sched;
+
     /** Post-run stats probe (e.g. figure 7's bus counters). */
     std::function<void(System &, JobResult &)> collect;
 
@@ -84,9 +94,12 @@ JobResult runJob(const JobSpec &job);
  * Build a bundled workload by name (SPEC-like or Parsec-like; fatal on
  * unknown names). A nonzero `seed` is mixed into the profile's
  * generation seed, re-randomising the synthetic program reproducibly —
- * the same path mtrap_sim --seed and harness jobs use.
+ * the same path mtrap_sim --seed and harness jobs use. `asid` selects
+ * the process's address space (multiprogrammed mixes give each job its
+ * own).
  */
-Workload buildNamedWorkload(const std::string &name, std::uint64_t seed = 0);
+Workload buildNamedWorkload(const std::string &name, std::uint64_t seed = 0,
+                            Asid asid = 1);
 
 /** Per-job seed derived from a global sweep seed; 0 stays 0 so unseeded
  *  sweeps reproduce the legacy single-threaded results exactly. */

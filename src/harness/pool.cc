@@ -9,60 +9,20 @@
 namespace mtrap::harness
 {
 
-/** Mutex+condvar queue of job indices. Producers push then close; the
- *  condvar wakes workers either for a new index or for shutdown. */
+/**
+ * Work-stealing job distribution: every job is known up front, so a
+ * single atomic cursor replaces the old mutex+condvar queue — each
+ * worker claims the next unclaimed index the moment it finishes its
+ * current job. A worker stuck on a slow job (mcf under InvisiSpec) no
+ * longer strands the jobs that static sharding would have bound to its
+ * shard; the fast workers drain them instead. The mutex now guards only
+ * result publication and progress callbacks.
+ */
 struct ExperimentPool::Queue
 {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
     std::mutex mtx;
-    std::condition_variable cv;
-    std::vector<std::size_t> pending; // drained front-to-back
-    std::size_t head = 0;
-    bool closed = false;
-    bool cancelled = false;
-
-    void
-    push(std::size_t i)
-    {
-        {
-            std::lock_guard<std::mutex> lk(mtx);
-            pending.push_back(i);
-        }
-        cv.notify_one();
-    }
-
-    void
-    close()
-    {
-        {
-            std::lock_guard<std::mutex> lk(mtx);
-            closed = true;
-        }
-        cv.notify_all();
-    }
-
-    void
-    cancel()
-    {
-        {
-            std::lock_guard<std::mutex> lk(mtx);
-            cancelled = true;
-        }
-        cv.notify_all();
-    }
-
-    /** Blocks for the next index; false on shutdown/cancellation. */
-    bool
-    pop(std::size_t &out)
-    {
-        std::unique_lock<std::mutex> lk(mtx);
-        cv.wait(lk, [&] {
-            return cancelled || head < pending.size() || closed;
-        });
-        if (cancelled || head >= pending.size())
-            return false;
-        out = pending[head++];
-        return true;
-    }
 };
 
 ExperimentPool::ExperimentPool(unsigned threads)
@@ -76,8 +36,11 @@ ExperimentPool::worker(Queue &q, const std::vector<JobSpec> &jobs,
                        std::vector<JobResult> &results,
                        const Progress &progress)
 {
-    std::size_t i;
-    while (q.pop(i)) {
+    while (!q.cancelled.load(std::memory_order_relaxed)) {
+        const std::size_t i =
+            q.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size())
+            return;
         JobResult r;
         try {
             r = runJob(jobs[i]);
@@ -94,13 +57,11 @@ ExperimentPool::worker(Queue &q, const std::vector<JobSpec> &jobs,
         {
             std::lock_guard<std::mutex> lk(q.mtx);
             results[i] = std::move(r);
-        }
-        if (progress) {
-            std::lock_guard<std::mutex> lk(q.mtx);
-            progress(results[i]);
+            if (progress)
+                progress(results[i]);
         }
         if (failed)
-            q.cancel(); // fatal: stop handing out further jobs
+            q.cancelled.store(true); // fatal: stop claiming further jobs
     }
 }
 
@@ -127,10 +88,6 @@ ExperimentPool::run(const std::vector<JobSpec> &jobs,
     workers.reserve(n);
     for (unsigned t = 0; t < n; ++t)
         workers.emplace_back([&] { worker(q, jobs, results, progress); });
-
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-        q.push(i);
-    q.close();
 
     for (auto &w : workers)
         w.join();

@@ -1,7 +1,9 @@
 /**
  * @file
- * ExperimentPool: a fixed-size worker-thread pool draining a
- * mutex+condvar job queue.
+ * ExperimentPool: a fixed-size worker-thread pool draining the job list
+ * through a work-stealing atomic cursor — whichever worker finishes
+ * first claims the next job, so one slow job cannot straggle a whole
+ * static shard.
  *
  * Determinism contract: results are returned indexed by submission
  * order and every job is self-contained, so the result vector is
@@ -13,7 +15,7 @@
 #ifndef MTRAP_HARNESS_POOL_HH
 #define MTRAP_HARNESS_POOL_HH
 
-#include <condition_variable>
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <vector>

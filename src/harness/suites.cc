@@ -192,6 +192,57 @@ fig7Suite(const RunOptions &opt, std::uint64_t seed)
     return s;
 }
 
+// ------------------------------------------------------- sched suite
+
+/**
+ * The paper's §6 scenario family: multiprogrammed 4-core runs under the
+ * gang scheduler, where every context switch pays the scheme's hygiene
+ * cost (MuonTrap filter flush / InvisiSpec squash / STT taint clear).
+ * Normalisation is against the *scheduled* baseline, so the table
+ * isolates each scheme's time-sharing cost, not the scheduler's.
+ */
+Suite
+schedSuite(const RunOptions &opt, std::uint64_t seed)
+{
+    SchedParams sp;
+    sp.quantum = 20'000;
+
+    SweepBuilder b("sched");
+    b.options(opt)
+        .seed(seed)
+        .schedule(sp, /*cores=*/4)
+        // Eight single-threaded SPEC jobs time-sharing four cores: the
+        // classic multiprogrammed mix (two jobs per core, constant
+        // switching).
+        .mixRow("spec-mix4", {"mcf", "gcc", "hmmer", "libquantum",
+                              "gamess", "astar", "lbm", "milc"})
+        // Two four-thread PARSEC gangs alternating on the same four
+        // cores: every quantum boundary switches the whole machine.
+        .mixRow("parsec-timeshare", {"canneal", "streamcluster"})
+        .withBaseline()
+        .schemes(kFigureSchemes)
+        .collect([](System &sys, JobResult &r) {
+            const Scheduler *sched = sys.scheduler();
+            if (!sched)
+                return;
+            r.metrics["context_switches"] =
+                static_cast<double>(sched->switches());
+            r.metrics["migrations"] =
+                static_cast<double>(sched->migrations());
+            r.metrics["idle_slots"] =
+                static_cast<double>(sched->idleSlots());
+        });
+
+    Suite s;
+    s.name = "sched";
+    s.jobs = b.build();
+    s.render = normalizedRenderer(
+        "Scheduled multiprogramming (4 cores, gang scheduler): "
+        "normalised execution time",
+        b.rowLabels(), b.columnLabels());
+    return s;
+}
+
 // ------------------------------------------------------- security matrix
 
 /** The attacks of runAllAttacks(), individually dispatchable so the
@@ -319,7 +370,7 @@ suiteNames()
 {
     static const std::vector<std::string> names = {
         "fig3", "fig4", "fig5", "fig6",
-        "fig7", "fig8", "fig9", "security",
+        "fig7", "fig8", "fig9", "sched", "security",
     };
     return names;
 }
@@ -365,9 +416,12 @@ buildSuite(const std::string &name, const RunOptions &opt,
             name, "Figure 9: cumulative protection cost on SPEC CPU2006",
             specBenchmarkNames(), opt, seed,
             [](SweepBuilder &b) { addStepColumns(b, true); });
+    if (name == "sched")
+        return schedSuite(opt, seed);
     if (name == "security")
         return securitySuite(opt, seed);
-    fatal("unknown suite '%s' (try one of fig3..fig9, security, all)",
+    fatal("unknown suite '%s' (try one of fig3..fig9, sched, security, "
+          "all)",
           name.c_str());
 }
 

@@ -24,7 +24,33 @@ SweepBuilder::seed(std::uint64_t s)
 SweepBuilder &
 SweepBuilder::workloads(const std::vector<std::string> &names)
 {
-    rows_.insert(rows_.end(), names.begin(), names.end());
+    for (const std::string &name : names) {
+        rows_.push_back(Row{name, {name}});
+        rowLabels_.push_back(name);
+    }
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::mixRow(const std::string &label,
+                     const std::vector<std::string> &names)
+{
+    if (names.empty())
+        fatal("sweep '%s': empty mix row '%s'", suite_.c_str(),
+              label.c_str());
+    rows_.push_back(Row{label, names});
+    rowLabels_.push_back(label);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::schedule(const SchedParams &p, unsigned cores)
+{
+    if (cores == 0)
+        fatal("sweep '%s': scheduled sweep needs cores", suite_.c_str());
+    scheduled_ = true;
+    sched_ = p;
+    schedCores_ = cores;
     return *this;
 }
 
@@ -114,20 +140,39 @@ SweepBuilder::build() const
     std::vector<JobSpec> jobs;
     jobs.reserve(rows_.size() * (cols_.size() + (baseline_ ? 1 : 0)));
 
-    auto add = [&](const std::string &row, const std::string &col,
+    auto add = [&](const Row &row, const std::string &col,
                    const std::string &kind, const std::string &config_name,
                    const SystemConfig &cfg) {
         JobSpec j;
         j.index = jobs.size();
         j.suite = suite_;
-        j.row = row;
+        j.row = row.label;
         j.col = col;
         j.kind = kind;
         const std::uint64_t wl_seed = seed_; // same workload across cols
-        j.workload = [row, wl_seed] {
-            return buildNamedWorkload(row, wl_seed);
-        };
-        j.cfg = cfg;
+        if (scheduled_) {
+            j.scheduled = true;
+            j.sched = sched_;
+            j.cfg = cfg;
+            j.cfg.cores = std::max(j.cfg.cores, schedCores_);
+            // Distinct asids: mix members are separate processes.
+            for (std::size_t m = 0; m < row.names.size(); ++m) {
+                const std::string name = row.names[m];
+                const Asid asid = static_cast<Asid>(m + 1);
+                j.mix.push_back([name, wl_seed, asid] {
+                    return buildNamedWorkload(name, wl_seed, asid);
+                });
+            }
+        } else {
+            if (row.names.size() != 1)
+                fatal("sweep '%s': mix row '%s' needs schedule()",
+                      suite_.c_str(), row.label.c_str());
+            const std::string name = row.names[0];
+            j.workload = [name, wl_seed] {
+                return buildNamedWorkload(name, wl_seed);
+            };
+            j.cfg = cfg;
+        }
         j.configName = config_name;
         j.opt = opt_;
         j.opt.seed = jobSeed(seed_, j.index);
@@ -138,7 +183,7 @@ SweepBuilder::build() const
 
     const SystemConfig base_cfg =
         SystemConfig::forScheme(Scheme::Baseline, 1);
-    for (const std::string &row : rows_) {
+    for (const Row &row : rows_) {
         if (baseline_)
             add(row, schemeName(Scheme::Baseline), "baseline",
                 schemeName(Scheme::Baseline), base_cfg);

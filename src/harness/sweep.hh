@@ -34,6 +34,20 @@ class SweepBuilder
 
     /** Append one row per bundled workload name (SPEC or Parsec). */
     SweepBuilder &workloads(const std::vector<std::string> &names);
+    /**
+     * Append one multiprogrammed row: all `names` time-share the cores
+     * of a schedule()d sweep as one job mix (each member gets its own
+     * asid). Only valid together with schedule().
+     */
+    SweepBuilder &mixRow(const std::string &label,
+                         const std::vector<std::string> &names);
+    /**
+     * Run every job (baselines included) through the gang scheduler on
+     * a `cores`-core system under policy `p` — the multiprogrammed
+     * suites' mode. Normalisation then compares scheduled runs against
+     * the scheduled baseline, isolating each scheme's scheduling cost.
+     */
+    SweepBuilder &schedule(const SchedParams &p, unsigned cores);
     /** Prepend a Scheme::Baseline job to every row (run exactly once
      *  per workload; anchors normalisation). */
     SweepBuilder &withBaseline();
@@ -59,7 +73,7 @@ class SweepBuilder
     /** Column labels in insertion order (for renderers). */
     const std::vector<std::string> &columnLabels() const { return labels_; }
     /** Row labels in insertion order. */
-    const std::vector<std::string> &rowLabels() const { return rows_; }
+    const std::vector<std::string> &rowLabels() const { return rowLabels_; }
 
     /** Expand into the flat, index-stamped job list. */
     std::vector<JobSpec> build() const;
@@ -72,11 +86,22 @@ class SweepBuilder
         SystemConfig cfg;
     };
 
+    /** One row: a single workload, or (mix) several time-shared ones. */
+    struct Row
+    {
+        std::string label;
+        std::vector<std::string> names;
+    };
+
     std::string suite_;
     RunOptions opt_;
     std::uint64_t seed_ = 0;
     bool baseline_ = false;
-    std::vector<std::string> rows_;
+    bool scheduled_ = false;
+    SchedParams sched_;
+    unsigned schedCores_ = 1;
+    std::vector<Row> rows_;
+    std::vector<std::string> rowLabels_;
     std::vector<Column> cols_;
     std::vector<std::string> labels_;
     std::function<void(System &, JobResult &)> collect_;

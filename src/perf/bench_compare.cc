@@ -1,0 +1,436 @@
+#include "perf/bench_compare.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+#include "common/log.hh"
+#include "perf/perf_suite.hh"
+
+namespace mtrap::perf
+{
+
+namespace
+{
+
+/**
+ * Minimal JSON document model + recursive-descent parser — just enough
+ * for the fixed BENCH.json schema (objects, arrays, strings with the
+ * escapes jsonEscape emits, numbers, booleans, null). Kept local: the
+ * simulator has no other JSON-reading need.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    const JsonValue *field(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        const auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &s) : s_(s) {}
+
+    bool parse(JsonValue &out, std::string &err)
+    {
+        skipWs();
+        if (!value(out, err))
+            return false;
+        skipWs();
+        if (pos_ != s_.size()) {
+            err = "trailing characters at offset "
+                  + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool value(JsonValue &out, std::string &err)
+    {
+        if (pos_ >= s_.size()) {
+            err = "unexpected end of input";
+            return false;
+        }
+        switch (s_[pos_]) {
+          case '{': return object(out, err);
+          case '[': return array(out, err);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.string, err);
+          case 't':
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = s_[pos_] == 't';
+            return literal(out.boolean ? "true" : "false", err);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", err);
+          default:
+            out.kind = JsonValue::Kind::Number;
+            return number(out.number, err);
+        }
+    }
+
+    bool object(JsonValue &out, std::string &err)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!string(key, err))
+                return false;
+            skipWs();
+            if (peek() != ':') {
+                err = "expected ':' at offset " + std::to_string(pos_);
+                return false;
+            }
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!value(v, err))
+                return false;
+            out.object.emplace(std::move(key), std::move(v));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            err = "expected ',' or '}' at offset " + std::to_string(pos_);
+            return false;
+        }
+    }
+
+    bool array(JsonValue &out, std::string &err)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!value(v, err))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            err = "expected ',' or ']' at offset " + std::to_string(pos_);
+            return false;
+        }
+    }
+
+    bool string(std::string &out, std::string &err)
+    {
+        if (peek() != '"') {
+            err = "expected string at offset " + std::to_string(pos_);
+            return false;
+        }
+        ++pos_;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_];
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size()) {
+                    err = "unterminated escape";
+                    return false;
+                }
+                switch (s_[pos_]) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case 'r': c = '\r'; break;
+                  case 'b': c = '\b'; break;
+                  case 'f': c = '\f'; break;
+                  case 'u':
+                    // BENCH.json never emits \u; decode as '?' rather
+                    // than failing on a hand-edited file.
+                    if (pos_ + 4 >= s_.size()) {
+                        err = "truncated \\u escape";
+                        return false;
+                    }
+                    pos_ += 4;
+                    c = '?';
+                    break;
+                  default:
+                    err = "unknown escape";
+                    return false;
+                }
+            }
+            out.push_back(c);
+            ++pos_;
+        }
+        if (pos_ >= s_.size()) {
+            err = "unterminated string";
+            return false;
+        }
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool number(double &out, std::string &err)
+    {
+        const std::size_t start = pos_;
+        while (pos_ < s_.size()
+               && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
+                   || s_[pos_] == '.' || s_[pos_] == '-'
+                   || s_[pos_] == '+' || s_[pos_] == 'e'
+                   || s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) {
+            err = "expected number at offset " + std::to_string(start);
+            return false;
+        }
+        const std::string tok = s_.substr(start, pos_ - start);
+        char *end = nullptr;
+        out = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0') {
+            err = "bad number '" + tok + "'";
+            return false;
+        }
+        return true;
+    }
+
+    bool literal(const char *lit, std::string &err)
+    {
+        const std::string l(lit);
+        if (s_.compare(pos_, l.size(), l) != 0) {
+            err = "expected '" + l + "' at offset "
+                  + std::to_string(pos_);
+            return false;
+        }
+        pos_ += l.size();
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+    void skipWs()
+    {
+        while (pos_ < s_.size()
+               && std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+double
+numberField(const JsonValue &v, const std::string &key, double fallback)
+{
+    const JsonValue *f = v.field(key);
+    return f && f->kind == JsonValue::Kind::Number ? f->number : fallback;
+}
+
+} // namespace
+
+bool
+parseBenchJson(const std::string &text, BenchFile &out, std::string &err)
+{
+    JsonValue root;
+    JsonParser parser(text);
+    if (!parser.parse(root, err))
+        return false;
+    if (root.kind != JsonValue::Kind::Object) {
+        err = "top level is not an object";
+        return false;
+    }
+
+    const JsonValue *schema = root.field("schema");
+    if (!schema || schema->kind != JsonValue::Kind::String) {
+        err = "missing \"schema\" tag";
+        return false;
+    }
+    if (schema->string != "mtrap-bench-v1") {
+        err = "unknown schema '" + schema->string + "'";
+        return false;
+    }
+    out.schema = schema->string;
+
+    if (const JsonValue *mode = root.field("mode");
+        mode && mode->kind == JsonValue::Kind::String)
+        out.mode = mode->string;
+
+    const JsonValue *scenarios = root.field("scenarios");
+    if (!scenarios || scenarios->kind != JsonValue::Kind::Array) {
+        err = "missing \"scenarios\" array";
+        return false;
+    }
+    for (const JsonValue &s : scenarios->array) {
+        const JsonValue *name = s.field("name");
+        if (!name || name->kind != JsonValue::Kind::String) {
+            err = "scenario without a name";
+            return false;
+        }
+        BenchScenario bs;
+        bs.name = name->string;
+        const JsonValue *ok = s.field("ok");
+        bs.ok = ok && ok->kind == JsonValue::Kind::Bool && ok->boolean;
+        bs.wallSeconds = numberField(s, "wall_seconds", 0.0);
+        bs.instructionsPerSecond =
+            numberField(s, "instructions_per_second", 0.0);
+        out.scenarios.push_back(std::move(bs));
+    }
+
+    if (const JsonValue *agg = root.field("aggregate")) {
+        out.scoreKips = numberField(*agg, "score_kips", 0.0);
+        const JsonValue *ok = agg->field("ok");
+        out.ok = ok && ok->kind == JsonValue::Kind::Bool && ok->boolean;
+    }
+    return true;
+}
+
+BenchFile
+benchFileFromResults(const std::vector<ScenarioResult> &results)
+{
+    BenchFile f;
+    f.schema = "mtrap-bench-v1";
+    f.ok = true;
+    for (const ScenarioResult &r : results) {
+        BenchScenario bs;
+        bs.name = r.name;
+        bs.ok = r.ok;
+        bs.wallSeconds = r.wallSeconds;
+        bs.instructionsPerSecond = r.instructionsPerSecond();
+        f.scenarios.push_back(std::move(bs));
+        f.ok = f.ok && r.ok;
+    }
+    f.scoreKips = aggregateScoreKips(results);
+    return f;
+}
+
+CompareReport
+compareBench(const BenchFile &baseline, const BenchFile &candidate,
+             const CompareOptions &opt)
+{
+    CompareReport rep;
+    std::string &txt = rep.text;
+
+    bool candidate_errors = false;
+    for (const BenchScenario &s : candidate.scenarios) {
+        if (!s.ok) {
+            txt += strfmt("FAIL  %-40s scenario errored\n",
+                          s.name.c_str());
+            candidate_errors = true;
+        }
+    }
+
+    std::map<std::string, const BenchScenario *> base_by_name;
+    for (const BenchScenario &s : baseline.scenarios)
+        base_by_name[s.name] = &s;
+
+    double logsum = 0.0;
+    for (const BenchScenario &s : candidate.scenarios) {
+        const auto it = base_by_name.find(s.name);
+        if (it == base_by_name.end()) {
+            txt += strfmt("new   %-40s %10.0f kinst/s (no baseline)\n",
+                          s.name.c_str(),
+                          s.instructionsPerSecond / 1e3);
+            continue;
+        }
+        const BenchScenario &b = *it->second;
+        base_by_name.erase(it);
+        if (!s.ok)
+            continue; // already reported as an error above
+        if (s.instructionsPerSecond <= 0.0) {
+            // "Ran fine" but produced no throughput: an infinite
+            // regression must not vanish from the geomean silently.
+            txt += strfmt("FAIL  %-40s zero throughput in candidate\n",
+                          s.name.c_str());
+            candidate_errors = true;
+            continue;
+        }
+        if (!b.ok || b.instructionsPerSecond <= 0.0) {
+            txt += strfmt("skip  %-40s baseline has no valid "
+                          "throughput\n",
+                          s.name.c_str());
+            continue;
+        }
+        const double ratio =
+            s.instructionsPerSecond / b.instructionsPerSecond;
+        logsum += std::log(ratio);
+        ++rep.commonScenarios;
+        txt += strfmt("      %-40s %10.0f -> %10.0f kinst/s  (%+.1f%%)\n",
+                      s.name.c_str(), b.instructionsPerSecond / 1e3,
+                      s.instructionsPerSecond / 1e3,
+                      (ratio - 1.0) * 100.0);
+    }
+    for (const auto &[name, s] : base_by_name) {
+        (void)s;
+        txt += strfmt("gone  %-40s dropped from the suite\n",
+                      name.c_str());
+    }
+
+    rep.geomeanRatio =
+        rep.commonScenarios
+            ? std::exp(logsum
+                       / static_cast<double>(rep.commonScenarios))
+            : 1.0;
+
+    const double regress_pct = (1.0 - rep.geomeanRatio) * 100.0;
+    const bool regressed = rep.commonScenarios
+                           && regress_pct > opt.maxRegressPct;
+    rep.pass = !candidate_errors && !regressed;
+
+    if (rep.commonScenarios) {
+        txt += strfmt("geomean over %zu common scenario(s): %+.1f%% "
+                      "(threshold -%.1f%%)\n",
+                      rep.commonScenarios,
+                      (rep.geomeanRatio - 1.0) * 100.0,
+                      opt.maxRegressPct);
+    } else {
+        txt += "no common scenarios; throughput not compared\n";
+    }
+    txt += rep.pass ? "PASS: no perf regression\n"
+                    : (candidate_errors
+                           ? "FAIL: scenario errors in candidate run\n"
+                           : "FAIL: geomean throughput regression\n");
+    return rep;
+}
+
+} // namespace mtrap::perf

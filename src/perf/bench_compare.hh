@@ -1,0 +1,84 @@
+/**
+ * @file
+ * BENCH.json regression comparison (the CI gate behind
+ * `mtrap_perf --compare`).
+ *
+ * Parses two "mtrap-bench-v1" files (see perf_suite.hh for the schema)
+ * and compares per-scenario throughput. The verdict fails when any
+ * candidate scenario errored, or when the geometric-mean throughput
+ * ratio over the scenarios common to both runs regresses by more than
+ * the threshold. Scenarios present on only one side are reported but
+ * never fail the gate — suites are allowed to grow and shrink across
+ * commits without tripping the comparison.
+ */
+
+#ifndef MTRAP_PERF_BENCH_COMPARE_HH
+#define MTRAP_PERF_BENCH_COMPARE_HH
+
+#include <string>
+#include <vector>
+
+namespace mtrap::perf
+{
+
+struct ScenarioResult;
+
+/** One scenario as read back from a BENCH.json. */
+struct BenchScenario
+{
+    std::string name;
+    bool ok = false;
+    double wallSeconds = 0.0;
+    double instructionsPerSecond = 0.0;
+};
+
+/** One parsed BENCH.json. */
+struct BenchFile
+{
+    std::string schema;
+    std::string mode;
+    std::vector<BenchScenario> scenarios;
+    double scoreKips = 0.0;
+    bool ok = false;
+};
+
+/**
+ * Parse `text` as a BENCH.json. Returns false (with a message in
+ * `err`) on malformed JSON, a missing/unknown schema tag, or missing
+ * required fields.
+ */
+bool parseBenchJson(const std::string &text, BenchFile &out,
+                    std::string &err);
+
+/** Convert fresh in-process results to the comparison shape. */
+BenchFile benchFileFromResults(const std::vector<ScenarioResult> &results);
+
+struct CompareOptions
+{
+    /** Maximum tolerated geomean throughput regression, percent. */
+    double maxRegressPct = 5.0;
+};
+
+/** Verdict of one baseline-vs-candidate comparison. */
+struct CompareReport
+{
+    bool pass = false;
+    /** geomean(candidate ips / baseline ips) over common scenarios;
+     *  1.0 when there is no common scenario. */
+    double geomeanRatio = 1.0;
+    std::size_t commonScenarios = 0;
+    /** Human-readable per-scenario and verdict lines. */
+    std::string text;
+};
+
+/**
+ * Compare `candidate` (the fresh run) against `baseline` (the previous
+ * run's artifact) under `opt`.
+ */
+CompareReport compareBench(const BenchFile &baseline,
+                           const BenchFile &candidate,
+                           const CompareOptions &opt = {});
+
+} // namespace mtrap::perf
+
+#endif // MTRAP_PERF_BENCH_COMPARE_HH

@@ -68,6 +68,53 @@ contextSwitchBody(const PerfOptions &opt)
     sched.run(opt.measureInstructions + opt.warmupInstructions);
 }
 
+/**
+ * 4-core multiprogrammed SPEC mix under the gang scheduler: eight
+ * single-threaded jobs (distinct asids) time-share four MuonTrap cores,
+ * so the run mixes steady-state simulation with constant migration /
+ * filter-flush pressure — the paper's §6 time-sharing scenario.
+ */
+void
+schedGangSpecMixBody(const PerfOptions &opt)
+{
+    SystemConfig cfg = SystemConfig::forScheme(Scheme::MuonTrap, 4);
+    System sys(cfg);
+    SchedParams sp;
+    sp.quantum = 20'000;
+    sys.attachScheduler(sp);
+
+    const char *names[] = {"hmmer", "gamess", "mcf",  "sjeng",
+                           "gcc",   "astar",  "milc", "libquantum"};
+    Asid asid = 1;
+    for (const char *name : names)
+        sys.addScheduledWorkload(
+            buildWorkload(specProfile(name), asid++));
+    sys.runScheduled(
+        (opt.measureInstructions + opt.warmupInstructions) * 4);
+}
+
+/**
+ * Time-shared PARSEC under InvisiSpec: two four-thread gangs alternate
+ * on the same four cores, so every quantum boundary context-switches
+ * the whole machine (drain + speculative-buffer clear on all cores).
+ */
+void
+schedTimesharedParsecBody(const PerfOptions &opt)
+{
+    SystemConfig cfg =
+        SystemConfig::forScheme(Scheme::InvisiSpecSpectre, 4);
+    System sys(cfg);
+    SchedParams sp;
+    sp.quantum = 20'000;
+    sys.attachScheduler(sp);
+    sys.addScheduledWorkload(
+        buildWorkload(parsecProfile("canneal", 4), 1));
+    sys.addScheduledWorkload(
+        buildWorkload(parsecProfile("streamcluster", 4), 2));
+    sys.runScheduled(
+        (opt.measureInstructions + opt.warmupInstructions) * 4);
+}
+
 void
 attackVignetteBody(const PerfOptions &opt)
 {
@@ -141,6 +188,22 @@ defaultScenarios()
         "5k-cycle quantum (drain + filter-flush heavy)";
     sched.body = contextSwitchBody;
     s.push_back(std::move(sched));
+
+    PerfScenario gang;
+    gang.name = "sched-gang-specmix4-muontrap";
+    gang.description =
+        "eight SPEC jobs gang-scheduled across four MuonTrap cores "
+        "(20k-cycle quantum, migration + per-switch filter flush)";
+    gang.body = schedGangSpecMixBody;
+    s.push_back(std::move(gang));
+
+    PerfScenario share;
+    share.name = "sched-timeshare-parsec-invisispec";
+    share.description =
+        "two 4-thread PARSEC gangs time-sharing four InvisiSpec cores "
+        "(whole-machine switch every 20k-cycle quantum)";
+    share.body = schedTimesharedParsecBody;
+    s.push_back(std::move(share));
 
     PerfScenario attack;
     attack.name = "attack-spectre-prime-probe";

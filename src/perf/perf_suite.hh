@@ -5,8 +5,9 @@
  *
  * Each scenario is one representative simulation shape from the paper's
  * evaluation: a 1-core SPEC profile, 4-core PARSEC runs under each
- * defence family, a scheduler-driven context-switch workload, and the
- * headline attack vignette. The harness times each scenario's wall
+ * defence family, scheduler-driven workloads (single-core round-robin,
+ * a 4-core gang-scheduled SPEC mix, and a time-shared PARSEC pair), and
+ * the headline attack vignette. The harness times each scenario's wall
  * clock, reads the simulation-work odometer around it, and reports
  * simulated cycles/second and committed instructions/second per
  * scenario plus an aggregate score — the number every hot-path

@@ -6,6 +6,24 @@
 namespace mtrap
 {
 
+namespace
+{
+
+/** The RunOptions::seed re-randomisation shared by both run flavours. */
+void
+applySeed(SystemConfig &c, std::uint64_t seed)
+{
+    if (!seed)
+        return;
+    c.mem.l1d.seed = mixSeeds(c.mem.l1d.seed, seed);
+    c.mem.l1i.seed = mixSeeds(c.mem.l1i.seed, seed);
+    c.mem.l2.seed = mixSeeds(c.mem.l2.seed, seed);
+    c.mem.mt.dataParams.seed = mixSeeds(c.mem.mt.dataParams.seed, seed);
+    c.mem.mt.instParams.seed = mixSeeds(c.mem.mt.instParams.seed, seed);
+}
+
+} // namespace
+
 RunOutput
 runConfigured(const Workload &w, const SystemConfig &cfg,
               const RunOptions &opt, const std::string &config_name)
@@ -14,15 +32,7 @@ runConfigured(const Workload &w, const SystemConfig &cfg,
     if (c.cores < w.threads())
         c.cores = w.threads();
     c.mem.cores = c.cores;
-    if (opt.seed) {
-        c.mem.l1d.seed = mixSeeds(c.mem.l1d.seed, opt.seed);
-        c.mem.l1i.seed = mixSeeds(c.mem.l1i.seed, opt.seed);
-        c.mem.l2.seed = mixSeeds(c.mem.l2.seed, opt.seed);
-        c.mem.mt.dataParams.seed =
-            mixSeeds(c.mem.mt.dataParams.seed, opt.seed);
-        c.mem.mt.instParams.seed =
-            mixSeeds(c.mem.mt.instParams.seed, opt.seed);
-    }
+    applySeed(c, opt.seed);
 
     auto sys = std::make_unique<System>(c);
     sys->loadWorkload(w);
@@ -47,6 +57,59 @@ runConfigured(const Workload &w, const SystemConfig &cfg,
     out.result = r;
     out.system = std::move(sys);
     return out;
+}
+
+RunOutput
+runMixConfigured(const std::vector<Workload> &mix, const SystemConfig &cfg,
+                 const SchedParams &sched, const RunOptions &opt,
+                 const std::string &config_name)
+{
+    if (mix.empty())
+        fatal("runMixConfigured: empty mix");
+
+    SystemConfig c = cfg;
+    for (const Workload &w : mix)
+        c.cores = std::max(c.cores, w.threads());
+    c.mem.cores = c.cores;
+    applySeed(c, opt.seed);
+
+    auto sys = std::make_unique<System>(c);
+    sys->attachScheduler(sched);
+    std::string mix_name;
+    for (const Workload &w : mix) {
+        sys->addScheduledWorkload(w);
+        mix_name += (mix_name.empty() ? "" : "+") + w.name;
+    }
+
+    const std::uint64_t cores = c.cores;
+    sys->runScheduled(opt.warmupInstructions * cores);
+    sys->resetStats();
+    const Cycle start = sys->maxCommitCycle();
+
+    sys->runScheduled(opt.measureInstructions * cores);
+    const Cycle end = sys->maxCommitCycle();
+
+    RunResult r;
+    r.workload = mix_name;
+    r.configName = config_name;
+    r.cycles = end > start ? end - start : 1;
+    r.instructionsPerCore = opt.measureInstructions;
+    r.ipc = static_cast<double>(opt.measureInstructions)
+            / static_cast<double>(r.cycles);
+
+    RunOutput out;
+    out.result = r;
+    out.system = std::move(sys);
+    return out;
+}
+
+RunResult
+runMixScheme(const std::vector<Workload> &mix, Scheme s, unsigned cores,
+             const SchedParams &sched, const RunOptions &opt)
+{
+    const SystemConfig cfg =
+        SystemConfig::forScheme(s, std::max(1u, cores));
+    return runMixConfigured(mix, cfg, sched, opt, schemeName(s)).result;
 }
 
 RunResult

@@ -67,6 +67,30 @@ RunOutput runConfigured(const Workload &w, const SystemConfig &cfg,
 RunResult runScheme(const Workload &w, Scheme s,
                     const RunOptions &opt = {});
 
+/**
+ * Multiprogrammed run: every workload in `mix` is admitted to a gang
+ * scheduler over cfg.cores cores (raised to the widest job) and
+ * time-shares under `sched`. Run lengths are per core: the warmup and
+ * measured phases execute opt.{warmup,measure}Instructions * cores
+ * committed instructions in total, and RunResult::cycles is the
+ * measured phase's makespan. The result's workload name joins the mix
+ * members with '+'.
+ *
+ * Each job should carry a distinct Workload::asid (see
+ * buildNamedWorkload) so the processes get private address spaces.
+ */
+RunOutput runMixConfigured(const std::vector<Workload> &mix,
+                           const SystemConfig &cfg,
+                           const SchedParams &sched,
+                           const RunOptions &opt = {},
+                           const std::string &config_name = "custom");
+
+/** Multiprogrammed run of `mix` under a named scheme on a Table-1
+ *  system with `cores` cores. */
+RunResult runMixScheme(const std::vector<Workload> &mix, Scheme s,
+                       unsigned cores, const SchedParams &sched,
+                       const RunOptions &opt = {});
+
 /** cycles(x) / cycles(base). */
 double normalizedTime(const RunResult &x, const RunResult &base);
 

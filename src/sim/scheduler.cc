@@ -1,27 +1,107 @@
 #include "sim/scheduler.hh"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/log.hh"
 
 namespace mtrap
 {
 
-Scheduler::Scheduler(Core *core, Cycle quantum)
-    : core_(core), quantum_(quantum)
+Scheduler::Scheduler(std::vector<Core *> cores, const SchedParams &params)
+    : params_(params)
 {
-    if (!core)
-        fatal("scheduler: null core");
-    if (quantum == 0)
+    if (cores.empty())
+        fatal("scheduler: no cores");
+    if (params.quantum == 0)
         fatal("scheduler: zero quantum");
+    cores_.reserve(cores.size());
+    for (Core *c : cores) {
+        if (!c)
+            fatal("scheduler: null core");
+        CoreState cs;
+        cs.core = c;
+        cores_.push_back(std::move(cs));
+    }
 }
 
-void
+Scheduler::Scheduler(Core *core, Cycle quantum)
+    : Scheduler(std::vector<Core *>{core},
+                SchedParams{quantum, /*gang=*/true, /*migrate=*/true})
+{
+}
+
+std::vector<CoreId>
+Scheduler::leastLoadedCores(std::size_t n) const
+{
+    std::vector<CoreId> ids(cores_.size());
+    std::iota(ids.begin(), ids.end(), 0);
+    std::stable_sort(ids.begin(), ids.end(), [this](CoreId a, CoreId b) {
+        return cores_[a].queue.size() < cores_[b].queue.size();
+    });
+    ids.resize(n);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+JobId
 Scheduler::addTask(const Program *program, Asid asid)
 {
-    Task t;
-    t.ctx.program = program;
-    t.ctx.asid = asid;
-    t.ctx.pc = program->entry;
-    tasks_.push_back(std::move(t));
+    return addJob({program}, asid);
+}
+
+JobId
+Scheduler::addJob(const std::vector<const Program *> &threads, Asid asid)
+{
+    if (threads.empty())
+        fatal("scheduler: job with no threads");
+    if (threads.size() > cores_.size())
+        fatal("scheduler: job needs %zu cores, scheduler has %zu",
+              threads.size(), cores_.size());
+
+    const JobId job = static_cast<JobId>(jobFirstTask_.size());
+    jobFirstTask_.push_back(tasks_.size());
+    jobThreads_.push_back(static_cast<unsigned>(threads.size()));
+
+    const std::vector<CoreId> chosen = leastLoadedCores(threads.size());
+
+    // Gang alignment: pad the chosen cores' queues to a common length so
+    // every member lands at the same queue index and therefore runs in
+    // the same slots (the holes become idle slots).
+    if (params_.gang && threads.size() > 1) {
+        std::size_t longest = 0;
+        for (CoreId c : chosen)
+            longest = std::max(longest, cores_[c].queue.size());
+        for (CoreId c : chosen)
+            cores_[c].queue.resize(longest, kIdle);
+    }
+
+    for (unsigned t = 0; t < threads.size(); ++t) {
+        Task task;
+        task.ctx.program = threads[t];
+        task.ctx.asid = asid;
+        task.ctx.pc = threads[t]->entry;
+        task.job = job;
+        task.thread = t;
+        task.gangMember = threads.size() > 1;
+        task.core = chosen[t];
+        cores_[chosen[t]].queue.push_back(
+            static_cast<int>(tasks_.size()));
+        cores_[chosen[t]].parked = false;
+        tasks_.push_back(std::move(task));
+    }
+    return job;
+}
+
+std::vector<CoreId>
+Scheduler::placement(JobId job) const
+{
+    if (job >= jobFirstTask_.size())
+        fatal("scheduler: unknown job %u", job);
+    std::vector<CoreId> cores;
+    for (unsigned t = 0; t < jobThreads_[job]; ++t)
+        cores.push_back(tasks_[jobFirstTask_[job] + t].core);
+    return cores;
 }
 
 bool
@@ -33,15 +113,150 @@ Scheduler::allHalted() const
     return true;
 }
 
-std::size_t
-Scheduler::nextRunnable(std::size_t from) const
+unsigned
+Scheduler::runnableCount(const CoreState &cs) const
 {
-    for (std::size_t i = 1; i <= tasks_.size(); ++i) {
-        const std::size_t cand = (from + i) % tasks_.size();
-        if (!tasks_[cand].ctx.halted)
-            return cand;
+    unsigned n = 0;
+    for (int e : cs.queue)
+        if (e != kIdle && !tasks_[e].ctx.halted)
+            ++n;
+    return n;
+}
+
+Scheduler::Pick
+Scheduler::designate(const CoreState &cs) const
+{
+    Pick p;
+    if (cs.queue.empty() || runnableCount(cs) == 0) {
+        p.none = true;
+        return p;
     }
-    return from;
+    const std::size_t len = cs.queue.size();
+    const std::size_t start =
+        static_cast<std::size_t>(cs.core->now() / params_.quantum) % len;
+    if (cs.queue[start] == kIdle) {
+        p.idle = true;
+        return p;
+    }
+    // Fall forward past halted tasks and holes to the next runnable
+    // entry (classic round-robin degradation once tasks finish).
+    for (std::size_t i = 0; i < len; ++i) {
+        const int e = cs.queue[(start + i) % len];
+        if (e != kIdle && !tasks_[e].ctx.halted) {
+            p.task = e;
+            return p;
+        }
+    }
+    p.none = true;
+    return p;
+}
+
+void
+Scheduler::installOn(CoreState &cs, int task)
+{
+    if (cs.resident == task)
+        return;
+    if (cs.resident >= 0) {
+        tasks_[cs.resident].ctx = cs.core->saveContext();
+        cs.core->contextSwitch(tasks_[task].ctx);
+        ++switches_;
+    } else {
+        // Virgin core: nothing ran here, so there is no prior-domain
+        // state to flush; plain installation, as System::loadWorkload.
+        cs.core->setContext(tasks_[task].ctx);
+    }
+    tasks_[task].started = true;
+    cs.resident = task;
+}
+
+void
+Scheduler::idleSkip(CoreState &cs)
+{
+    const Cycle slot = cs.core->now() / params_.quantum;
+    cs.core->advanceClockTo((slot + 1) * params_.quantum);
+    ++idleSlots_;
+}
+
+void
+Scheduler::rebalance()
+{
+    if (!params_.migrate)
+        return;
+    while (true) {
+        // A starving core: nothing runnable queued.
+        int target = -1;
+        for (std::size_t c = 0; c < cores_.size(); ++c) {
+            if (runnableCount(cores_[c]) == 0) {
+                target = static_cast<int>(c);
+                break;
+            }
+        }
+        if (target < 0)
+            return;
+
+        // Donor: the most loaded core with a movable (runnable,
+        // single-threaded, not resident) task. Gang members stay
+        // pinned so co-scheduling survives load balancing.
+        int donor = -1, candidate = -1;
+        unsigned donorLoad = 1; // need at least 2 runnable to donate
+        for (std::size_t c = 0; c < cores_.size(); ++c) {
+            const CoreState &cs = cores_[c];
+            const unsigned load = runnableCount(cs);
+            if (load <= donorLoad)
+                continue;
+            int cand = -1;
+            for (std::size_t i = cs.queue.size(); i-- > 0;) {
+                const int e = cs.queue[i];
+                if (e != kIdle && !tasks_[e].ctx.halted
+                    && !tasks_[e].gangMember && e != cs.resident) {
+                    cand = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (cand >= 0) {
+                donor = static_cast<int>(c);
+                donorLoad = load;
+                candidate = cand;
+            }
+        }
+        if (donor < 0)
+            return;
+
+        CoreState &from = cores_[donor];
+        const int task = from.queue[candidate];
+        bool donorHasGang = false;
+        for (int e : from.queue)
+            donorHasGang |= (e != kIdle && tasks_[e].gangMember);
+        if (donorHasGang) {
+            // Keep the donor queue's length (and so its gang members'
+            // slot alignment) intact: leave a hole.
+            from.queue[candidate] = kIdle;
+        } else {
+            from.queue.erase(from.queue.begin() + candidate);
+        }
+
+        CoreState &to = cores_[target];
+        to.queue.push_back(task);
+        to.parked = false;
+        tasks_[task].core = static_cast<CoreId>(target);
+        ++migrations_;
+    }
+}
+
+int
+Scheduler::pickCore() const
+{
+    if (resumeCore_ >= 0)
+        return resumeCore_;
+    int best = -1;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        const CoreState &cs = cores_[c];
+        if (cs.parked || cs.queue.empty())
+            continue;
+        if (best < 0 || cs.core->now() < cores_[best].core->now())
+            best = static_cast<int>(c);
+    }
+    return best;
 }
 
 std::uint64_t
@@ -51,40 +266,51 @@ Scheduler::run(std::uint64_t total_commits)
         fatal("scheduler: no tasks");
 
     std::uint64_t done = 0;
-    if (!running_) {
-        core_->setContext(tasks_[current_].ctx);
-        tasks_[current_].started = true;
-        running_ = true;
-        sliceStart_ = core_->now();
-    }
+    while (done < total_commits) {
+        const int c = pickCore();
+        if (c < 0)
+            break; // everything halted (or unreachable)
+        CoreState &cs = cores_[static_cast<std::size_t>(c)];
 
-    while (done < total_commits && !allHalted()) {
-        if (core_->halted()) {
-            // Record the final state and move on.
-            tasks_[current_].ctx = core_->saveContext();
-            if (allHalted())
-                break;
-            const std::size_t next = nextRunnable(current_);
-            current_ = next;
-            core_->contextSwitch(tasks_[current_].ctx);
-            ++switches_;
-            sliceStart_ = core_->now();
-            continue;
+        // Scheduling decisions only at grid points of this core's
+        // commit stream; a resumed mid-chunk core skips straight to
+        // execution so external budget chunking can't move decisions.
+        if (cs.done % kChunk == 0) {
+            const Pick pick = designate(cs);
+            if (pick.none) {
+                cs.parked = true;
+                continue;
+            }
+            if (pick.idle) {
+                idleSkip(cs);
+                continue;
+            }
+            // Install and run immediately (rather than re-selecting):
+            // the switch cost already advanced this core's clock, and
+            // running at least one chunk before the next decision
+            // guarantees forward progress for any quantum, including
+            // quanta shorter than the context-switch cost.
+            if (pick.task != cs.resident)
+                installOn(cs, pick.task);
         }
 
-        const std::uint64_t chunk = 512;
-        done += core_->run(std::min(chunk, total_commits - done));
+        const std::uint64_t n = std::min(
+            total_commits - done, kChunk - cs.done % kChunk);
+        const std::uint64_t did = cs.core->run(n);
+        done += did;
+        cs.done += did;
 
-        if (core_->now() - sliceStart_ >= quantum_ && tasks_.size() > 1) {
-            tasks_[current_].ctx = core_->saveContext();
-            current_ = nextRunnable(current_);
-            core_->contextSwitch(tasks_[current_].ctx);
-            ++switches_;
-            sliceStart_ = core_->now();
+        if (cs.core->halted()) {
+            // Record the final state; snap to the next grid point so
+            // the next visit is a scheduling decision.
+            tasks_[cs.resident].ctx = cs.core->saveContext();
+            cs.done += (kChunk - cs.done % kChunk) % kChunk;
+            resumeCore_ = -1;
+            rebalance();
+        } else {
+            resumeCore_ = (cs.done % kChunk != 0) ? c : -1;
         }
     }
-
-    tasks_[current_].ctx = core_->saveContext();
     return done;
 }
 

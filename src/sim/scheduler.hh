@@ -1,13 +1,32 @@
 /**
  * @file
- * Quantum-based round-robin scheduler multiplexing several software
- * contexts (processes) onto one core, issuing the context switches that
- * clear MuonTrap's filter structures.
+ * Multi-core gang scheduler: per-core run queues multiplexing software
+ * contexts (processes) onto the system's cores, with quantum-based time
+ * slicing, gang placement for multi-threaded jobs, and load-balanced
+ * migration of single-threaded tasks onto cores that run dry.
+ *
+ * Every context switch and migration is routed through
+ * Core::contextSwitch, which performs the full defence hygiene for the
+ * active scheme: the MuonTrap filter flush (MemIface::onContextSwitch),
+ * the InvisiSpec speculative-buffer clear (same hook), and the STT
+ * taint-timestamp clear (Core::setContext resets the taint array). The
+ * paper's §6 time-sharing cost discussion is exactly the cost this
+ * machinery charges.
+ *
+ * Time slices are *absolute*: the task designated to run on core c
+ * during slot s = now/quantum is queue[s % queue.size()]. Because gang
+ * admission pads its cores' queues to a common length and appends every
+ * gang member at the same queue index, gang members are co-scheduled
+ * (they occupy the same slot on each of their cores) without any
+ * cross-core synchronisation. Queue holes left by the padding are idle
+ * slots: the core skips to the next slot boundary, modelling the
+ * fragmentation cost real gang schedulers pay.
  */
 
 #ifndef MTRAP_SIM_SCHEDULER_HH
 #define MTRAP_SIM_SCHEDULER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "cpu/core.hh"
@@ -16,52 +35,138 @@
 namespace mtrap
 {
 
+/** Identifies one scheduled job (a gang of one or more threads). */
+using JobId = unsigned;
+
+/** Scheduling policy knobs. */
+struct SchedParams
+{
+    /** Time-slice length in cycles. */
+    Cycle quantum = 50'000;
+    /** Co-schedule multi-threaded jobs (slot-aligned gang placement).
+     *  When false, every thread is placed independently. */
+    bool gang = true;
+    /** Migrate single-threaded tasks onto cores whose run queues have
+     *  no runnable work left (gang members stay pinned). */
+    bool migrate = true;
+};
+
 /**
- * Round-robin process scheduler for one core.
+ * Gang scheduler over one or more cores.
+ *
+ * Determinism contract: scheduling decisions happen only at fixed
+ * points of each core's committed-instruction stream (every kChunk
+ * commits), selection interleaves cores in (clock, id) order, and an
+ * interrupted chunk is resumed before any new decision — so
+ * run(a); run(b) is indistinguishable from run(a + b) at the stats
+ * level, and placement depends only on admission order.
  */
 class Scheduler
 {
   public:
-    /**
-     * @param core    the core to multiplex
-     * @param quantum time slice in cycles
-     */
+    Scheduler(std::vector<Core *> cores, const SchedParams &params);
+
+    /** Legacy single-core round-robin (quantum-based) constructor. */
     Scheduler(Core *core, Cycle quantum);
 
-    /** Add a process (restarts at the program entry when first run). */
-    void addTask(const Program *program, Asid asid);
+    /** Add a single-threaded process on the least-loaded core (restarts
+     *  at the program entry when first run). Returns its job id. */
+    JobId addTask(const Program *program, Asid asid);
+
+    /**
+     * Add a job whose threads[] run as a gang: each thread is pinned to
+     * its own core, placed so all members share the same slot index
+     * (co-scheduled) when gang scheduling is enabled.
+     */
+    JobId addJob(const std::vector<const Program *> &threads, Asid asid);
 
     std::size_t taskCount() const { return tasks_.size(); }
 
+    /** Core each thread of `job` was placed on (admission is
+     *  deterministic, so this is reproducible run to run). */
+    std::vector<CoreId> placement(JobId job) const;
+
     /**
      * Run until `total_commits` instructions have committed across all
-     * tasks, or every task has halted. Performs a context switch (and
-     * the associated filter flush) at each quantum expiry.
-     * @return instructions actually committed
+     * tasks and cores, or every task has halted. Returns instructions
+     * actually committed (exactly `total_commits` while runnable work
+     * remains). Does not drain at return, so chunked calls compose.
      */
     std::uint64_t run(std::uint64_t total_commits);
 
-    /** Number of context switches performed so far. */
+    /** True once every task has halted. */
+    bool allHalted() const;
+
+    /** Context switches performed (including migration installs). */
     std::uint64_t switches() const { return switches_; }
+    /** Tasks moved to another core's queue by load balancing. */
+    std::uint64_t migrations() const { return migrations_; }
+    /** Slots a core sat idle on a gang-padding hole. */
+    std::uint64_t idleSlots() const { return idleSlots_; }
 
   private:
+    /** Scheduling decisions fire every kChunk commits of a core's
+     *  stream; chunk boundaries are independent of how callers split
+     *  run() budgets (the chunked == monolithic property). */
+    static constexpr std::uint64_t kChunk = 512;
+    /** Run-queue hole from gang padding: the core idles this slot. */
+    static constexpr int kIdle = -1;
+
     struct Task
     {
         ArchContext ctx;
+        JobId job = 0;
+        unsigned thread = 0;
         bool started = false;
+        /** Gang members are pinned to their core (never migrated). */
+        bool gangMember = false;
+        CoreId core = 0;
     };
 
-    bool allHalted() const;
-    std::size_t nextRunnable(std::size_t from) const;
+    struct CoreState
+    {
+        Core *core = nullptr;
+        /** Task indices (or kIdle holes), rotated by slot number. */
+        std::vector<int> queue;
+        /** Task currently installed on the core, or -1. */
+        int resident = -1;
+        /** Commits on this core since construction (decision grid). */
+        std::uint64_t done = 0;
+        /** No runnable entries; skip in selection until rebalanced. */
+        bool parked = false;
+    };
 
-    Core *core_;
-    Cycle quantum_;
+    /** Outcome of a scheduling decision on one core. */
+    struct Pick
+    {
+        int task = -1;   ///< task to run (>= 0), else:
+        bool idle = false;   ///< designated slot is a gang hole
+        bool none = false;   ///< no runnable entry at all -> park
+    };
+
+    unsigned runnableCount(const CoreState &cs) const;
+    Pick designate(const CoreState &cs) const;
+    void installOn(CoreState &cs, int task);
+    void idleSkip(CoreState &cs);
+    void rebalance();
+    int pickCore() const;
+    std::vector<CoreId> leastLoadedCores(std::size_t n) const;
+
+    SchedParams params_;
+    std::vector<CoreState> cores_;
     std::vector<Task> tasks_;
-    std::size_t current_ = 0;
-    bool running_ = false;
+    /** First thread-task index of each job (threads are contiguous). */
+    std::vector<std::size_t> jobFirstTask_;
+    std::vector<unsigned> jobThreads_;
+
+    /** Core interrupted mid-chunk by budget exhaustion; resumed first
+     *  on the next run() call so external chunking cannot perturb the
+     *  decision grid. -1 = none. */
+    int resumeCore_ = -1;
+
     std::uint64_t switches_ = 0;
-    /** Start of the current time slice (persists across run() calls). */
-    Cycle sliceStart_ = 0;
+    std::uint64_t migrations_ = 0;
+    std::uint64_t idleSlots_ = 0;
 };
 
 } // namespace mtrap

@@ -118,6 +118,46 @@ System::run(std::uint64_t max_commits_per_core)
     }
 }
 
+Scheduler &
+System::attachScheduler(const SchedParams &params)
+{
+    if (sched_)
+        fatal("system: scheduler already attached");
+    std::vector<Core *> cores;
+    cores.reserve(cores_.size());
+    for (auto &c : cores_)
+        cores.push_back(c.get());
+    sched_ = std::make_unique<Scheduler>(std::move(cores), params);
+    return *sched_;
+}
+
+JobId
+System::addScheduledWorkload(const Workload &w)
+{
+    if (!sched_)
+        fatal("system: attachScheduler before addScheduledWorkload");
+    if (w.threads() > numCores())
+        fatal("workload %s needs %u cores, system has %u",
+              w.name.c_str(), w.threads(), numCores());
+    if (w.init)
+        w.init(*mem_);
+    schedJobs_.push_back(std::make_unique<Workload>(w));
+    const Workload &owned = *schedJobs_.back();
+    std::vector<const Program *> programs;
+    programs.reserve(owned.threads());
+    for (const Program &p : owned.threadPrograms)
+        programs.push_back(&p);
+    return sched_->addJob(programs, w.asid);
+}
+
+std::uint64_t
+System::runScheduled(std::uint64_t total_commits)
+{
+    if (!sched_)
+        fatal("system: attachScheduler before runScheduled");
+    return sched_->run(total_commits);
+}
+
 void
 System::drainAll()
 {

@@ -14,6 +14,7 @@
 #include "cpu/core.hh"
 #include "defense/scheme.hh"
 #include "sim/mem_system.hh"
+#include "sim/scheduler.hh"
 #include "workload/kernels.hh"
 
 namespace mtrap
@@ -58,6 +59,31 @@ class System
      */
     void run(std::uint64_t max_commits_per_core);
 
+    /**
+     * Attach a gang scheduler that owns every core: from here on the
+     * scheduler decides which Core steps which Program. Workloads are
+     * admitted with addScheduledWorkload and driven with runScheduled;
+     * the direct loadWorkload/run pair must not be mixed in.
+     */
+    Scheduler &attachScheduler(const SchedParams &params = {});
+
+    /** The attached scheduler, or nullptr. */
+    Scheduler *scheduler() { return sched_.get(); }
+
+    /**
+     * Admit a workload to the scheduler as one job: its threads are
+     * gang-placed across cores and time-share with every other admitted
+     * job. Runs the workload's memory initialiser. Jobs keep their own
+     * Workload::asid, so give concurrent jobs distinct asids. The
+     * system stores its own copy of the workload (the scheduler holds
+     * program pointers for the whole run), so temporaries are fine.
+     */
+    JobId addScheduledWorkload(const Workload &w);
+
+    /** Run `total_commits` instructions across all scheduled jobs (see
+     *  Scheduler::run). */
+    std::uint64_t runScheduled(std::uint64_t total_commits);
+
     /** Drain all cores' pipelines. */
     void drainAll();
 
@@ -74,6 +100,11 @@ class System
     StatGroup root_;
     std::unique_ptr<MemSystem> mem_;
     std::vector<std::unique_ptr<Core>> cores_;
+    /** Declared after cores_ (holds raw Core pointers). */
+    std::unique_ptr<Scheduler> sched_;
+    /** Owned copies of scheduled workloads: the scheduler's tasks point
+     *  into these programs for the system's whole lifetime. */
+    std::vector<std::unique_ptr<Workload>> schedJobs_;
 };
 
 } // namespace mtrap

@@ -374,17 +374,17 @@ initChaseRing(MemSystem &mem, Asid asid, const WorkloadProfile &p,
 }
 
 Workload
-buildWorkload(const WorkloadProfile &profile)
+buildWorkload(const WorkloadProfile &profile, Asid asid)
 {
     Workload w;
     w.name = profile.name;
-    w.asid = 1;
+    w.asid = asid;
     for (unsigned t = 0; t < std::max(1u, profile.threads); ++t)
         w.threadPrograms.push_back(buildThreadProgram(profile, t));
     WorkloadProfile p = profile;
-    w.init = [p](MemSystem &mem) {
+    w.init = [p, asid](MemSystem &mem) {
         for (unsigned t = 0; t < std::max(1u, p.threads); ++t)
-            initChaseRing(mem, 1, p, t);
+            initChaseRing(mem, asid, p, t);
     };
     return w;
 }

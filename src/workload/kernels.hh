@@ -121,8 +121,12 @@ struct WorkloadLayout
     static constexpr Addr kThreadStride = 0x1'0000'0000ull;
 };
 
-/** Compile a profile into a runnable workload. */
-Workload buildWorkload(const WorkloadProfile &profile);
+/**
+ * Compile a profile into a runnable workload. `asid` selects the
+ * process's address space: multiprogrammed (scheduled) runs give each
+ * job a distinct asid so their footprints do not alias.
+ */
+Workload buildWorkload(const WorkloadProfile &profile, Asid asid = 1);
 
 /**
  * Build just one thread's program (unit tests / examples that want a

@@ -167,6 +167,37 @@ TEST(Cache, ForEachLineVisitsValidOnly)
     EXPECT_EQ(count, 1u);
 }
 
+TEST(Cache, LazySetInitIsInvisibleToProbes)
+{
+    // Line storage is constructed per set on first fill; probes of
+    // untouched sets must miss exactly like probes of initialised-but-
+    // empty sets, and whole-cache walks must see only filled lines.
+    StatGroup g("g");
+    Cache c(smallCache(64 * 1024, 2), &g); // 512 sets, mostly untouched
+    EXPECT_EQ(c.validLineCount(), 0u);
+    EXPECT_EQ(c.lookup(0x0000), nullptr);
+    EXPECT_EQ(c.peek(0xbeef00), nullptr);
+
+    // Touch two sets out of 512.
+    c.fill(0x1000, CoherState::Shared);
+    c.fill(0x2040, CoherState::Modified);
+    EXPECT_EQ(c.validLineCount(), 2u);
+    unsigned visited = 0;
+    c.forEachLine([&visited](CacheLine &l) {
+        EXPECT_TRUE(l.valid());
+        ++visited;
+    });
+    EXPECT_EQ(visited, 2u);
+
+    // Sibling way of a touched set is properly default-initialised.
+    c.fill(0x1000 + 512 * 64, CoherState::Shared); // same set, 2nd way
+    EXPECT_EQ(c.validLineCount(), 3u);
+
+    c.invalidateAll();
+    EXPECT_EQ(c.validLineCount(), 0u);
+    EXPECT_EQ(c.invalidations.value(), 3u);
+}
+
 TEST(Cache, MshrContentionAddsDelay)
 {
     StatGroup g("g");

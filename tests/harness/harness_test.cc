@@ -44,6 +44,41 @@ smallSweep(std::uint64_t seed = 0)
         .build();
 }
 
+TEST(SweepBuilder, ScheduledMixJobsAreThreadCountInvariant)
+{
+    SchedParams sp;
+    sp.quantum = 3'000;
+    const std::vector<JobSpec> jobs =
+        SweepBuilder("schedtest")
+            .options(quick())
+            .schedule(sp, /*cores=*/2)
+            .mixRow("mix", {"bzip2", "povray", "hmmer"})
+            .withBaseline()
+            .schemes({Scheme::MuonTrap})
+            .build();
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_TRUE(jobs[0].scheduled);
+
+    ExperimentPool serial(1), parallel(4);
+    const std::vector<JobResult> a = serial.run(jobs);
+    const std::vector<JobResult> b = parallel.run(jobs);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].ok) << a[i].error;
+        EXPECT_TRUE(b[i].ok) << b[i].error;
+        EXPECT_EQ(a[i].run.cycles, b[i].run.cycles);
+        EXPECT_EQ(a[i].run.workload, "bzip2+povray+hmmer");
+    }
+}
+
+TEST(SweepBuilder, MixRowWithoutScheduleIsRejected)
+{
+    SweepBuilder b("bad");
+    b.options(quick())
+        .mixRow("mix", {"bzip2", "povray"})
+        .schemes({Scheme::MuonTrap});
+    EXPECT_DEATH((void)b.build(), "needs schedule");
+}
+
 TEST(SweepBuilder, ExpandsRowMajorWithBaselineFirst)
 {
     const std::vector<JobSpec> jobs = smallSweep();

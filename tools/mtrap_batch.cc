@@ -11,8 +11,9 @@
  *   mtrap_batch --suite fig9 --shard 1/4 --out shard1.json
  *
  * Options:
- *   --suite NAME         fig3|fig4|fig5|fig6|fig7|fig8|fig9|security|all
- *                        (repeatable; "all" expands to every suite)
+ *   --suite NAME         fig3|fig4|fig5|fig6|fig7|fig8|fig9|sched|
+ *                        security|all (repeatable; "all" expands to
+ *                        every suite)
  *   --jobs N             worker threads (default: hardware concurrency)
  *   --shard i/m          run only jobs k with k%m == i (0-based). Tables
  *                        need the full result set, so sharded runs emit

@@ -10,6 +10,8 @@
  * Usage:
  *   mtrap_perf [--out BENCH.json] [--quick] [--repeat N]
  *              [--instructions N] [--warmup N] [--scenario NAME]...
+ *              [--compare OLD.json] [--threshold PCT]
+ *   mtrap_perf --compare-only OLD.json NEW.json [--threshold PCT]
  *   mtrap_perf --list
  *
  * Options:
@@ -20,20 +22,31 @@
  *   --instructions N   measured instructions per core per scenario
  *   --warmup N         warmup instructions per core
  *   --scenario NAME    run only the named scenario(s) (repeatable)
+ *   --compare FILE     after the run, compare the fresh results against
+ *                      FILE (a previous BENCH.json); exit nonzero when
+ *                      the geomean throughput over common scenarios
+ *                      regresses past the threshold or any scenario
+ *                      errors — the CI regression gate
+ *   --compare-only A B compare BENCH.json B (candidate) against A
+ *                      (baseline) without running anything
+ *   --threshold PCT    tolerated geomean regression (default 5)
  *   --list             print scenario names and exit
  *
- * Exit status is nonzero if any scenario fails.
+ * Exit status is nonzero if any scenario fails or a comparison finds a
+ * regression.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/parse.hh"
+#include "perf/bench_compare.hh"
 #include "perf/perf_suite.hh"
 
 namespace
@@ -48,7 +61,11 @@ usage()
     std::fprintf(stderr,
                  "usage: mtrap_perf [--out FILE] [--quick] [--repeat N]\n"
                  "                  [--instructions N] [--warmup N]\n"
-                 "                  [--scenario NAME]... | --list\n");
+                 "                  [--scenario NAME]...\n"
+                 "                  [--compare OLD.json] "
+                 "[--threshold PCT]\n"
+                 "       mtrap_perf --compare-only OLD.json NEW.json\n"
+                 "       mtrap_perf --list\n");
     std::exit(1);
 }
 
@@ -59,6 +76,45 @@ parseNumber(const std::string &s, const char *flag)
     if (!parseU64(s, v))
         fatal("%s wants a number, got '%s'", flag, s.c_str());
     return v;
+}
+
+/** Strict non-negative decimal parse (thresholds like "2.5"). */
+double
+parsePercent(const std::string &s, const char *flag)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || !end || *end != '\0' || v < 0.0)
+        fatal("%s wants a non-negative percentage, got '%s'", flag,
+              s.c_str());
+    return v;
+}
+
+BenchFile
+loadBenchFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s' for reading", path.c_str());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    BenchFile f;
+    std::string err;
+    if (!parseBenchJson(buf.str(), f, err))
+        fatal("%s: %s", path.c_str(), err.c_str());
+    return f;
+}
+
+/** Run the gate; prints the report and returns the process exit code. */
+int
+runComparison(const BenchFile &baseline, const BenchFile &candidate,
+              double threshold_pct)
+{
+    CompareOptions copt;
+    copt.maxRegressPct = threshold_pct;
+    const CompareReport rep = compareBench(baseline, candidate, copt);
+    std::fputs(rep.text.c_str(), stderr);
+    return rep.pass ? 0 : 1;
 }
 
 } // namespace
@@ -77,6 +133,9 @@ main(int argc, char **argv)
 
     std::string out_path = "BENCH.json";
     std::vector<std::string> only;
+    std::string compare_path;
+    std::string compare_only_base, compare_only_cand;
+    double threshold_pct = 5.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -104,12 +163,25 @@ main(int argc, char **argv)
             opt.warmupInstructions = parseNumber(next(), "--warmup");
         } else if (arg == "--scenario") {
             only.push_back(next());
+        } else if (arg == "--compare") {
+            compare_path = next();
+        } else if (arg == "--compare-only") {
+            compare_only_base = next();
+            compare_only_cand = next();
+        } else if (arg == "--threshold") {
+            threshold_pct = parsePercent(next(), "--threshold");
         } else {
             usage();
         }
     }
     if (opt.repeats == 0)
         fatal("--repeat wants at least 1");
+
+    // Pure comparison mode: no simulation at all.
+    if (!compare_only_base.empty())
+        return runComparison(loadBenchFile(compare_only_base),
+                             loadBenchFile(compare_only_cand),
+                             threshold_pct);
 
     std::vector<PerfScenario> scenarios = defaultScenarios();
     if (!only.empty()) {
@@ -155,5 +227,13 @@ main(int argc, char **argv)
         ok = ok && r.ok;
     std::fprintf(stderr, "mtrap_perf: aggregate score %.1f kinst/s (%s)\n",
                  aggregateScoreKips(results), ok ? "ok" : "FAILED");
+
+    if (!compare_path.empty()) {
+        const int rc = runComparison(loadBenchFile(compare_path),
+                                     benchFileFromResults(results),
+                                     threshold_pct);
+        if (rc != 0)
+            return rc;
+    }
     return ok ? 0 : 1;
 }

@@ -26,12 +26,25 @@
  *                        normalised execution time
  *   --stats              dump full statistics (text)
  *   --json               dump full statistics (JSON)
+ *
+ * Gang-scheduler (multiprogramming) options:
+ *   --timeshare NAME     add another workload to time-share the machine
+ *                        with --workload (repeatable); enables the gang
+ *                        scheduler, each job in its own address space
+ *   --cores N            cores to schedule across (default 4 when
+ *                        time-sharing; raised to the widest job)
+ *   --quantum CYCLES     scheduler time slice (default 50000)
+ *   --no-gang            place multi-threaded jobs without gang
+ *                        (slot-aligned) co-scheduling
+ *   --no-migrate         disable load-balancing migration onto idle
+ *                        cores
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/parse.hh"
@@ -54,7 +67,10 @@ usage()
                  "[--scheme NAME] [--instructions N]\n"
                  "                 [--warmup N] [--seed S] "
                  "[--filter-size B] [--filter-assoc N]\n"
-                 "                 [--baseline] [--stats] [--json]\n");
+                 "                 [--baseline] [--stats] [--json]\n"
+                 "                 [--timeshare NAME]... [--cores N] "
+                 "[--quantum C]\n"
+                 "                 [--no-gang] [--no-migrate]\n");
     std::exit(1);
 }
 
@@ -81,6 +97,9 @@ main(int argc, char **argv)
     std::uint64_t filter_size = 0;
     unsigned filter_assoc = 0;
     bool with_baseline = false, stats = false, json = false;
+    std::vector<std::string> timeshare;
+    unsigned cores = 0;
+    SchedParams sched;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -114,6 +133,16 @@ main(int argc, char **argv)
             filter_size = parseNumber(next());
         } else if (arg == "--filter-assoc") {
             filter_assoc = static_cast<unsigned>(parseNumber(next()));
+        } else if (arg == "--timeshare") {
+            timeshare.push_back(next());
+        } else if (arg == "--cores") {
+            cores = static_cast<unsigned>(parseNumber(next()));
+        } else if (arg == "--quantum") {
+            sched.quantum = parseNumber(next());
+        } else if (arg == "--no-gang") {
+            sched.gang = false;
+        } else if (arg == "--no-migrate") {
+            sched.migrate = false;
         } else if (arg == "--baseline") {
             with_baseline = true;
         } else if (arg == "--stats") {
@@ -126,6 +155,56 @@ main(int argc, char **argv)
     }
     if (workload_name.empty())
         usage();
+    if (timeshare.empty() && (cores || !sched.gang || !sched.migrate))
+        warn("scheduler flags have no effect without --timeshare");
+
+    // Multiprogrammed path: gang-schedule the whole mix.
+    if (!timeshare.empty()) {
+        std::vector<Workload> mix;
+        Asid asid = 1;
+        mix.push_back(harness::buildNamedWorkload(workload_name,
+                                                  opt.seed, asid++));
+        for (const std::string &name : timeshare)
+            mix.push_back(
+                harness::buildNamedWorkload(name, opt.seed, asid++));
+
+        SystemConfig mix_cfg =
+            SystemConfig::forScheme(scheme, cores ? cores : 4);
+        if (filter_size)
+            mix_cfg.mem.mt.dataParams.sizeBytes = filter_size;
+        if (filter_assoc)
+            mix_cfg.mem.mt.dataParams.assoc = filter_assoc;
+
+        RunOutput out = runMixConfigured(mix, mix_cfg, sched, opt,
+                                         schemeName(scheme));
+        const Scheduler *s = out.system->scheduler();
+        std::printf("%s on %s (%u cores, quantum %llu): %llu cycles, "
+                    "IPC %.3f\n",
+                    schemeName(scheme), out.result.workload.c_str(),
+                    out.system->numCores(),
+                    static_cast<unsigned long long>(sched.quantum),
+                    static_cast<unsigned long long>(out.result.cycles),
+                    out.result.ipc);
+        std::printf("context switches %llu, migrations %llu, idle "
+                    "slots %llu\n",
+                    static_cast<unsigned long long>(s->switches()),
+                    static_cast<unsigned long long>(s->migrations()),
+                    static_cast<unsigned long long>(s->idleSlots()));
+
+        if (with_baseline) {
+            const RunResult base =
+                runMixScheme(mix, Scheme::Baseline,
+                             out.system->numCores(), sched, opt);
+            std::printf("normalised execution time vs scheduled "
+                        "baseline: %.3f\n",
+                        normalizedTime(out.result, base));
+        }
+        if (stats)
+            out.system->dumpStats(std::cout);
+        if (json)
+            dumpStatsJson(out.system->root(), std::cout);
+        return 0;
+    }
 
     // --seed re-randomises both the synthetic program generation and
     // (via RunOptions::seed) the structure replacement seeds.
