@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "perf/odometer.hh"
+#include "sim/mem_system.hh"
 
 namespace mtrap
 {
@@ -60,6 +61,7 @@ Core::Core(CoreId id, const CoreParams &params, MemIface *mem,
 {
     if (!mem_)
         fatal("core%u: null memory interface", id);
+    msys_ = dynamic_cast<MemSystem *>(mem_);
     if (params.robSize < params.lqSize || params.robSize < params.sqSize)
         fatal("core%u: ROB smaller than LQ/SQ", id);
     if (params.intAlus > FuPool::kMaxUnits ||
@@ -74,6 +76,7 @@ Core::Core(CoreId id, const CoreParams &params, MemIface *mem,
     fpUnits_.count = std::max(1u, params.fpAlus);
     mulUnits_.count = std::max(1u, params.mulDivs);
     memUnits_.count = std::max(1u, params.memPorts);
+    fuPools_ = {&intUnits_, &fpUnits_, &mulUnits_};
 
     // Window ring: power-of-two capacity covering the ROB.
     std::size_t cap = 1;
@@ -97,6 +100,30 @@ Core::setContext(const ArchContext &ctx)
     lastIfetchLine_ = kAddrInvalid;
     specDepth_ = 0;
     lastBranchDone_ = 0;
+    bindDecoded();
+}
+
+void
+Core::bindDecoded()
+{
+    dops_ = nullptr;
+    if (!params_.decodedFetch || !ctx_.program)
+        return;
+    const Program *prog = ctx_.program;
+    const std::uint64_t size = prog->ops.size();
+    for (DecodeSlot &s : decodeCache_) {
+        if (s.prog == prog && s.storage == prog->ops.data() &&
+            s.size == size && s.buildId == prog->buildId) {
+            dops_ = s.dec.ops.data();
+            return;
+        }
+    }
+    if (decodeCache_.size() >= kDecodeCacheMax)
+        decodeCache_.clear();
+    decodeCache_.push_back(DecodeSlot{prog, prog->ops.data(), size,
+                                      prog->buildId,
+                                      decodeProgram(*prog)});
+    dops_ = decodeCache_.back().dec.ops.data();
 }
 
 ArchContext
@@ -115,6 +142,71 @@ Core::contextSwitch(const ArchContext &next)
     fetchedThisCycle_ = 0;
     ++contextSwitches;
     setContext(next);
+}
+
+// --------------------------------------------------------------------------
+// Devirtualized memory-system shims (see core.hh)
+// --------------------------------------------------------------------------
+
+std::uint64_t
+Core::memRead(Addr vaddr)
+{
+    return msys_ ? msys_->read(id_, ctx_.asid, vaddr)
+                 : mem_->read(id_, ctx_.asid, vaddr);
+}
+
+void
+Core::memWrite(Addr vaddr, std::uint64_t value)
+{
+    if (msys_)
+        msys_->write(ctx_.asid, vaddr, value);
+    else
+        mem_->write(ctx_.asid, vaddr, value);
+}
+
+DataAccessResult
+Core::memDataAccess(Addr vaddr, Addr pc, bool is_store, bool speculative,
+                    Cycle when)
+{
+    return msys_ ? msys_->dataAccess(id_, ctx_.asid, vaddr, pc, is_store,
+                                     speculative, when)
+                 : mem_->dataAccess(id_, ctx_.asid, vaddr, pc, is_store,
+                                    speculative, when);
+}
+
+Cycle
+Core::memDataProbe(Addr vaddr, Cycle when)
+{
+    return msys_ ? msys_->dataProbe(id_, ctx_.asid, vaddr, when)
+                 : mem_->dataProbe(id_, ctx_.asid, vaddr, when);
+}
+
+Cycle
+Core::memIfetchAccess(Addr vaddr, Cycle when)
+{
+    return msys_ ? msys_->ifetchAccess(id_, ctx_.asid, vaddr, when)
+                 : mem_->ifetchAccess(id_, ctx_.asid, vaddr, when);
+}
+
+void
+Core::memCommitData(Addr vaddr, Addr pc, bool is_store, bool tlb_missed,
+                    Cycle when)
+{
+    if (msys_)
+        msys_->commitData(id_, ctx_.asid, vaddr, pc, is_store, tlb_missed,
+                          when);
+    else
+        mem_->commitData(id_, ctx_.asid, vaddr, pc, is_store, tlb_missed,
+                         when);
+}
+
+void
+Core::memCommitIfetch(Addr vaddr, Cycle when)
+{
+    if (msys_)
+        msys_->commitIfetch(id_, ctx_.asid, vaddr, when);
+    else
+        mem_->commitIfetch(id_, ctx_.asid, vaddr, when);
 }
 
 // --------------------------------------------------------------------------
@@ -149,8 +241,9 @@ Core::writeReg(std::uint8_t r, std::uint64_t v, Cycle done, Cycle taint)
     regTaint_[r] = taint;
 }
 
+template <class Op>
 Addr
-Core::effectiveAddress(const MicroOp &op) const
+Core::effectiveAddress(const Op &op) const
 {
     Addr a = regValue(op.base) + static_cast<Addr>(op.imm);
     if (op.index != kNoReg)
@@ -158,8 +251,9 @@ Core::effectiveAddress(const MicroOp &op) const
     return (a & kVaMask) & ~static_cast<Addr>(7);
 }
 
+template <class Op>
 bool
-Core::evalBranch(const MicroOp &op) const
+Core::evalBranch(const Op &op) const
 {
     const std::int64_t a = static_cast<std::int64_t>(regValue(op.src1));
     const std::int64_t b = static_cast<std::int64_t>(regValue(op.src2));
@@ -177,8 +271,9 @@ Core::evalBranch(const MicroOp &op) const
     return true;
 }
 
+template <class Op>
 std::uint64_t
-Core::aluResult(const MicroOp &op) const
+Core::aluResult(const Op &op) const
 {
     const std::uint64_t a = regValue(op.src1);
     const std::uint64_t b = op.src2 != kNoReg
@@ -207,6 +302,8 @@ Core::aluResult(const MicroOp &op) const
 const Core::BufferedStore *
 Core::findBufferedStore(Addr vaddr) const
 {
+    if (!(sbPresence_ & (1ull << sbPresenceBit(vaddr))))
+        return nullptr;
     // Backwards: the youngest store to the address wins (forwarding).
     for (auto it = storeBuffer_.rbegin(); it != storeBuffer_.rend(); ++it)
         if (it->vaddr == vaddr)
@@ -219,13 +316,14 @@ Core::functionalLoad(Addr vaddr)
 {
     if (const BufferedStore *s = findBufferedStore(vaddr))
         return s->value;
-    return mem_->read(ctx_.asid, vaddr);
+    return memRead(vaddr);
 }
 
 void
 Core::bufferStore(Addr vaddr, std::uint64_t value, SeqNum seq)
 {
     storeBuffer_.push_back(BufferedStore{vaddr, seq, value});
+    sbPresence_ |= 1ull << sbPresenceBit(vaddr);
 }
 
 void
@@ -236,20 +334,24 @@ Core::unbufferStoresAfter(SeqNum first_squashed)
     while (!storeBuffer_.empty() &&
            storeBuffer_.back().seq >= first_squashed)
         storeBuffer_.pop_back();
+    if (storeBuffer_.empty())
+        sbPresence_ = 0;
 }
 
 void
 Core::releaseStore(Addr vaddr, SeqNum seq, std::uint64_t value)
 {
-    mem_->write(ctx_.asid, vaddr, value);
+    memWrite(vaddr, value);
     // Commits run in sequence order, so the released store sits at (or
     // very near) the front.
     for (auto it = storeBuffer_.begin(); it != storeBuffer_.end(); ++it) {
         if (it->seq == seq) {
             storeBuffer_.erase(it);
-            return;
+            break;
         }
     }
+    if (storeBuffer_.empty())
+        sbPresence_ = 0;
 }
 
 // --------------------------------------------------------------------------
@@ -328,11 +430,11 @@ Core::commitActions(const WinEntry &e)
         releaseStore(e.vaddr, e.seq, e.storeValue);
     }
     if (e.accessedMemory) {
-        mem_->commitData(id_, ctx_.asid, e.vaddr, e.pcIndex, e.isStore,
-                         e.tlbMiss, e.commitC);
+        memCommitData(e.vaddr, e.pcIndex, e.isStore, e.tlbMiss,
+                      e.commitC);
     }
     if (e.newIfetchLine)
-        mem_->commitIfetch(id_, ctx_.asid, e.ifetchVaddr, e.commitC);
+        memCommitIfetch(e.ifetchVaddr, e.commitC);
 }
 
 void
@@ -423,11 +525,11 @@ Core::squash()
 // --------------------------------------------------------------------------
 
 void
-Core::drainAndApplySerializing(const MicroOp &op, Cycle done_c)
+Core::drainAndApplySerializing(OpType type, Cycle done_c)
 {
     drain();
     const Cycle when = std::max(done_c, lastCommitC_);
-    switch (op.type) {
+    switch (type) {
       case OpType::Syscall:
         mem_->onSyscall(id_, when);
         break;
@@ -442,9 +544,9 @@ Core::drainAndApplySerializing(const MicroOp &op, Cycle done_c)
         ctx_.halted = true;
         break;
       default:
-        panic("not a serializing op: %s", opTypeName(op.type));
+        panic("not a serializing op: %s", opTypeName(type));
     }
-    fetchCycle_ = std::max(fetchCycle_, when + opLatency(op.type));
+    fetchCycle_ = std::max(fetchCycle_, when + opLatency(type));
     fetchedThisCycle_ = 0;
     lastCommitC_ = std::max(lastCommitC_, fetchCycle_);
     ++committed;
@@ -456,14 +558,10 @@ Core::drainAndApplySerializing(const MicroOp &op, Cycle done_c)
 // --------------------------------------------------------------------------
 
 void
-Core::chargeIfetch(std::uint64_t pc_index, WinEntry &e)
+Core::chargeIfetchNewLine(Addr va, WinEntry &e)
 {
-    const Addr va = ctx_.program->pcToVaddr(pc_index);
-    const Addr line = lineNum(va);
-    if (line == lastIfetchLine_)
-        return;
-    lastIfetchLine_ = line;
-    const Cycle lat = mem_->ifetchAccess(id_, ctx_.asid, va, fetchCycle_);
+    lastIfetchLine_ = lineNum(va);
+    const Cycle lat = memIfetchAccess(va, fetchCycle_);
     // A 1-cycle hit is hidden by the pipelined front end; anything more
     // stalls fetch.
     if (lat > 1) {
@@ -512,7 +610,10 @@ Core::stepOne()
     }
 
     retireEligible();
-    fetchOne();
+    if (dops_)
+        fetchOneDecoded();
+    else
+        fetchOne();
     return !ctx_.halted;
 }
 
@@ -569,7 +670,7 @@ Core::fetchOne()
         // Timing: the op issues after its fetch and all older work.
         const Cycle fc = allocFetchSlot();
         ++fetched;
-        drainAndApplySerializing(op, std::max(fc, lastCommitC_));
+        drainAndApplySerializing(op.type, std::max(fc, lastCommitC_));
         ctx_.pc = pc + 1;
         return;
     }
@@ -604,12 +705,12 @@ Core::fetchOne()
         ++wrongPathFetched;
 
     // Build the entry in its ring slot. Only the fields every path
-    // reads are reset; vaddr/storeValue/ifetchVaddr/doneC are written
+    // reads are reset; vaddr/storeValue/ifetchVaddr are written
     // by exactly the paths that later read them (guarded by the flags
     // cleared here), so the stale slot contents are never observed.
     WinEntry &e = winNextSlot();
     e.seq = nextSeq_++;
-    e.pcIndex = pc;
+    e.pcIndex = static_cast<std::uint32_t>(pc);
     e.type = op.type;
     e.commitReadyC = 0;
     e.isLoad = false;
@@ -622,10 +723,11 @@ Core::fetchOne()
 
     const Cycle dispatch = fc + params_.dispatchLatency;
     std::uint64_t next_pc = pc + 1;
+    Cycle done_c = 0;
 
     switch (op.type) {
       case OpType::Nop:
-        e.doneC = dispatch;
+        done_c = dispatch;
         break;
 
       case OpType::IntAlu:
@@ -640,12 +742,12 @@ Core::fetchOne()
         else if (op.type != OpType::IntAlu)
             units = &mulUnits_;
         const Cycle start = fuAvailable(*units, ready);
-        e.doneC = start + opLatency(op.type);
+        done_c = start + opLatency(op.type);
         const Cycle taint =
             taintTracked_ ? std::max(regTaintClear(op.src1),
                                      regTaintClear(op.src2))
                           : 0;
-        writeReg(op.dst, aluResult(op), e.doneC, taint);
+        writeReg(op.dst, aluResult(op), done_c, taint);
         break;
       }
 
@@ -680,35 +782,35 @@ Core::fetchOne()
             if (!squashed_before_issue) {
                 // Execute-time line prefetch (exclusive in baseline,
                 // shared under MuonTrap); the write happens at commit.
-                DataAccessResult r = mem_->dataAccess(
-                    id_, ctx_.asid, va, pc, /*is_store=*/true,
-                    /*speculative=*/true, issue);
+                DataAccessResult r = memDataAccess(
+                    va, pc, /*is_store=*/true, /*speculative=*/true,
+                    issue);
                 e.accessedMemory = true;
                 e.tlbMiss = r.tlbMiss;
             }
             // Store completion does not wait for the prefetch; address +
             // data availability retire the op.
-            e.doneC = data_ready + 1;
+            done_c = data_ready + 1;
         } else {
             e.isLoad = true;
             // Store-to-load forwarding.
             if (const BufferedStore *s = findBufferedStore(va)) {
                 ++forwardedLoads;
-                e.doneC = issue + 1;
-                writeReg(op.dst, s->value, e.doneC,
+                done_c = issue + 1;
+                writeReg(op.dst, s->value, done_c,
                          taintTracked_ ? regTaintClear(op.base) : 0);
                 break;
             }
 
-            const std::uint64_t value = mem_->read(ctx_.asid, va);
+            const std::uint64_t value = memRead(va);
             Cycle done;
             bool accessed = true;
 
             if (squashed_before_issue) {
                 // Issues too late to beat the squash: no cache access.
                 e.accessedMemory = false;
-                e.doneC = specStack_.front().resolveAt;
-                writeReg(op.dst, value, e.doneC, 0);
+                done_c = specStack_.front().resolveAt;
+                writeReg(op.dst, value, done_c, 0);
                 break;
             }
 
@@ -718,22 +820,20 @@ Core::fetchOne()
             if (is_invisispec && lastBranchDone_ > issue) {
                 // Speculative InvisiSpec load: non-mutating probe now,
                 // mutating exposure at the visibility point.
-                const Cycle probe_lat =
-                    mem_->dataProbe(id_, ctx_.asid, va, issue);
+                const Cycle probe_lat = memDataProbe(va, issue);
                 done = issue + probe_lat;
                 const Cycle expose_start =
                     params_.defense == CoreDefense::InvisiSpecSpectre
                         ? std::max(done, lastBranchDone_)
                         : std::max(done, lastCommitC_);
-                DataAccessResult er = mem_->dataAccess(
-                    id_, ctx_.asid, va, pc, false, false, expose_start);
+                DataAccessResult er = memDataAccess(
+                    va, pc, false, false, expose_start);
                 ++exposures;
                 e.commitReadyC = expose_start + er.latency;
                 e.tlbMiss = er.tlbMiss;
             } else {
-                DataAccessResult r = mem_->dataAccess(
-                    id_, ctx_.asid, va, pc, false, /*speculative=*/true,
-                    issue);
+                DataAccessResult r = memDataAccess(
+                    va, pc, false, /*speculative=*/true, issue);
                 if (r.nacked) {
                     if (inWrongPath()) {
                         // Never becomes non-speculative; completes only
@@ -748,9 +848,8 @@ Core::fetchOne()
                         ++nackRetries;
                         const Cycle retry =
                             std::max(issue, lastBranchDone_) + 1;
-                        DataAccessResult r2 = mem_->dataAccess(
-                            id_, ctx_.asid, va, pc, false,
-                            /*speculative=*/false, retry);
+                        DataAccessResult r2 = memDataAccess(
+                            va, pc, false, /*speculative=*/false, retry);
                         done = retry + r2.latency;
                         e.tlbMiss = r2.tlbMiss;
                     }
@@ -760,8 +859,8 @@ Core::fetchOne()
                 }
             }
             e.accessedMemory = accessed;
-            e.doneC = done;
-            loadLatency.sample(static_cast<double>(e.doneC - issue));
+            done_c = done;
+            loadLatency.sample(static_cast<double>(done_c - issue));
             if (inWrongPath())
                 ++wrongPathLoads;
 
@@ -781,7 +880,7 @@ Core::fetchOne()
         const Cycle ready = std::max({dispatch, regReady(op.src1),
                                       regReady(op.src2)});
         const Cycle start = fuAvailable(intUnits_, ready);
-        e.doneC = start + 1;
+        done_c = start + 1;
         const bool actual = evalBranch(op);
         const std::uint64_t taken_pc =
             static_cast<std::uint64_t>(static_cast<std::int64_t>(pc)
@@ -795,13 +894,13 @@ Core::fetchOne()
             bpred_.trainDirection(pc, actual);
         if (predicted == actual || inWrongPath()) {
             next_pc = actual ? taken_pc : pc + 1;
-            lastBranchDone_ = std::max(lastBranchDone_, e.doneC);
+            lastBranchDone_ = std::max(lastBranchDone_, done_c);
         } else {
             ++bpred_.mispredicts;
             const std::uint64_t correct = actual ? taken_pc : pc + 1;
             const std::uint64_t wrong = actual ? pc + 1 : taken_pc;
-            const Cycle resolve = e.doneC + params_.redirectPenalty;
-            e.commitReadyC = e.doneC;
+            const Cycle resolve = done_c + params_.redirectPenalty;
+            e.commitReadyC = done_c;
             appendEntry(e);
             enterWrongPath(correct, resolve);
             ctx_.pc = wrong;
@@ -813,7 +912,7 @@ Core::fetchOne()
       case OpType::Jump: {
         const Cycle ready = std::max(dispatch, regReady(op.base));
         const Cycle start = fuAvailable(intUnits_, ready);
-        e.doneC = start + 1;
+        done_c = start + 1;
         std::uint64_t actual = regValue(op.base);
         if (actual >= prog.size())
             actual = prog.size() - 1; // clamp wrong-path garbage
@@ -824,16 +923,16 @@ Core::fetchOne()
             // No BTB entry: the front end stalls until resolution.
             next_pc = actual;
             fetchCycle_ = std::max(fetchCycle_,
-                                   e.doneC + params_.redirectPenalty);
+                                   done_c + params_.redirectPenalty);
             fetchedThisCycle_ = 0;
-            lastBranchDone_ = std::max(lastBranchDone_, e.doneC);
+            lastBranchDone_ = std::max(lastBranchDone_, done_c);
         } else if (predicted == actual || inWrongPath()) {
             next_pc = actual;
-            lastBranchDone_ = std::max(lastBranchDone_, e.doneC);
+            lastBranchDone_ = std::max(lastBranchDone_, done_c);
         } else {
             ++bpred_.mispredicts;
-            const Cycle resolve = e.doneC + params_.redirectPenalty;
-            e.commitReadyC = e.doneC;
+            const Cycle resolve = done_c + params_.redirectPenalty;
+            e.commitReadyC = done_c;
             appendEntry(e);
             enterWrongPath(actual, resolve);
             ctx_.pc = predicted;   // speculate down the BTB target
@@ -844,7 +943,7 @@ Core::fetchOne()
 
       case OpType::Call: {
         const Cycle start = fuAvailable(intUnits_, dispatch);
-        e.doneC = start + 1;
+        done_c = start + 1;
         bpred_.pushReturn(pc + 1);
         ctx_.callStack.push_back(pc + 1);
         next_pc = static_cast<std::uint64_t>(op.imm);
@@ -853,7 +952,7 @@ Core::fetchOne()
 
       case OpType::Ret: {
         const Cycle start = fuAvailable(intUnits_, dispatch);
-        e.doneC = start + 1;
+        done_c = start + 1;
         if (ctx_.callStack.empty()) {
             warn("core%u: return with empty call stack; halting", id_);
             drain();
@@ -868,14 +967,14 @@ Core::fetchOne()
             next_pc = actual;
             if (predicted == kAddrInvalid) {
                 fetchCycle_ = std::max(fetchCycle_,
-                                       e.doneC + params_.redirectPenalty);
+                                       done_c + params_.redirectPenalty);
                 fetchedThisCycle_ = 0;
             }
-            lastBranchDone_ = std::max(lastBranchDone_, e.doneC);
+            lastBranchDone_ = std::max(lastBranchDone_, done_c);
         } else {
             ++bpred_.mispredicts;
-            const Cycle resolve = e.doneC + params_.redirectPenalty;
-            e.commitReadyC = e.doneC;
+            const Cycle resolve = done_c + params_.redirectPenalty;
+            e.commitReadyC = done_c;
             appendEntry(e);
             enterWrongPath(actual, resolve);
             ctx_.pc = predicted;
@@ -888,8 +987,371 @@ Core::fetchOne()
         panic("unhandled op type %s", opTypeName(op.type));
     }
 
-    if (e.commitReadyC < e.doneC)
-        e.commitReadyC = e.doneC;
+    if (e.commitReadyC < done_c)
+        e.commitReadyC = done_c;
+    appendEntry(e);
+    ctx_.pc = next_pc;
+}
+
+/*
+ * Decoded fetch path. This is fetchOne() re-expressed over the
+ * pre-decoded stream: dispatch on OpKind instead of OpType, functional
+ * unit and latency read from the DecodedOp, branch taken-targets
+ * pre-resolved. Every timing computation, stat increment, predictor
+ * access and memory-system call happens in the same order with the same
+ * arguments as the reference path — the differential fuzzer
+ * (tests/fuzz/) holds the two paths bit-identical. When changing either
+ * path, change both.
+ */
+void
+Core::fetchOneDecoded()
+{
+    const Program &prog = *ctx_.program;
+    if (ctx_.pc >= prog.size()) {
+        warn("core%u: pc %llu fell off program %s; halting", id_,
+             static_cast<unsigned long long>(ctx_.pc), prog.name.c_str());
+        drain();
+        ctx_.halted = true;
+        return;
+    }
+
+    const DecodedOp &op = dops_[ctx_.pc];
+    const std::uint64_t pc = ctx_.pc;
+
+    // Serializing ops never execute speculatively: on the wrong path
+    // they stall fetch until the squash; on the correct path they drain
+    // and apply their effect in program order.
+    if (op.kind == OpKind::Serial) {
+        if (inWrongPath()) {
+            fetchCycle_ = specStack_.front().resolveAt;
+            squash();
+            return;
+        }
+        // The implied drain would blow the commit budget: retire what
+        // the budget still allows and stop; a later run() fetches the
+        // op. The deferred commit actions keep their timestamps, so the
+        // simulation stream is unchanged.
+        if (committed.value() + winSize() + 1 > commitStop_) {
+            while (!winEmpty() && committed.value() < commitStop_)
+                popHead();
+            budgetStall_ = true;
+            return;
+        }
+        // Timing: the op issues after its fetch and all older work.
+        const Cycle fc = allocFetchSlot();
+        ++fetched;
+        drainAndApplySerializing(op.type, std::max(fc, lastCommitC_));
+        ctx_.pc = pc + 1;
+        return;
+    }
+
+    // Structural stalls: ROB, LQ, SQ.
+    while (winSize() >= params_.robSize ||
+           (op.kind == OpKind::Load && loadsInFlight_ >= params_.lqSize) ||
+           (op.kind == OpKind::Store &&
+            storesInFlight_ >= params_.sqSize)) {
+        if (committed.value() >= commitStop_) {
+            // Making room would exceed the commit budget.
+            budgetStall_ = true;
+            return;
+        }
+        if (winEmpty())
+            panic("core%u: structural stall with empty window", id_);
+        if (fetchCycle_ < winFront().commitC) {
+            fetchCycle_ = winFront().commitC;
+            fetchedThisCycle_ = 0;
+            // The stall may have pushed us past a pending resolve point.
+            if (inWrongPath() &&
+                fetchCycle_ >= specStack_.front().resolveAt) {
+                squash();
+                return;
+            }
+        }
+        popHead();
+    }
+
+    const Cycle fc = allocFetchSlot();
+    ++fetched;
+    if (inWrongPath())
+        ++wrongPathFetched;
+
+    // Build the entry in its ring slot (see fetchOne for the
+    // partial-reset invariant).
+    WinEntry &e = winNextSlot();
+    e.seq = nextSeq_++;
+    e.pcIndex = static_cast<std::uint32_t>(pc);
+    e.type = op.type;
+    e.commitReadyC = 0;
+    e.isLoad = false;
+    e.isStore = false;
+    e.accessedMemory = false;
+    e.tlbMiss = false;
+    e.newIfetchLine = false;
+
+    chargeIfetch(pc, e);
+
+    const Cycle dispatch = fc + params_.dispatchLatency;
+    std::uint64_t next_pc = pc + 1;
+    Cycle done_c = 0;
+
+    switch (op.kind) {
+      case OpKind::Nop:
+        done_c = dispatch;
+        break;
+
+      case OpKind::Alu: {
+        const Cycle ready = std::max({dispatch, regReady(op.src1),
+                                      regReady(op.src2)});
+        const Cycle start = fuAvailable(*fuPools_[op.fuSel], ready);
+        done_c = start + op.latency;
+        const Cycle taint =
+            taintTracked_ ? std::max(regTaintClear(op.src1),
+                                     regTaintClear(op.src2))
+                          : 0;
+        writeReg(op.dst, aluResult(op), done_c, taint);
+        break;
+      }
+
+      case OpKind::Load:
+      case OpKind::Store: {
+        const Addr va = effectiveAddress(op);
+        e.vaddr = va;
+
+        Cycle addr_ready = std::max({dispatch, regReady(op.base),
+                                     regReady(op.index)});
+        // STT: transmitters (loads/stores) with tainted address operands
+        // are delayed until the taint clears.
+        if (taintTracked_) {
+            addr_ready = std::max({addr_ready, regTaintClear(op.base),
+                                   regTaintClear(op.index)});
+        }
+        const Cycle issue = fuAvailable(memUnits_, addr_ready);
+
+        // A wrong-path memory op whose issue time falls after the
+        // mispredicted branch resolves never reaches the cache: the
+        // squash kills it first.
+        const bool squashed_before_issue =
+            inWrongPath() && issue >= specStack_.front().resolveAt;
+
+        if (op.kind == OpKind::Store) {
+            e.isStore = true;
+            const Cycle data_ready = std::max(issue, regReady(op.src1));
+            e.storeValue = regValue(op.src1);
+            bufferStore(va, e.storeValue, e.seq);
+            if (!squashed_before_issue) {
+                // Execute-time line prefetch (exclusive in baseline,
+                // shared under MuonTrap); the write happens at commit.
+                DataAccessResult r = memDataAccess(
+                    va, pc, /*is_store=*/true, /*speculative=*/true,
+                    issue);
+                e.accessedMemory = true;
+                e.tlbMiss = r.tlbMiss;
+            }
+            // Store completion does not wait for the prefetch; address +
+            // data availability retire the op.
+            done_c = data_ready + 1;
+        } else {
+            e.isLoad = true;
+            // Store-to-load forwarding.
+            if (const BufferedStore *s = findBufferedStore(va)) {
+                ++forwardedLoads;
+                done_c = issue + 1;
+                writeReg(op.dst, s->value, done_c,
+                         taintTracked_ ? regTaintClear(op.base) : 0);
+                break;
+            }
+
+            const std::uint64_t value = memRead(va);
+            Cycle done;
+            bool accessed = true;
+
+            if (squashed_before_issue) {
+                // Issues too late to beat the squash: no cache access.
+                e.accessedMemory = false;
+                done_c = specStack_.front().resolveAt;
+                writeReg(op.dst, value, done_c, 0);
+                break;
+            }
+
+            const bool is_invisispec =
+                params_.defense == CoreDefense::InvisiSpecSpectre ||
+                params_.defense == CoreDefense::InvisiSpecFuture;
+            if (is_invisispec && lastBranchDone_ > issue) {
+                // Speculative InvisiSpec load: non-mutating probe now,
+                // mutating exposure at the visibility point.
+                const Cycle probe_lat = memDataProbe(va, issue);
+                done = issue + probe_lat;
+                const Cycle expose_start =
+                    params_.defense == CoreDefense::InvisiSpecSpectre
+                        ? std::max(done, lastBranchDone_)
+                        : std::max(done, lastCommitC_);
+                DataAccessResult er = memDataAccess(
+                    va, pc, false, false, expose_start);
+                ++exposures;
+                e.commitReadyC = expose_start + er.latency;
+                e.tlbMiss = er.tlbMiss;
+            } else {
+                DataAccessResult r = memDataAccess(
+                    va, pc, false, /*speculative=*/true, issue);
+                if (r.nacked) {
+                    if (inWrongPath()) {
+                        // Never becomes non-speculative; completes only
+                        // notionally, squashed before commit.
+                        done = specStack_.front().resolveAt;
+                        accessed = false;
+                    } else {
+                        // Retry once the access is definitely going to
+                        // execute (§4.5): all older branches have
+                        // resolved by then.
+                        ++nackRetries;
+                        const Cycle retry =
+                            std::max(issue, lastBranchDone_) + 1;
+                        DataAccessResult r2 = memDataAccess(
+                            va, pc, false, /*speculative=*/false, retry);
+                        done = retry + r2.latency;
+                        e.tlbMiss = r2.tlbMiss;
+                    }
+                } else {
+                    done = issue + r.latency;
+                    e.tlbMiss = r.tlbMiss;
+                }
+            }
+            e.accessedMemory = accessed;
+            done_c = done;
+            loadLatency.sample(static_cast<double>(done_c - issue));
+            if (inWrongPath())
+                ++wrongPathLoads;
+
+            // STT taint: the loaded value is tainted until the load is
+            // no longer speculative.
+            Cycle taint = 0;
+            if (params_.defense == CoreDefense::SttSpectre)
+                taint = std::max(lastBranchDone_, done);
+            else if (params_.defense == CoreDefense::SttFuture)
+                taint = std::max(lastCommitC_, done);
+            writeReg(op.dst, value, done, taint);
+        }
+        break;
+      }
+
+      case OpKind::BraAlways: {
+        // The reference path still reserves an ALU slot and folds the
+        // (possibly set) source registers into readiness before
+        // noticing BranchCond::Always; mirror that exactly.
+        const Cycle ready = std::max({dispatch, regReady(op.src1),
+                                      regReady(op.src2)});
+        const Cycle start = fuAvailable(intUnits_, ready);
+        done_c = start + 1;
+        next_pc = op.target();
+        break;
+      }
+
+      case OpKind::BraCond: {
+        const Cycle ready = std::max({dispatch, regReady(op.src1),
+                                      regReady(op.src2)});
+        const Cycle start = fuAvailable(intUnits_, ready);
+        done_c = start + 1;
+        const bool actual = evalBranch(op);
+        const bool predicted = bpred_.predictDirection(pc);
+        if (!inWrongPath())
+            bpred_.trainDirection(pc, actual);
+        if (predicted == actual || inWrongPath()) {
+            next_pc = actual ? op.target() : pc + 1;
+            lastBranchDone_ = std::max(lastBranchDone_, done_c);
+        } else {
+            ++bpred_.mispredicts;
+            const std::uint64_t correct = actual ? op.target() : pc + 1;
+            const std::uint64_t wrong = actual ? pc + 1 : op.target();
+            const Cycle resolve = done_c + params_.redirectPenalty;
+            e.commitReadyC = done_c;
+            appendEntry(e);
+            enterWrongPath(correct, resolve);
+            ctx_.pc = wrong;
+            return;
+        }
+        break;
+      }
+
+      case OpKind::Jump: {
+        const Cycle ready = std::max(dispatch, regReady(op.base));
+        const Cycle start = fuAvailable(intUnits_, ready);
+        done_c = start + 1;
+        std::uint64_t actual = regValue(op.base);
+        if (actual >= prog.size())
+            actual = prog.size() - 1; // clamp wrong-path garbage
+        const Addr predicted = bpred_.predictTarget(pc);
+        if (!inWrongPath())
+            bpred_.trainTarget(pc, actual);
+        if (predicted == kAddrInvalid) {
+            // No BTB entry: the front end stalls until resolution.
+            next_pc = actual;
+            fetchCycle_ = std::max(fetchCycle_,
+                                   done_c + params_.redirectPenalty);
+            fetchedThisCycle_ = 0;
+            lastBranchDone_ = std::max(lastBranchDone_, done_c);
+        } else if (predicted == actual || inWrongPath()) {
+            next_pc = actual;
+            lastBranchDone_ = std::max(lastBranchDone_, done_c);
+        } else {
+            ++bpred_.mispredicts;
+            const Cycle resolve = done_c + params_.redirectPenalty;
+            e.commitReadyC = done_c;
+            appendEntry(e);
+            enterWrongPath(actual, resolve);
+            ctx_.pc = predicted;   // speculate down the BTB target
+            return;
+        }
+        break;
+      }
+
+      case OpKind::Call: {
+        const Cycle start = fuAvailable(intUnits_, dispatch);
+        done_c = start + 1;
+        bpred_.pushReturn(pc + 1);
+        ctx_.callStack.push_back(pc + 1);
+        next_pc = op.target();
+        break;
+      }
+
+      case OpKind::Ret: {
+        const Cycle start = fuAvailable(intUnits_, dispatch);
+        done_c = start + 1;
+        if (ctx_.callStack.empty()) {
+            warn("core%u: return with empty call stack; halting", id_);
+            drain();
+            ctx_.halted = true;
+            return;
+        }
+        const std::uint64_t actual = ctx_.callStack.back();
+        ctx_.callStack.pop_back();
+        const Addr predicted = bpred_.popReturn();
+        if (predicted == actual || inWrongPath() ||
+            predicted == kAddrInvalid) {
+            next_pc = actual;
+            if (predicted == kAddrInvalid) {
+                fetchCycle_ = std::max(fetchCycle_,
+                                       done_c + params_.redirectPenalty);
+                fetchedThisCycle_ = 0;
+            }
+            lastBranchDone_ = std::max(lastBranchDone_, done_c);
+        } else {
+            ++bpred_.mispredicts;
+            const Cycle resolve = done_c + params_.redirectPenalty;
+            e.commitReadyC = done_c;
+            appendEntry(e);
+            enterWrongPath(actual, resolve);
+            ctx_.pc = predicted;
+            return;
+        }
+        break;
+      }
+
+      default:
+        panic("unhandled op kind %u", static_cast<unsigned>(op.kind));
+    }
+
+    if (e.commitReadyC < done_c)
+        e.commitReadyC = done_c;
     appendEntry(e);
     ctx_.pc = next_pc;
 }

@@ -36,10 +36,13 @@
 #include "common/types.hh"
 #include "cpu/branch_predictor.hh"
 #include "cpu/mem_iface.hh"
+#include "isa/decoded.hh"
 #include "isa/program.hh"
 
 namespace mtrap
 {
+
+class MemSystem;
 
 /** Core-side defence model (memory-side schemes need no core change). */
 enum class CoreDefense : std::uint8_t
@@ -72,6 +75,14 @@ struct CoreParams
     /** Cost added to the clock on a context switch (kernel overhead). */
     Cycle contextSwitchCost = 1000;
     CoreDefense defense = CoreDefense::None;
+    /**
+     * Fetch through the pre-decoded µop stream (isa/decoded.hh). The
+     * decoded path is a bit-identical re-expression of the reference
+     * interpreter; `false` selects the retained reference path, which
+     * exists for the differential fuzzer (tests/fuzz/) and as the
+     * semantic ground truth.
+     */
+    bool decodedFetch = true;
     BranchPredictorParams bpred;
 };
 
@@ -185,18 +196,20 @@ class Core
 
   private:
     /** Sliding-window record of one in-flight (or wrong-path)
-     *  instruction. Field order keeps the struct at 72 bytes — one is
-     *  written per fetch, so its size is fetch-path memory traffic. */
+     *  instruction. Field order keeps the struct at 64 bytes (one cache
+     *  line) — one is written per fetch, so its size is fetch-path
+     *  memory traffic. The execution-done cycle lives only in fetch
+     *  locals: nothing after append reads it. pcIndex is 32-bit —
+     *  program sizes are instruction counts, nowhere near 4G. */
     struct WinEntry
     {
         SeqNum seq = 0;
-        std::uint64_t pcIndex = 0;
-        Cycle doneC = 0;
         Cycle commitReadyC = 0;
         Cycle commitC = 0;
         Addr vaddr = kAddrInvalid;
         std::uint64_t storeValue = 0;
         Addr ifetchVaddr = kAddrInvalid;
+        std::uint32_t pcIndex = 0;
         OpType type = OpType::Nop;
         bool isLoad = false;
         bool isStore = false;
@@ -204,6 +217,7 @@ class Core
         bool tlbMiss = false;
         bool newIfetchLine = false;
     };
+    static_assert(sizeof(WinEntry) == 64, "WinEntry must stay one line");
 
     /** Checkpoint taken at a mispredicted branch. */
     struct Checkpoint
@@ -239,25 +253,63 @@ class Core
     };
 
     // --- pipeline helpers ------------------------------------------------
+    /** Reference interpreter fetch path (ground truth, MicroOp-driven). */
     void fetchOne();
+    /** Decoded fetch path: per-kind dispatch over the DecodedOp stream.
+     *  Must stay timing- and stat-identical to fetchOne — the
+     *  differential fuzzer (tests/fuzz/) enforces it. */
+    void fetchOneDecoded();
     Cycle allocFetchSlot();
     Cycle fuAvailable(FuPool &units, Cycle ready);
     Cycle regReady(std::uint8_t r) const;
     Cycle regTaintClear(std::uint8_t r) const;
     std::uint64_t regValue(std::uint8_t r) const;
     void writeReg(std::uint8_t r, std::uint64_t v, Cycle done, Cycle taint);
-    Addr effectiveAddress(const MicroOp &op) const;
-    bool evalBranch(const MicroOp &op) const;
-    std::uint64_t aluResult(const MicroOp &op) const;
+    /** Functional helpers shared by both fetch paths: MicroOp and
+     *  DecodedOp expose the same operand field names. */
+    template <class Op> Addr effectiveAddress(const Op &op) const;
+    template <class Op> bool evalBranch(const Op &op) const;
+    template <class Op> std::uint64_t aluResult(const Op &op) const;
 
-    void appendEntry(WinEntry &e);
+    void appendEntry(WinEntry &e) __attribute__((always_inline));
     void popHead();
     void retireEligible();
     void commitActions(const WinEntry &e);
     void squash();
     void enterWrongPath(std::uint64_t correct_pc, Cycle resolve_at);
-    void drainAndApplySerializing(const MicroOp &op, Cycle done_c);
-    void chargeIfetch(std::uint64_t pc_index, WinEntry &e);
+    void drainAndApplySerializing(OpType type, Cycle done_c);
+    /** Per-fetch I-side check: same-line fetches (the overwhelming
+     *  majority) fall through after one compare; the I-access charge
+     *  lives in the cold half. */
+    void
+    chargeIfetch(std::uint64_t pc_index, WinEntry &e)
+    {
+        const Addr va = ctx_.program->pcToVaddr(pc_index);
+        if (lineNum(va) != lastIfetchLine_)
+            chargeIfetchNewLine(va, e);
+    }
+    void chargeIfetchNewLine(Addr va, WinEntry &e);
+
+    /** Bind ctx_.program's decoded stream (decoding and caching it on
+     *  first sight) or clear it on the reference path. */
+    void bindDecoded();
+
+    /**
+     * Devirtualized memory-system shims: when mem_ is the concrete
+     * (final) MemSystem — every simulated machine — these call it
+     * directly, so LTO can inline the TLB/cache fast paths into the
+     * fetch loop. Fakes (unit-test rigs) take the virtual slow path.
+     * Definitions live in core.cc, the only user.
+     */
+    std::uint64_t memRead(Addr vaddr);
+    void memWrite(Addr vaddr, std::uint64_t value);
+    DataAccessResult memDataAccess(Addr vaddr, Addr pc, bool is_store,
+                                   bool speculative, Cycle when);
+    Cycle memDataProbe(Addr vaddr, Cycle when);
+    Cycle memIfetchAccess(Addr vaddr, Cycle when);
+    void memCommitData(Addr vaddr, Addr pc, bool is_store,
+                       bool tlb_missed, Cycle when);
+    void memCommitIfetch(Addr vaddr, Cycle when);
 
     /** Functional memory read honouring the in-window store buffer. */
     std::uint64_t functionalLoad(Addr vaddr);
@@ -271,6 +323,9 @@ class Core
     CoreId id_;
     CoreParams params_;
     MemIface *mem_;
+    /** mem_ downcast to the concrete hierarchy when it is one (else
+     *  null): the fast side of the shims above. */
+    MemSystem *msys_ = nullptr;
     BranchPredictor bpred_;
 
     // --- architectural state -----------------------------------------------
@@ -283,6 +338,33 @@ class Core
     Cycle fetchCycle_ = 0;
     unsigned fetchedThisCycle_ = 0;
     Addr lastIfetchLine_ = kAddrInvalid;
+
+    /**
+     * Decoded stream of the installed program (null on the reference
+     * path). Points into decodeCache_'s owned DecodedPrograms; the
+     * inner vectors' heap storage is stable across cache growth.
+     */
+    const DecodedOp *dops_ = nullptr;
+
+    /**
+     * Per-core decode cache keyed by (program address, ops storage
+     * address, op count, builder stamp): the scheduler reinstalls the
+     * same handful of Programs every quantum, so a context switch must
+     * not pay a re-decode — while a destroyed program whose addresses
+     * get recycled can never match a stale entry (the buildId breaks
+     * the tie; see Program::buildId). Small linear scan; cleared
+     * wholesale if it ever grows past kDecodeCacheMax.
+     */
+    struct DecodeSlot
+    {
+        const Program *prog;
+        const MicroOp *storage;
+        std::uint64_t size;
+        std::uint64_t buildId;
+        DecodedProgram dec;
+    };
+    static constexpr std::size_t kDecodeCacheMax = 64;
+    std::vector<DecodeSlot> decodeCache_;
 
     /**
      * The in-flight window as a fixed ring buffer. Occupancy is bounded
@@ -355,6 +437,8 @@ class Core
     FuPool fpUnits_;
     FuPool mulUnits_;
     FuPool memUnits_;
+    /** DecodedOp::fuSel -> pool (kFuInt/kFuFp/kFuMul order). */
+    std::array<FuPool *, 3> fuPools_{};
 
     // --- store buffer ----------------------------------------------------------
     /**
@@ -370,6 +454,22 @@ class Core
         std::uint64_t value;
     };
     std::vector<BufferedStore> storeBuffer_;
+
+    /**
+     * 64-bit presence filter over buffered store addresses: a load whose
+     * address bit is clear cannot forward, so the (per-load) backward
+     * scan is skipped entirely. Removals leave the filter a stale
+     * superset — still correct, only false positives — and it resets
+     * whenever the buffer empties, which store-quiet stretches do
+     * constantly.
+     */
+    std::uint64_t sbPresence_ = 0;
+
+    static unsigned
+    sbPresenceBit(Addr vaddr)
+    {
+        return static_cast<unsigned>(((vaddr >> 3) ^ (vaddr >> 9)) & 63);
+    }
 
     /** Youngest buffered store to `vaddr`, or nullptr. */
     const BufferedStore *findBufferedStore(Addr vaddr) const;

@@ -79,6 +79,20 @@ class MemIface
     /** Functional data read/write through the address space. */
     virtual std::uint64_t read(Asid asid, Addr vaddr) = 0;
     virtual void write(Asid asid, Addr vaddr, std::uint64_t value) = 0;
+
+    /**
+     * Core-attributed functional read: the calling core's identity lets
+     * the memory system serve the read from a per-core word cache
+     * (MemSystem keeps a small line-keyed cache per core in front of
+     * MainMemory; see MemSystem::FuncReadCache for the geometry).
+     * Defaults to the plain read so simple MemIface fakes need not
+     * care.
+     */
+    virtual std::uint64_t read(CoreId core, Asid asid, Addr vaddr)
+    {
+        (void)core;
+        return read(asid, vaddr);
+    }
 };
 
 } // namespace mtrap

@@ -1,5 +1,7 @@
 #include "isa/program.hh"
 
+#include <atomic>
+
 #include "common/log.hh"
 
 namespace mtrap
@@ -338,6 +340,11 @@ ProgramBuilder::take()
         }
     }
     prog_.ops = std::move(ops_);
+    // Unique per take() across all threads (harness workers build
+    // programs concurrently); see Program::buildId.
+    static std::atomic<std::uint64_t> next_build_id{1};
+    prog_.buildId =
+        next_build_id.fetch_add(1, std::memory_order_relaxed);
     if (prog_.ops.empty() || prog_.ops.back().type != OpType::Halt)
         warn("program %s does not end with halt", prog_.name.c_str());
     return std::move(prog_);

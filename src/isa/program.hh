@@ -30,6 +30,17 @@ struct Program
     std::uint64_t entry = 0;
     std::vector<MicroOp> ops;
 
+    /**
+     * Identity stamp assigned by ProgramBuilder::take() (0 for
+     * hand-assembled Programs). Core's per-program decode cache keys on
+     * (address, ops storage, size, buildId), so a builder-produced
+     * program destroyed and replaced by a different same-sized one at
+     * the same addresses can never resurrect a stale decode. Copies
+     * share the stamp — they are byte-identical at copy time; do not
+     * mutate a Program's ops after it has started executing.
+     */
+    std::uint64_t buildId = 0;
+
     std::uint64_t size() const { return ops.size(); }
 
     /** Virtual address of the instruction at `pc_index`. */

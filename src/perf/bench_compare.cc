@@ -377,15 +377,23 @@ compareBench(const BenchFile &baseline, const BenchFile &candidate,
         base_by_name.erase(it);
         if (!s.ok)
             continue; // already reported as an error above
-        if (s.instructionsPerSecond <= 0.0) {
-            // "Ran fine" but produced no throughput: an infinite
-            // regression must not vanish from the geomean silently.
+        if (!(s.instructionsPerSecond > 0.0) ||
+            !std::isfinite(s.instructionsPerSecond)) {
+            // "Ran fine" but produced no (or non-finite) throughput: an
+            // infinite regression must not vanish from the geomean
+            // silently. The negated comparison deliberately catches
+            // NaN, which fails every ordered compare.
             txt += strfmt("FAIL  %-40s zero throughput in candidate\n",
                           s.name.c_str());
             candidate_errors = true;
             continue;
         }
-        if (!b.ok || b.instructionsPerSecond <= 0.0) {
+        if (!b.ok || !(b.instructionsPerSecond > 0.0) ||
+            !std::isfinite(b.instructionsPerSecond)) {
+            // A NaN/inf/zero baseline (hand-edited or produced by a
+            // broken run) must not poison the geomean: log(NaN) would
+            // propagate into the verdict and `NaN > threshold` is
+            // false, silently passing any regression.
             txt += strfmt("skip  %-40s baseline has no valid "
                           "throughput\n",
                           s.name.c_str());
@@ -413,8 +421,11 @@ compareBench(const BenchFile &baseline, const BenchFile &candidate,
             : 1.0;
 
     const double regress_pct = (1.0 - rep.geomeanRatio) * 100.0;
+    // Strictly-worse-than-threshold fails; a geomean at exactly the
+    // threshold passes. The epsilon absorbs the log/exp round-trip so
+    // the boundary does not flip on the last ulp.
     const bool regressed = rep.commonScenarios
-                           && regress_pct > opt.maxRegressPct;
+                           && regress_pct - opt.maxRegressPct > 1e-9;
     rep.pass = !candidate_errors && !regressed;
 
     if (rep.commonScenarios) {

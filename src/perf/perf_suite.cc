@@ -181,6 +181,21 @@ defaultScenarios()
         [] { return buildParsecWorkload("blackscholes", 4); },
         Scheme::SttFuture));
 
+    s.push_back(schemeScenario(
+        "spec-sjeng-decodebound-1core-baseline",
+        "decode-bound 1-core SPEC profile (sjeng: branchy with a large "
+        "code footprint, few memory stalls) — stresses the pre-decoded "
+        "fetch path",
+        [] { return buildSpecWorkload("sjeng"); }, Scheme::Baseline));
+
+    s.push_back(schemeScenario(
+        "parsec-freqmine-funcread-4core-muontrap",
+        "functional-read-heavy 4-core PARSEC profile (freqmine: pointer "
+        "chasing and random reads over big shared trees) under full "
+        "MuonTrap — stresses the per-core functional word cache",
+        [] { return buildParsecWorkload("freqmine", 4); },
+        Scheme::MuonTrap));
+
     PerfScenario sched;
     sched.name = "sched-context-switch-muontrap";
     sched.description =

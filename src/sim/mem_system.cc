@@ -84,6 +84,7 @@ MemSystem::MemSystem(const MemSystemParams &params, StatGroup *parent)
                                  mt_[c].get(), walker_[c].get(),
                                  specBuffer_[c].get()});
     }
+    funcCache_.resize(params_.cores);
 }
 
 AccessResult
@@ -112,11 +113,20 @@ MemSystem::translate(CoreId core, Asid asid, Addr vaddr, Cycle when,
     Translation tr;
     Tlb &tlb = ifetch ? *side_[core].itlb : *side_[core].dtlb;
 
+    // Main-TLB hit: the MRU shortcut inside lookup() makes this the
+    // whole translation for page-local access runs.
     if (const TlbEntry *e = tlb.lookup(asid, vaddr)) {
         tr.paddr = (e->ppn << kPageShift) | (vaddr & (kPageBytes - 1));
         return tr;
     }
+    return translateMiss(tlb, core, asid, vaddr, when, speculative);
+}
 
+MemSystem::Translation
+MemSystem::translateMiss(Tlb &tlb, CoreId core, Asid asid, Addr vaddr,
+                         Cycle when, bool speculative)
+{
+    Translation tr;
     MuonTrapCore &mt = *side_[core].mt;
     if (Tlb *ftlb = mt.filterTlb()) {
         if (const TlbEntry *e = ftlb->lookup(asid, vaddr)) {
@@ -134,10 +144,12 @@ MemSystem::translate(CoreId core, Asid asid, Addr vaddr, Cycle when,
     // MuonTrap: speculative translations go to the filter TLB only,
     // protecting the main TLB from speculative eviction (§4.7). Without
     // the filter TLB (or non-speculatively) they install directly.
+    // Both TLBs just missed and the walk touches no TLB, so the entry
+    // is provably absent: take the scan-free install.
     if (speculative && mt.filterTlb())
-        mt.filterTlb()->insert(asid, vaddr, tr.paddr);
+        mt.filterTlb()->insertAbsent(asid, vaddr, tr.paddr);
     else
-        tlb.insert(asid, vaddr, tr.paddr);
+        tlb.insertAbsent(asid, vaddr, tr.paddr);
     return tr;
 }
 
@@ -710,6 +722,9 @@ MemSystem::onContextSwitch(CoreId core, Cycle when)
     (void)when;
     side_[core].mt->flush(FlushReason::ContextSwitch);
     side_[core].spec->clear();
+    // The incoming context starts with a cold functional word cache.
+    for (FuncLine &l : funcCache_[core].line)
+        l.lineVa = kAddrInvalid;
 }
 
 void
@@ -733,10 +748,65 @@ MemSystem::read(Asid asid, Addr vaddr)
     return mem_->read(vm_.translate(asid, vaddr));
 }
 
+std::uint64_t
+MemSystem::readMiss(CoreId core, Asid asid, Addr vaddr)
+{
+    FuncReadCache &fc = funcCache_[core];
+    const Addr lv = vaddr >> kLineShift;
+    const unsigned w = static_cast<unsigned>(vaddr >> 3) & 7;
+    const std::uint32_t ver = vm_.version();
+
+    FuncLine *l = &fc.line[fc.mru];
+    if (l->lineVa != lv || l->asid != asid || l->ver != ver) {
+        l = nullptr;
+        FuncLine *lru = &fc.line[0];
+        for (FuncLine &cand : fc.line) {
+            if (cand.lineVa == lv && cand.asid == asid &&
+                cand.ver == ver) {
+                l = &cand;
+                break;
+            }
+            if (cand.stamp < lru->stamp)
+                lru = &cand;
+        }
+        if (!l) {
+            // Fill the LRU entry's tags; words arrive lazily below.
+            l = lru;
+            l->lineVa = lv;
+            l->asid = asid;
+            l->ver = ver;
+            l->mask = 0;
+            l->paBase = vm_.translate(asid, vaddr)
+                        & ~static_cast<Addr>(kLineBytes - 1);
+        }
+        fc.mru = static_cast<std::uint8_t>(l - fc.line.data());
+    }
+    l->stamp = ++fc.clock;
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << w);
+    if (!(l->mask & bit)) {
+        l->words[w] = mem_->read(l->paBase
+                                 + (vaddr & (kLineBytes - 1)));
+        l->mask |= bit;
+    }
+    return l->words[w];
+}
+
 void
 MemSystem::write(Asid asid, Addr vaddr, std::uint64_t value)
 {
-    mem_->write(vm_.translate(asid, vaddr), value);
+    const Addr paddr = vm_.translate(asid, vaddr);
+    // Knock the written word out of every core's functional word cache.
+    // The match is physical, so cross-core and cross-asid (aliased)
+    // writes invalidate correctly.
+    const Addr pa_line = paddr & ~static_cast<Addr>(kLineBytes - 1);
+    const std::uint8_t bit =
+        static_cast<std::uint8_t>(1u << (static_cast<unsigned>(paddr >> 3)
+                                         & 7));
+    for (FuncReadCache &fc : funcCache_)
+        for (FuncLine &l : fc.line)
+            if (l.paBase == pa_line)
+                l.mask &= static_cast<std::uint8_t>(~bit);
+    mem_->write(paddr, value);
 }
 
 } // namespace mtrap

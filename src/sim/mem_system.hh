@@ -14,6 +14,7 @@
 #ifndef MTRAP_SIM_MEM_SYSTEM_HH
 #define MTRAP_SIM_MEM_SYSTEM_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -57,7 +58,7 @@ struct MemSystemParams
  * Concrete MemIface implementation shared by every scheme. Also the
  * PTE-read sink for its per-core page-table walkers.
  */
-class MemSystem : public MemIface, public PtwAccessIface
+class MemSystem final : public MemIface, public PtwAccessIface
 {
   public:
     MemSystem(const MemSystemParams &params, StatGroup *parent);
@@ -84,6 +85,25 @@ class MemSystem : public MemIface, public PtwAccessIface
     void onSquash(CoreId core, Cycle when) override;
     std::uint64_t read(Asid asid, Addr vaddr) override;
     void write(Asid asid, Addr vaddr, std::uint64_t value) override;
+    /** Core-attributed functional read, served from the calling core's
+     *  word cache (below). The MRU-hit path is inline: it sits under
+     *  every functional load of every core and must inline into the
+     *  fetch loop without relying on LTO. */
+    std::uint64_t
+    read(CoreId core, Asid asid, Addr vaddr) override
+    {
+        FuncReadCache &fc = funcCache_[core];
+        FuncLine &l = fc.line[fc.mru];
+        if (l.lineVa == (vaddr >> kLineShift) && l.asid == asid &&
+            l.ver == vm_.version()) {
+            const unsigned w = static_cast<unsigned>(vaddr >> 3) & 7;
+            if (l.mask & (1u << w)) {
+                l.stamp = ++fc.clock;
+                return l.words[w];
+            }
+        }
+        return readMiss(core, asid, vaddr);
+    }
 
     // --- PtwAccessIface -----------------------------------------------------
     /** Walker PTE read: a physically-addressed load down the data path
@@ -127,8 +147,18 @@ class MemSystem : public MemIface, public PtwAccessIface
         bool miss = false;
     };
 
+    /** Split hot/cold: translate() is the TLB-hit fast path (small
+     *  enough to inline into the access walks); the filter-TLB probe
+     *  and hardware walk live in translateMiss(). */
     Translation translate(CoreId core, Asid asid, Addr vaddr, Cycle when,
-                          bool speculative, bool ifetch);
+                          bool speculative, bool ifetch)
+        __attribute__((always_inline));
+    Translation translateMiss(Tlb &tlb, CoreId core, Asid asid,
+                              Addr vaddr, Cycle when, bool speculative);
+
+    /** Word-cache fill/replace path behind the inline read() fast
+     *  path: line scan, LRU tag fill, lazy word probe. */
+    std::uint64_t readMiss(CoreId core, Asid asid, Addr vaddr);
 
     /** Post-translation data walk (also the page-table walker's entry
      *  point, where vaddr == paddr). */
@@ -182,6 +212,40 @@ class MemSystem : public MemIface, public PtwAccessIface
         SpecBuffer *spec;
     };
     std::vector<CoreSide> side_;
+
+    /**
+     * Per-core line-keyed word cache in front of MainMemory::read for
+     * core functional loads (~2M probes per 10M instructions before it;
+     * stream/stride workloads have strong line locality the
+     * open-addressing store cannot exploit). Four entries: profile-mix
+     * kernels interleave up to `mlp` independent streams, which
+     * ping-pong a 2-entry cache.
+     *
+     * Entries are looked up virtually — (asid, line, mapping version)
+     * — so a hit skips the translation too, and tagged physically so a
+     * functional write (by any core, through any asid, including
+     * cross-asid aliases) can invalidate the written word everywhere.
+     * Words fill lazily under a valid mask: a miss probes exactly the
+     * word it needs, so sparse access patterns pay no line-fill tax.
+     * onContextSwitch drops the switching core's entries wholesale.
+     */
+    struct FuncLine
+    {
+        Addr lineVa = kAddrInvalid;      ///< vaddr >> kLineShift
+        Addr paBase = kAddrInvalid;      ///< physical line base
+        Asid asid = 0;
+        std::uint32_t ver = 0;           ///< AddressSpace version
+        std::uint32_t stamp = 0;         ///< LRU stamp (clock below)
+        std::uint8_t mask = 0;           ///< per-word valid bits
+        std::array<std::uint64_t, 8> words{};
+    };
+    struct FuncReadCache
+    {
+        std::array<FuncLine, 4> line;
+        std::uint8_t mru = 0;            ///< index of last hit entry
+        std::uint32_t clock = 0;
+    };
+    std::vector<FuncReadCache> funcCache_;
 
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::vector<std::unique_ptr<Cache>> l1i_;

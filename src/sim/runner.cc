@@ -33,6 +33,8 @@ runConfigured(const Workload &w, const SystemConfig &cfg,
         c.cores = w.threads();
     c.mem.cores = c.cores;
     applySeed(c, opt.seed);
+    if (opt.referenceFetch)
+        c.core.decodedFetch = false;
 
     auto sys = std::make_unique<System>(c);
     sys->loadWorkload(w);
@@ -72,6 +74,8 @@ runMixConfigured(const std::vector<Workload> &mix, const SystemConfig &cfg,
         c.cores = std::max(c.cores, w.threads());
     c.mem.cores = c.cores;
     applySeed(c, opt.seed);
+    if (opt.referenceFetch)
+        c.core.decodedFetch = false;
 
     auto sys = std::make_unique<System>(c);
     sys->attachScheduler(sched);

@@ -36,6 +36,16 @@ struct RunOptions
      * per-job seeds).
      */
     std::uint64_t seed = 0;
+
+    /**
+     * Run on the retained reference interpreter instead of the
+     * pre-decoded fetch path (see CoreParams::decodedFetch). Results
+     * are identical by construction — the differential fuzzer enforces
+     * it — so this is a debugging/measurement knob, exposed as
+     * mtrap_sim --reference-fetch and, for every forScheme-built
+     * system, the MTRAP_REFERENCE_FETCH environment variable.
+     */
+    bool referenceFetch = false;
 };
 
 /** Outcome of one measured run. */

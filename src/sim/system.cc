@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <cstdlib>
+
 #include <algorithm>
 
 #include "common/log.hh"
@@ -13,6 +15,14 @@ SystemConfig::forScheme(Scheme s, unsigned cores)
     SystemConfig cfg;
     cfg.cores = cores;
     cfg.core.defense = schemeCoreDefense(s);
+    // Debug/measurement knob: force every Table-1 system onto the
+    // retained reference interpreter (see CoreParams::decodedFetch), so
+    // one binary can A/B the two fetch paths and a decode-layer bug can
+    // be ruled in or out without a rebuild. Results must not change —
+    // only simulator throughput does.
+    static const bool reference_fetch =
+        std::getenv("MTRAP_REFERENCE_FETCH") != nullptr;
+    cfg.core.decodedFetch = !reference_fetch;
     cfg.mem.cores = cores;
     cfg.mem.mt = schemeMtConfig(s);
     return cfg;

@@ -50,6 +50,7 @@ AddressSpace::alias(Asid asid, Addr vaddr, Addr paddr, std::uint64_t bytes)
     // The cached translation may be superseded by the new mapping.
     mruKey_ = ~std::uint64_t{0};
     mruPpn_ = kAddrInvalid;
+    ++version_;
 }
 
 Addr
@@ -70,6 +71,10 @@ AddressSpace::pteAddr(Asid asid, Addr vaddr, unsigned level) const
 
 Tlb::Tlb(const TlbParams &params, StatGroup *parent)
     : params_(params), entries_(params.entries),
+      allFreeMask_(params.entries >= 64
+                       ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << params.entries) - 1),
+      freeMask_(params.entries > 64 ? 0 : allFreeMask_),
       stats_(params.name, parent),
       hits(&stats_, "hits", "translation hits"),
       misses(&stats_, "misses", "translation misses"),
@@ -97,9 +102,35 @@ Tlb::lookupSlow(Asid asid, Addr vpn)
 }
 
 bool
+Tlb::installAt(TlbEntry *victim, bool evicted, Asid asid, Addr vpn,
+               Addr paddr)
+{
+    if (evicted)
+        ++evictions;
+    else if (trackFree())
+        freeMask_ &= ~(std::uint64_t{1}
+                       << static_cast<unsigned>(victim - entries_.data()));
+    victim->valid = true;
+    victim->asid = asid;
+    victim->vpn = vpn;
+    victim->ppn = pageNum(paddr);
+    victim->lastUse = ++stamp_;
+    ++insertions;
+    return evicted;
+}
+
+bool
 Tlb::insert(Asid asid, Addr vaddr, Addr paddr)
 {
     const Addr vpn = pageNum(vaddr);
+    // MRU shortcut: commit-time promotions overwhelmingly refresh the
+    // translation the last lookup hit; same updates as the scan's
+    // refresh arm below.
+    if (mru_ && mru_->valid && mru_->asid == asid && mru_->vpn == vpn) {
+        mru_->ppn = pageNum(paddr);
+        mru_->lastUse = ++stamp_;
+        return false;
+    }
     // One pass: refresh if present, else remember the first invalid
     // slot and the LRU entry (same victim the two-pass version chose).
     TlbEntry *first_invalid = nullptr;
@@ -115,20 +146,32 @@ Tlb::insert(Asid asid, Addr vaddr, Addr paddr)
         if (e.lastUse < lru->lastUse)
             lru = &e;
     }
-    TlbEntry *victim = first_invalid;
-    bool evicted = false;
-    if (!victim) {
-        victim = lru;
-        evicted = true;
-        ++evictions;
+    if (first_invalid)
+        return installAt(first_invalid, false, asid, vpn, paddr);
+    return installAt(lru, true, asid, vpn, paddr);
+}
+
+bool
+Tlb::insertAbsent(Asid asid, Addr vaddr, Addr paddr)
+{
+    const Addr vpn = pageNum(vaddr);
+    if (trackFree()) {
+        if (freeMask_) {
+            // Lowest free index == the fused scan's first-invalid slot.
+            TlbEntry *victim =
+                &entries_[static_cast<unsigned>(
+                    __builtin_ctzll(freeMask_))];
+            return installAt(victim, false, asid, vpn, paddr);
+        }
+        // Full: same first-minimum LRU scan as insert().
+        TlbEntry *lru = &entries_[0];
+        for (auto &e : entries_)
+            if (e.lastUse < lru->lastUse)
+                lru = &e;
+        return installAt(lru, true, asid, vpn, paddr);
     }
-    victim->valid = true;
-    victim->asid = asid;
-    victim->vpn = vpn;
-    victim->ppn = pageNum(paddr);
-    victim->lastUse = ++stamp_;
-    ++insertions;
-    return evicted;
+    // Oversized TLB (no free mask): fall back to the full protocol.
+    return insert(asid, vaddr, paddr);
 }
 
 bool
@@ -138,6 +181,10 @@ Tlb::invalidate(Asid asid, Addr vaddr)
     for (auto &e : entries_) {
         if (e.valid && e.asid == asid && e.vpn == vpn) {
             e.valid = false;
+            if (trackFree())
+                freeMask_ |=
+                    std::uint64_t{1}
+                    << static_cast<unsigned>(&e - entries_.data());
             return true;
         }
     }
@@ -149,6 +196,7 @@ Tlb::flush()
 {
     for (auto &e : entries_)
         e.valid = false;
+    freeMask_ = params_.entries > 64 ? 0 : allFreeMask_;
     ++flushes;
 }
 

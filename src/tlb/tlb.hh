@@ -54,8 +54,16 @@ class AddressSpace
     /** Number of levels in a page-table walk. */
     static constexpr unsigned kWalkLevels = 4;
 
+    /**
+     * Mapping-generation counter, bumped by alias(): cached derived
+     * translations (MemSystem's functional word caches) compare it to
+     * detect remaps without registering invalidation callbacks.
+     */
+    std::uint32_t version() const { return version_; }
+
   private:
     std::unordered_map<std::uint64_t, Addr> aliases_;
+    std::uint32_t version_ = 1;
 
     /** Last translation, (asid,vpn) -> ppn: translate() is a pure
      *  function of its inputs (given the alias table), sits under every
@@ -110,6 +118,15 @@ class Tlb
      *  entry was evicted (the TLB prime-and-probe observable). */
     bool insert(Asid asid, Addr vaddr, Addr paddr);
 
+    /**
+     * Install a translation the caller knows is absent (a lookup on
+     * this TLB just missed, with no intervening insert): skips the
+     * presence scan and takes the first free slot from a bitmask in
+     * O(1). Victim choice is identical to insert() — lowest invalid
+     * index, else the first-minimum LRU entry.
+     */
+    bool insertAbsent(Asid asid, Addr vaddr, Addr paddr);
+
     /** Drop a specific translation if present. */
     bool invalidate(Asid asid, Addr vaddr);
 
@@ -123,8 +140,19 @@ class Tlb
     /** Associative scan behind the MRU fast path (takes the vpn). */
     const TlbEntry *lookupSlow(Asid asid, Addr vpn);
 
+    /** Fill `victim` (bumping eviction/insertion stats and the free
+     *  mask) and report whether a valid entry died. */
+    bool installAt(TlbEntry *victim, bool evicted, Asid asid, Addr vpn,
+                   Addr paddr);
+
+    /** Free-slot bitmask maintained only for <=64-entry TLBs. */
+    bool trackFree() const { return params_.entries <= 64; }
+
     TlbParams params_;
     std::vector<TlbEntry> entries_;
+    /** Bit i set = entries_[i] invalid (all-free value; see ctor). */
+    std::uint64_t allFreeMask_ = 0;
+    std::uint64_t freeMask_ = 0;
     std::uint64_t stamp_ = 0;
     /** Most-recently-hit entry: accesses have strong page locality, so
      *  checking it first skips the associative scan almost always. The

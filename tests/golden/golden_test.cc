@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Golden-stat regression tests: tiny canonical runs of every harness
+ * suite, checked byte-for-byte against committed golden JSON artifacts.
+ *
+ * Before this test, "all figure tables and artifacts are byte-identical
+ * before/after" was a manual diffing ritual each perf PR repeated by
+ * hand. Here ctest enforces it: each --suite row (fig3..fig9, security,
+ * sched) runs a down-scaled but canonical sweep (2000 measured / 400
+ * warmup instructions, single worker, seed 0 — exactly the legacy
+ * deterministic path) and serialises the raw results through
+ * ResultStore::writeJson. The JSON must match tests/golden/<suite>.json
+ * exactly: any change to simulation timing, stat accounting, artifact
+ * formatting or job ordering fails the suite here, in CI, before a
+ * human ever diffs a figure table.
+ *
+ * Intentional simulation changes regenerate the goldens with:
+ *
+ *     MTRAP_REGEN_GOLDEN=1 ./build/golden_test
+ *
+ * which rewrites the files in the source tree (the test then passes
+ * trivially); commit the diff alongside the change that caused it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/pool.hh"
+#include "harness/result_store.hh"
+#include "harness/suites.hh"
+
+#ifndef MTRAP_GOLDEN_DIR
+#error "build must define MTRAP_GOLDEN_DIR"
+#endif
+
+namespace mtrap::harness
+{
+namespace
+{
+
+/** Canonical tiny run lengths: big enough to exercise warmup + stat
+ *  reset + every scheme's machinery, small enough for tier-1. */
+RunOptions
+goldenOptions()
+{
+    RunOptions opt;
+    opt.measureInstructions = 2000;
+    opt.warmupInstructions = 400;
+    return opt;
+}
+
+std::string
+goldenPath(const std::string &suite)
+{
+    return std::string(MTRAP_GOLDEN_DIR) + "/" + suite + ".json";
+}
+
+/** Run one suite on a single worker and serialise its raw results. */
+std::string
+runSuiteJson(const std::string &name)
+{
+    const Suite suite = buildSuite(name, goldenOptions(), /*seed=*/0);
+    ExperimentPool pool(1);
+    ResultStore store;
+    // runSuite prints progress to stderr; results land in the store.
+    const int rc = runSuite(suite, pool, /*render_table=*/false, &store);
+    EXPECT_EQ(rc, 0) << "suite " << name << " failed";
+    std::ostringstream os;
+    store.writeJson(os);
+    return os.str();
+}
+
+class GoldenSuiteTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GoldenSuiteTest, ArtifactMatchesGolden)
+{
+    const std::string name = GetParam();
+    const std::string fresh = runSuiteJson(name);
+    ASSERT_FALSE(fresh.empty());
+
+    if (std::getenv("MTRAP_REGEN_GOLDEN")) {
+        std::ofstream out(goldenPath(name), std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << goldenPath(name);
+        out << fresh;
+        SUCCEED() << "regenerated " << goldenPath(name);
+        return;
+    }
+
+    std::ifstream in(goldenPath(name), std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden " << goldenPath(name)
+                    << " — run MTRAP_REGEN_GOLDEN=1 ./golden_test";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string golden = buf.str();
+
+    if (fresh != golden) {
+        // Pinpoint the first divergence for the failure message.
+        std::size_t at = 0;
+        while (at < fresh.size() && at < golden.size() &&
+               fresh[at] == golden[at])
+            ++at;
+        FAIL() << "suite " << name
+               << " artifact diverged from golden at byte " << at
+               << "\n golden: ..."
+               << golden.substr(at > 40 ? at - 40 : 0, 120)
+               << "\n  fresh: ..."
+               << fresh.substr(at > 40 ? at - 40 : 0, 120)
+               << "\nIf the change is intentional, regenerate with "
+                  "MTRAP_REGEN_GOLDEN=1 ./golden_test";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suites, GoldenSuiteTest, ::testing::ValuesIn(suiteNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace mtrap::harness

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "perf/bench_compare.hh"
@@ -157,6 +159,85 @@ TEST(BenchCompare, CustomThresholdIsHonoured)
     const CompareReport rep =
         compareBench(base, roundTrip(slow), strict);
     EXPECT_FALSE(rep.pass) << rep.text;
+}
+
+TEST(BenchCompare, EmptyScenarioIntersectionPassesWithUnitGeomean)
+{
+    // Disjoint suites: nothing to compare must mean "no regression",
+    // a geomean ratio of exactly 1.0 and zero common scenarios — not a
+    // divide-by-zero, not a vacuous failure.
+    const BenchFile base = roundTrip({makeResult("only-old-a", 0.1, 1000),
+                                      makeResult("only-old-b", 0.2, 2000)});
+    const BenchFile cand = roundTrip({makeResult("only-new-a", 0.1, 1000),
+                                      makeResult("only-new-b", 0.2, 2000)});
+    const CompareReport rep = compareBench(base, cand);
+    EXPECT_TRUE(rep.pass) << rep.text;
+    EXPECT_EQ(rep.commonScenarios, 0u);
+    EXPECT_DOUBLE_EQ(rep.geomeanRatio, 1.0);
+    EXPECT_NE(rep.text.find("no common scenarios"), std::string::npos);
+}
+
+TEST(BenchCompare, NanBaselineThroughputIsSkippedNotPropagated)
+{
+    // A NaN in the previous artifact (hand-edited, or a broken run)
+    // must not poison the geomean: log(NaN) would flow into the
+    // verdict where `NaN > threshold` is false — silently passing any
+    // regression. The poisoned scenario is skipped; the healthy ones
+    // still gate.
+    BenchFile base = roundTrip(sampleResults());
+    base.scenarios[0].instructionsPerSecond =
+        std::numeric_limits<double>::quiet_NaN();
+    base.scenarios[1].instructionsPerSecond =
+        std::numeric_limits<double>::infinity();
+
+    // Candidate regresses 50% on the one comparable scenario.
+    std::vector<ScenarioResult> slow = sampleResults();
+    slow[2].wallSeconds *= 2.0;
+    const CompareReport rep = compareBench(base, roundTrip(slow));
+    EXPECT_FALSE(rep.pass) << rep.text;
+    EXPECT_EQ(rep.commonScenarios, 1u);
+    EXPECT_TRUE(std::isfinite(rep.geomeanRatio));
+    EXPECT_NE(rep.text.find("baseline has no valid"), std::string::npos);
+}
+
+TEST(BenchCompare, ZeroBaselineThroughputIsSkipped)
+{
+    BenchFile base = roundTrip(sampleResults());
+    base.scenarios[0].instructionsPerSecond = 0.0;
+    const CompareReport rep =
+        compareBench(base, roundTrip(sampleResults()));
+    EXPECT_TRUE(rep.pass) << rep.text;
+    EXPECT_EQ(rep.commonScenarios, 2u);
+}
+
+TEST(BenchCompare, NanCandidateThroughputFailsTheGate)
+{
+    const BenchFile base = roundTrip(sampleResults());
+    BenchFile cand = roundTrip(sampleResults());
+    cand.scenarios[1].instructionsPerSecond =
+        std::numeric_limits<double>::quiet_NaN();
+    const CompareReport rep = compareBench(base, cand);
+    EXPECT_FALSE(rep.pass) << rep.text;
+    EXPECT_NE(rep.text.find("zero throughput"), std::string::npos);
+}
+
+TEST(BenchCompare, GeomeanExactlyAtThresholdPasses)
+{
+    // The gate fails only when the regression *exceeds* the threshold:
+    // a geomean of exactly -5.0% must pass (documented boundary, so a
+    // future >= typo becomes a test failure, not a flaky CI gate).
+    const BenchFile base = roundTrip({makeResult("s", 1.0, 1'000'000)});
+    BenchFile cand = base;
+    cand.scenarios[0].instructionsPerSecond =
+        base.scenarios[0].instructionsPerSecond * 0.95;
+    const CompareReport rep = compareBench(base, cand);
+    EXPECT_TRUE(rep.pass) << rep.text;
+    EXPECT_NEAR(rep.geomeanRatio, 0.95, 1e-12);
+
+    // One ulp below the boundary fails.
+    cand.scenarios[0].instructionsPerSecond =
+        base.scenarios[0].instructionsPerSecond * 0.9499;
+    EXPECT_FALSE(compareBench(base, cand).pass);
 }
 
 TEST(BenchCompare, RejectsMalformedOrForeignJson)

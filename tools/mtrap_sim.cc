@@ -67,7 +67,8 @@ usage()
                  "[--scheme NAME] [--instructions N]\n"
                  "                 [--warmup N] [--seed S] "
                  "[--filter-size B] [--filter-assoc N]\n"
-                 "                 [--baseline] [--stats] [--json]\n"
+                 "                 [--baseline] [--stats] [--json] "
+                 "[--reference-fetch]\n"
                  "                 [--timeshare NAME]... [--cores N] "
                  "[--quantum C]\n"
                  "                 [--no-gang] [--no-migrate]\n");
@@ -129,6 +130,10 @@ main(int argc, char **argv)
             opt.warmupInstructions = parseNumber(next());
         } else if (arg == "--seed") {
             opt.seed = parseNumber(next());
+        } else if (arg == "--reference-fetch") {
+            // Reference-interpreter fetch path: identical results,
+            // decode layer bypassed (debugging/measurement).
+            opt.referenceFetch = true;
         } else if (arg == "--filter-size") {
             filter_size = parseNumber(next());
         } else if (arg == "--filter-assoc") {
