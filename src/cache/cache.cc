@@ -7,9 +7,31 @@
 namespace mtrap
 {
 
+namespace
+{
+
+/** Interned once per process; shared by every cache of every level. */
+StatSchema &
+cacheStatSchema()
+{
+    static StatSchema s("cache");
+    return s;
+}
+
+double
+cacheMissRate(const void *ctx)
+{
+    const Cache *c = static_cast<const Cache *>(ctx);
+    const double h = static_cast<double>(c->hits.value());
+    const double m = static_cast<double>(c->misses.value());
+    return (h + m) > 0 ? m / (h + m) : 0.0;
+}
+
+} // namespace
+
 Cache::Cache(const CacheParams &params, StatGroup *parent)
     : params_(params),
-      stats_(params.name, parent),
+      stats_(cacheStatSchema(), params.name, parent),
       hits(&stats_, "hits", "demand hits"),
       misses(&stats_, "misses", "demand misses"),
       fills(&stats_, "fills", "lines installed"),
@@ -19,11 +41,7 @@ Cache::Cache(const CacheParams &params, StatGroup *parent)
       mshrMerges(&stats_, "mshr_merges",
                  "misses merged into an outstanding same-line fill"),
       missRate(&stats_, "miss_rate", "misses / (hits+misses)",
-               [this] {
-                   const double h = static_cast<double>(hits.value());
-                   const double m = static_cast<double>(misses.value());
-                   return (h + m) > 0 ? m / (h + m) : 0.0;
-               })
+               &cacheMissRate, this)
 {
     if (params.sizeBytes % (static_cast<std::uint64_t>(params.assoc)
                             * kLineBytes) != 0) {

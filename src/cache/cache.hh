@@ -31,7 +31,7 @@ namespace mtrap
 /** Geometry and timing of one cache. */
 struct CacheParams
 {
-    std::string name = "cache";
+    StatName name = "cache";
     std::uint64_t sizeBytes = 32 * 1024;
     unsigned assoc = 2;
     Cycle hitLatency = 1;

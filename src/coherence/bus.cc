@@ -5,10 +5,32 @@
 namespace mtrap
 {
 
+namespace
+{
+
+StatSchema &
+busStatSchema()
+{
+    static StatSchema s("bus");
+    return s;
+}
+
+double
+busWriteFilterInvalidateRate(const void *ctx)
+{
+    const CoherenceBus *b = static_cast<const CoherenceBus *>(ctx);
+    const double t = static_cast<double>(b->storeUpgrades.value());
+    const double br =
+        static_cast<double>(b->storeUpgradeBroadcasts.value());
+    return t > 0 ? br / t : 0.0;
+}
+
+} // namespace
+
 CoherenceBus::CoherenceBus(const BusParams &params, Cache *l2,
                            MainMemory *mem, StatGroup *parent)
     : params_(params), l2_(l2), mem_(mem),
-      stats_("bus", parent),
+      stats_(busStatSchema(), "bus", parent),
       transactions(&stats_, "transactions", "bus transactions issued"),
       nacks(&stats_, "nacks",
             "speculative requests refused (reduced coherency speculation)"),
@@ -30,12 +52,7 @@ CoherenceBus::CoherenceBus(const BusParams &params, Cache *l2,
           &stats_, "write_fcache_invalidate_rate",
           "proportion of committed stores triggering a filter-cache "
           "invalidate broadcast (paper figure 7)",
-          [this] {
-              const double t = static_cast<double>(storeUpgrades.value());
-              const double b =
-                  static_cast<double>(storeUpgradeBroadcasts.value());
-              return t > 0 ? b / t : 0.0;
-          })
+          &busWriteFilterInvalidateRate, this)
 {
     if (!l2_ || !mem_)
         fatal("bus: l2 and memory must be non-null");

@@ -1,167 +1,403 @@
 /**
  * @file
- * Lightweight statistics package: named scalar counters, averages,
- * distributions and derived formulas, grouped per component.
+ * Zero-allocation statistics package: interned per-component-type stat
+ * schemas plus dense per-instance telemetry sheets.
  *
- * Components own a StatGroup; stats register themselves with the group
- * at construction, so `dump()` can print every stat without manual
- * bookkeeping. Modelled on (a tiny fraction of) gem5's stats package.
+ * The original design (a tiny fraction of gem5's stats package) gave
+ * every stat its own heap-allocated name/description strings and every
+ * group a dotted-path string — which made stat registration the last
+ * remaining System-construction wall for the paper's thousands of
+ * short-lived sweep systems. This redesign splits the package in two:
+ *
+ *  - A process-wide StatSchema per component *type* (Cache, Core, ...):
+ *    names, descriptions, kinds and sheet offsets are registered once,
+ *    at first use, and shared by every instance. Leaf names/descs stay
+ *    the caller's string literals; runtime group names ("core0",
+ *    "l1d3") are interned once in the process-wide StatNames table.
+ *
+ *  - A per-instance StatSheet of dense POD slots embedded inline in
+ *    each StatGroup: constructing a component's stats is a memset, and
+ *    resetAll() is a memset. No heap allocation, no string formatting.
+ *
+ * Counter/Average/Histogram/Formula are thin typed handles pointing
+ * into the sheet; component code (`++hits`, `latency.sample(x)`) is
+ * unchanged. Full dotted names ("system.core0.l1d.hits") are
+ * materialized lazily, only at dump/visit time, from the interned
+ * prefix chain.
+ *
+ * StatNames::constructions() counts every stat-name std::string the
+ * package ever builds (interner insertions); a warm process constructs
+ * zero of them per System, which the stats_schema_test locks down.
  */
 
 #ifndef MTRAP_COMMON_STATS_HH
 #define MTRAP_COMMON_STATS_HH
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <functional>
-#include <map>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
-#include <vector>
+#include <string_view>
 
 namespace mtrap
 {
 
 class StatGroup;
 
-/** Base class for all statistics: a name, description and reset hook. */
-class StatBase
+/** Interned stat-name id (index into the process-wide StatNames table). */
+using NameId = std::uint32_t;
+
+/**
+ * Process-wide stat-name interner. Interning an already-known name is a
+ * shared-lock hash lookup (no allocation); only the first sighting of a
+ * name constructs a string. Id 0 is always the empty string.
+ */
+class StatNames
 {
   public:
-    StatBase(StatGroup *group, std::string name, std::string desc);
-    virtual ~StatBase() = default;
+    static NameId intern(std::string_view s);
+    static const std::string &str(NameId id);
 
-    StatBase(const StatBase &) = delete;
-    StatBase &operator=(const StatBase &) = delete;
-
-    const std::string &name() const { return name_; }
-    const std::string &desc() const { return desc_; }
-
-    /** Render the current value(s) as a printable string. */
-    virtual std::string format() const = 0;
-
-    /** Reset to the just-constructed state. */
-    virtual void reset() = 0;
-
-  private:
-    std::string name_;
-    std::string desc_;
-};
-
-/** Monotonic (well, signed-adjustable) event counter. */
-class Counter : public StatBase
-{
-  public:
-    Counter(StatGroup *group, std::string name, std::string desc)
-        : StatBase(group, std::move(name), std::move(desc)) {}
-
-    Counter &operator++() { ++value_; return *this; }
-    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
-    std::uint64_t value() const { return value_; }
-
-    std::string format() const override;
-    void reset() override { value_ = 0; }
-
-  private:
-    std::uint64_t value_ = 0;
-};
-
-/** Running average of samples (mean latency, occupancy, ...). */
-class Average : public StatBase
-{
-  public:
-    Average(StatGroup *group, std::string name, std::string desc)
-        : StatBase(group, std::move(name), std::move(desc)) {}
-
-    void sample(double v) { sum_ += v; ++count_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
-    std::uint64_t count() const { return count_; }
-
-    std::string format() const override;
-    void reset() override { sum_ = 0.0; count_ = 0; }
-
-  private:
-    double sum_ = 0.0;
-    std::uint64_t count_ = 0;
-};
-
-/** Fixed-bucket histogram over [0, max) plus an overflow bucket. */
-class Histogram : public StatBase
-{
-  public:
-    Histogram(StatGroup *group, std::string name, std::string desc,
-              std::uint64_t bucket_width, unsigned num_buckets);
-
-    void sample(std::uint64_t v);
-    std::uint64_t bucketCount(unsigned i) const { return buckets_.at(i); }
-    std::uint64_t overflow() const { return overflow_; }
-    std::uint64_t samples() const { return samples_; }
-
-    std::string format() const override;
-    void reset() override;
-
-  private:
-    std::uint64_t bucketWidth_;
-    std::vector<std::uint64_t> buckets_;
-    std::uint64_t overflow_ = 0;
-    std::uint64_t samples_ = 0;
-};
-
-/** Derived value computed on demand from other stats. */
-class Formula : public StatBase
-{
-  public:
-    Formula(StatGroup *group, std::string name, std::string desc,
-            std::function<double()> fn)
-        : StatBase(group, std::move(name), std::move(desc)),
-          fn_(std::move(fn)) {}
-
-    double value() const { return fn_ ? fn_() : 0.0; }
-    std::string format() const override;
-    void reset() override {}
-
-  private:
-    std::function<double()> fn_;
+    /**
+     * Number of stat-name std::strings constructed so far (one per
+     * distinct interned name, process lifetime). Flat across warm
+     * System construction — the acceptance counter for the
+     * zero-allocation claim.
+     */
+    static std::uint64_t constructions();
 };
 
 /**
- * A named collection of statistics belonging to one component.
- * Groups can nest; dump() walks the subtree in registration order.
+ * Value-type interned name. Cheap to copy and compare; converting from
+ * a string is a hash lookup (allocation only on first sighting).
+ * Component params carry these instead of std::string so configuring a
+ * system constructs no name strings after warm-up.
+ */
+class StatName
+{
+  public:
+    StatName() = default; // id 0 == ""
+    StatName(const char *s) : id_(StatNames::intern(s)) {}
+    StatName(const std::string &s) : id_(StatNames::intern(s)) {}
+
+    /** "<prefix><n>", e.g. indexed("l1d", 3) == "l1d3"; formatted in a
+     *  stack buffer, so warm interning constructs nothing. */
+    static StatName indexed(const char *prefix, unsigned n);
+
+    /** "<this><suffix>", e.g. "fcache_d" + "_filter"; stack-buffered. */
+    StatName withSuffix(const char *suffix) const;
+
+    NameId id() const { return id_; }
+    const std::string &str() const { return StatNames::str(id_); }
+    const char *c_str() const { return str().c_str(); }
+    bool empty() const { return id_ == 0; }
+
+  private:
+    NameId id_ = 0;
+};
+
+enum class StatKind : std::uint8_t { Counter, Average, Histogram, Formula };
+
+/** Derived-stat evaluator: a pure function of its per-instance context
+ *  (usually the owning component). Must be a plain function pointer so
+ *  the schema can share it across instances. */
+using FormulaFn = double (*)(const void *ctx);
+
+/** One stat's interned metadata: shared by every instance of the
+ *  component type that registered it. */
+struct StatDef
+{
+    const char *name = nullptr; ///< leaf name (caller's string literal)
+    const char *desc = nullptr;
+    StatKind kind = StatKind::Counter;
+    std::uint32_t offset = 0;   ///< first data word in the sheet
+    std::uint32_t words = 0;    ///< data words occupied
+    std::uint32_t ctxIndex = 0; ///< formula context slot
+    std::uint32_t numBuckets = 0;
+    std::uint64_t bucketWidth = 0;
+    FormulaFn formula = nullptr;
+};
+
+/**
+ * Interned stat layout of one component type. Define one per type
+ * (usually a function-local static in the component's .cc) and pass it
+ * to every instance's StatGroup. The first instance registers the defs
+ * (taking a mutex); later instances take the lock-free fast path and
+ * just verify position/kind. Registration is positional: every
+ * instance must bind the same stats in the same order, which member
+ * initialization order guarantees.
+ */
+class StatSchema
+{
+  public:
+    explicit StatSchema(const char *component) : component_(component) {}
+
+    StatSchema(const StatSchema &) = delete;
+    StatSchema &operator=(const StatSchema &) = delete;
+
+    /** Defs registered so far (acquire: defs_[0..size) are readable). */
+    unsigned size() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
+    const StatDef &def(unsigned i) const { return defs_[i]; }
+
+    /** Total data words a full sheet needs. */
+    std::uint32_t dataWords() const
+    {
+        return dataWords_.load(std::memory_order_acquire);
+    }
+
+    /** Register-or-verify the def at position `pos` (see class docs). */
+    const StatDef &bind(unsigned pos, const char *name, const char *desc,
+                        StatKind kind, std::uint32_t words,
+                        FormulaFn fn = nullptr,
+                        std::uint64_t bucket_width = 0,
+                        std::uint32_t num_buckets = 0);
+
+    static constexpr unsigned kMaxDefs = 24;
+
+  private:
+    const char *component_;
+    std::mutex mu_;
+    std::atomic<std::uint32_t> count_{0};
+    std::atomic<std::uint32_t> dataWords_{0};
+    std::uint32_t ctxCount_ = 0; ///< guarded by mu_
+    StatDef defs_[kMaxDefs];
+};
+
+/**
+ * Read-only view of one stat of one group (dump/visit/find). Values
+ * are formatted on demand; nothing is owned.
+ */
+class StatView
+{
+  public:
+    StatView() = default;
+    StatView(const StatDef *def, const StatGroup *group)
+        : def_(def), group_(group) {}
+
+    explicit operator bool() const { return def_ != nullptr; }
+
+    const char *name() const { return def_->name; }
+    const char *desc() const { return def_->desc; }
+    StatKind kind() const { return def_->kind; }
+
+    /** Numeric value: count, mean, or formula result. */
+    double number() const;
+
+    /** Render the current value(s) exactly as the legacy package did. */
+    std::string format() const;
+
+  private:
+    const StatDef *def_ = nullptr;
+    const StatGroup *group_ = nullptr;
+};
+
+/**
+ * A named collection of statistics belonging to one component
+ * instance: an interned name, a schema pointer, and the instance's
+ * telemetry sheet, stored inline (construction and reset are memsets —
+ * no heap traffic). Groups nest through an intrusive sibling list, so
+ * attaching a child allocates nothing either.
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    /** Component group over a shared per-type schema. */
+    StatGroup(StatSchema &schema, StatName name, StatGroup *parent);
+
+    /**
+     * Ad-hoc group (tests, one-off rigs): owns a private schema,
+     * allocated lazily when the first stat binds. Groups that only act
+     * as parents (System's root) never allocate.
+     */
+    explicit StatGroup(StatName name, StatGroup *parent = nullptr);
 
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
 
-    const std::string &name() const { return name_; }
+    const std::string &name() const { return name_.str(); }
 
-    /** Fully qualified dotted name, e.g. "system.core0.l1d". */
+    /** Fully qualified dotted name, e.g. "system.core0.l1d".
+     *  Materialized on demand — never during construction. */
     std::string path() const;
-
-    /** Called by StatBase's constructor. */
-    void registerStat(StatBase *s) { stats_.push_back(s); }
 
     /** Print every stat in this group and its children. */
     void dump(std::ostream &os) const;
 
-    /** Reset every stat in this group and its children. */
+    /** Reset every stat in this group and its children (memset). */
     void resetAll();
 
-    /** Find a stat by local name (nullptr if absent); for tests. */
-    const StatBase *find(const std::string &name) const;
+    /** Find a stat by local name (invalid view if absent); for tests. */
+    StatView find(std::string_view name) const;
 
     /** Visit every stat in this subtree with its fully qualified path
-     *  (serialisation, custom reporting). */
+     *  (serialisation, custom reporting). Paths are built lazily here,
+     *  at visit time. */
     void visit(const std::function<void(const std::string &path,
-                                        const StatBase &stat)> &fn) const;
+                                        const StatView &stat)> &fn) const;
+
+    // --- binding API (used by the typed handles below) -------------------
+    std::uint64_t *bindWords(const char *name, const char *desc,
+                             StatKind kind, std::uint32_t words,
+                             std::uint64_t bucket_width = 0,
+                             std::uint32_t num_buckets = 0);
+    void bindFormula(const char *name, const char *desc, FormulaFn fn,
+                     const void *ctx);
+
+    /** Inline sheet capacity: data words / formula contexts per group.
+     *  Generous for every component schema; binds past it are fatal. */
+    static constexpr unsigned kSheetWords = 64;
+    static constexpr unsigned kCtxSlots = 6;
 
   private:
-    std::string name_;
-    StatGroup *parent_;
-    std::vector<StatBase *> stats_;
-    std::vector<StatGroup *> children_;
+    friend class StatView;
+
+    StatSchema &ensureSchema();
+    void dumpImpl(std::ostream &os, std::string &prefix) const;
+    void visitImpl(const std::function<void(const std::string &,
+                                            const StatView &)> &fn,
+                   std::string &prefix) const;
+
+    StatName name_;
+    StatGroup *parent_ = nullptr;
+    StatSchema *schema_ = nullptr;
+    /** Ad-hoc groups only; component groups share a static schema. */
+    std::unique_ptr<StatSchema> ownedSchema_;
+    /** Intrusive child list (registration order == dump order). */
+    StatGroup *firstChild_ = nullptr;
+    StatGroup *lastChild_ = nullptr;
+    StatGroup *nextSibling_ = nullptr;
+    /** Next bind position (instance-local registration cursor). */
+    unsigned cursor_ = 0;
+
+    /** The telemetry sheet: dense POD slots, zero-initialised. */
+    std::uint64_t words_[kSheetWords] = {};
+    /** Per-instance formula contexts (survive resetAll). */
+    const void *ctx_[kCtxSlots] = {};
+};
+
+/** Load/store a double held in a sheet word (defined-behaviour type
+ *  punning; compiles to a plain move). */
+inline double
+statWordAsDouble(const std::uint64_t *w)
+{
+    double d;
+    std::memcpy(&d, w, sizeof(d));
+    return d;
+}
+
+inline void
+statWordFromDouble(std::uint64_t *w, double d)
+{
+    std::memcpy(w, &d, sizeof(d));
+}
+
+/** Monotonic (well, signed-adjustable) event counter: one sheet word. */
+class Counter
+{
+  public:
+    Counter(StatGroup *group, const char *name, const char *desc)
+        : v_(group->bindWords(name, desc, StatKind::Counter, 1)) {}
+
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    Counter &operator++() { ++*v_; return *this; }
+    Counter &operator+=(std::uint64_t v) { *v_ += v; return *this; }
+    std::uint64_t value() const { return *v_; }
+    void reset() { *v_ = 0; }
+
+  private:
+    std::uint64_t *v_;
+};
+
+/** Running average of samples: two sheet words (sum, count). */
+class Average
+{
+  public:
+    Average(StatGroup *group, const char *name, const char *desc)
+        : w_(group->bindWords(name, desc, StatKind::Average, 2)) {}
+
+    Average(const Average &) = delete;
+    Average &operator=(const Average &) = delete;
+
+    void sample(double v)
+    {
+        statWordFromDouble(w_, statWordAsDouble(w_) + v);
+        ++w_[1];
+    }
+    double mean() const
+    {
+        return w_[1] ? statWordAsDouble(w_)
+                           / static_cast<double>(w_[1])
+                     : 0.0;
+    }
+    std::uint64_t count() const { return w_[1]; }
+    void reset() { w_[0] = 0; w_[1] = 0; }
+
+  private:
+    std::uint64_t *w_;
+};
+
+/** Fixed-bucket histogram over [0, max) plus an overflow bucket:
+ *  [samples][overflow][buckets...] sheet words. */
+class Histogram
+{
+  public:
+    Histogram(StatGroup *group, const char *name, const char *desc,
+              std::uint64_t bucket_width, unsigned num_buckets);
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    void sample(std::uint64_t v)
+    {
+        ++w_[0];
+        const std::uint64_t idx = v / bucketWidth_;
+        if (idx >= numBuckets_)
+            ++w_[1];
+        else
+            ++w_[2 + idx];
+    }
+    std::uint64_t bucketCount(unsigned i) const;
+    std::uint64_t overflow() const { return w_[1]; }
+    std::uint64_t samples() const { return w_[0]; }
+    void reset() { std::memset(w_, 0, (2 + numBuckets_) * 8); }
+
+  private:
+    std::uint64_t *w_;
+    std::uint64_t bucketWidth_;
+    std::uint32_t numBuckets_;
+};
+
+/** Derived value computed on demand from other stats. The evaluator is
+ *  a shared function pointer (lives in the schema); only the context
+ *  pointer is per-instance. */
+class Formula
+{
+  public:
+    Formula(StatGroup *group, const char *name, const char *desc,
+            FormulaFn fn, const void *ctx)
+        : fn_(fn), ctx_(ctx)
+    {
+        group->bindFormula(name, desc, fn, ctx);
+    }
+
+    Formula(const Formula &) = delete;
+    Formula &operator=(const Formula &) = delete;
+
+    double value() const { return fn_ ? fn_(ctx_) : 0.0; }
+    void reset() {}
+
+  private:
+    FormulaFn fn_;
+    const void *ctx_;
 };
 
 } // namespace mtrap

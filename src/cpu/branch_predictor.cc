@@ -5,6 +5,26 @@
 namespace mtrap
 {
 
+namespace
+{
+
+StatSchema &
+bpredStatSchema()
+{
+    static StatSchema s("bpred");
+    return s;
+}
+
+double
+bpredMispredictRate(const void *ctx)
+{
+    const BranchPredictor *p = static_cast<const BranchPredictor *>(ctx);
+    const double l = static_cast<double>(p->lookups.value());
+    return l > 0 ? static_cast<double>(p->mispredicts.value()) / l : 0.0;
+}
+
+} // namespace
+
 BranchPredictor::BranchPredictor(const BranchPredictorParams &params,
                                  StatGroup *parent)
     : params_(params),
@@ -14,18 +34,14 @@ BranchPredictor::BranchPredictor(const BranchPredictorParams &params,
       chooser_(params.chooserEntries, 1),
       btb_(params.btbEntries),
       ras_(params.rasEntries, kAddrInvalid),
-      stats_("bpred", parent),
+      stats_(bpredStatSchema(), "bpred", parent),
       lookups(&stats_, "lookups", "conditional-branch predictions"),
       mispredicts(&stats_, "mispredicts", "direction mispredictions"),
       btbHits(&stats_, "btb_hits", "indirect predictions with a BTB entry"),
       btbMisses(&stats_, "btb_misses", "indirect predictions without one"),
       mispredictRate(&stats_, "mispredict_rate",
                      "mispredicts / lookups",
-                     [this] {
-                         const double l =
-                             static_cast<double>(lookups.value());
-                         return l > 0 ? mispredicts.value() / l : 0.0;
-                     })
+                     &bpredMispredictRate, this)
 {
     if (!isPow2(params.localEntries) || !isPow2(params.globalEntries) ||
         !isPow2(params.chooserEntries) || !isPow2(params.btbEntries))

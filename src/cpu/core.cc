@@ -15,6 +15,23 @@ namespace
 /** Mask applied to data virtual addresses (44-bit VA space). */
 constexpr Addr kVaMask = (1ull << 44) - 1;
 
+StatSchema &
+coreStatSchema()
+{
+    static StatSchema s("core");
+    return s;
+}
+
+double
+coreIpc(const void *ctx)
+{
+    const Core *c = static_cast<const Core *>(ctx);
+    return c->lastCommitCycle() > 0
+               ? static_cast<double>(c->committedCount())
+                     / static_cast<double>(c->lastCommitCycle())
+               : 0.0;
+}
+
 } // namespace
 
 const char *
@@ -34,7 +51,7 @@ Core::Core(CoreId id, const CoreParams &params, MemIface *mem,
            StatGroup *parent)
     : id_(id), params_(params), mem_(mem),
       bpred_(params.bpred, parent),
-      stats_(strfmt("core%u", id), parent),
+      stats_(coreStatSchema(), StatName::indexed("core", id), parent),
       committed(&stats_, "committed", "instructions committed"),
       committedLoads(&stats_, "committed_loads", "loads committed"),
       committedStores(&stats_, "committed_stores", "stores committed"),
@@ -52,12 +69,7 @@ Core::Core(CoreId id, const CoreParams &params, MemIface *mem,
       exposures(&stats_, "exposures", "InvisiSpec exposure accesses"),
       loadLatency(&stats_, "load_latency", "demand load latency"),
       ipc(&stats_, "ipc", "committed instructions per cycle",
-          [this] {
-              return lastCommitC_ > 0
-                         ? static_cast<double>(committed.value())
-                               / static_cast<double>(lastCommitC_)
-                         : 0.0;
-          })
+          &coreIpc, this)
 {
     if (!mem_)
         fatal("core%u: null memory interface", id);

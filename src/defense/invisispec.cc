@@ -7,10 +7,23 @@
 namespace mtrap
 {
 
+namespace
+{
+
+StatSchema &
+specBufferStatSchema()
+{
+    static StatSchema s("specbuf");
+    return s;
+}
+
+} // namespace
+
 SpecBuffer::SpecBuffer(const SpecBufferParams &params, CoreId core,
                        StatGroup *parent)
     : params_(params),
-      stats_(strfmt("specbuf%u", core), parent),
+      stats_(specBufferStatSchema(), StatName::indexed("specbuf", core),
+             parent),
       allocations(&stats_, "allocations", "speculative loads buffered"),
       fullStalls(&stats_, "full_stalls", "loads delayed by a full buffer"),
       wordHits(&stats_, "word_hits", "reuse of an exact buffered word"),

@@ -18,10 +18,22 @@ accessKindName(AccessKind k)
     return "?";
 }
 
+namespace
+{
+
+StatSchema &
+memoryStatSchema()
+{
+    static StatSchema s("memory");
+    return s;
+}
+
+} // namespace
+
 MainMemory::MainMemory(const MemoryParams &params, StatGroup *parent)
     : params_(params),
       openRow_(params.banks, kAddrInvalid),
-      stats_("mem", parent),
+      stats_(memoryStatSchema(), "mem", parent),
       reads(&stats_, "reads", "line reads serviced"),
       writes(&stats_, "writes", "line writebacks serviced"),
       rowHits(&stats_, "row_hits", "row-buffer hits"),

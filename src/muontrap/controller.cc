@@ -35,10 +35,23 @@ MuonTrapConfig::off()
     return MuonTrapConfig{};
 }
 
+namespace
+{
+
+StatSchema &
+muontrapStatSchema()
+{
+    static StatSchema s("muontrap");
+    return s;
+}
+
+} // namespace
+
 MuonTrapCore::MuonTrapCore(const MuonTrapConfig &cfg, CoreId core,
                            StatGroup *parent)
     : cfg_(cfg),
-      stats_(strfmt("muontrap%u", core), parent),
+      stats_(muontrapStatSchema(), StatName::indexed("muontrap", core),
+             parent),
       flushCtxSwitch(&stats_, "flush_ctx_switch",
                      "filter flushes on context switches"),
       flushSyscall(&stats_, "flush_syscall",

@@ -22,13 +22,21 @@ toCacheParams(const FilterCacheParams &p)
     return cp;
 }
 
+StatSchema &
+filterStatSchema()
+{
+    static StatSchema s("filter_cache");
+    return s;
+}
+
 } // namespace
 
 FilterCache::FilterCache(const FilterCacheParams &params, StatGroup *parent)
     : Cache(toCacheParams(params), parent),
       validBit_(lines_.size(), false),
       vtags_(lines_.size()),
-      fstats_(params.name + "_filter", parent),
+      fstats_(filterStatSchema(), params.name.withSuffix("_filter"),
+              parent),
       flashClears(&fstats_, "flash_clears",
                   "single-cycle whole-cache invalidations"),
       aliasOverwrites(&fstats_, "alias_overwrites",

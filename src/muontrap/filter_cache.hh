@@ -35,7 +35,7 @@ namespace mtrap
 /** Filter-cache configuration (defaults = paper Table 1: 2KiB 4-way). */
 struct FilterCacheParams
 {
-    std::string name = "fcache";
+    StatName name = "fcache";
     std::uint64_t sizeBytes = 2048;
     unsigned assoc = 4;
     Cycle hitLatency = 1;

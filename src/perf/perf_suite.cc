@@ -115,6 +115,37 @@ schedTimesharedParsecBody(const PerfOptions &opt)
         (opt.measureInstructions + opt.warmupInstructions) * 4);
 }
 
+/**
+ * Construction/teardown-dominated churn: many short-lived Table-1
+ * systems built, briefly run and destroyed, alternating schemes —
+ * modelled on the attack vignette and harness sweep shapes whose cost
+ * is gated by System construction (stat-sheet setup, cache metadata,
+ * filter structures), not steady-state simulation. This is the
+ * scenario the perf-regression gate watches for construction-cost
+ * regressions.
+ */
+void
+systemConstructChurnBody(const PerfOptions &opt)
+{
+    // Enough per-system work to register on the odometer while leaving
+    // the run construction-dominated.
+    constexpr std::uint64_t kSlice = 400;
+    const unsigned systems = opt.quick ? 16 : 96;
+    const Scheme schemes[] = {Scheme::MuonTrap, Scheme::Baseline,
+                              Scheme::InvisiSpecSpectre,
+                              Scheme::SttSpectre};
+    // One workload, reused: program generation is not what this
+    // scenario measures.
+    const Workload w = buildSpecWorkload("gcc");
+    for (unsigned n = 0; n < systems; ++n) {
+        SystemConfig cfg =
+            SystemConfig::forScheme(schemes[n % 4], 1);
+        System sys(cfg);
+        sys.loadWorkload(w);
+        sys.run(kSlice);
+    }
+}
+
 void
 attackVignetteBody(const PerfOptions &opt)
 {
@@ -219,6 +250,15 @@ defaultScenarios()
         "(whole-machine switch every 20k-cycle quantum)";
     share.body = schedTimesharedParsecBody;
     s.push_back(std::move(share));
+
+    PerfScenario churn;
+    churn.name = "system-construct-churn";
+    churn.description =
+        "build/teardown-dominated: dozens of short-lived 1-core systems "
+        "across four schemes, a few hundred instructions each (tracks "
+        "System-construction cost)";
+    churn.body = systemConstructChurnBody;
+    s.push_back(std::move(churn));
 
     PerfScenario attack;
     attack.name = "attack-spectre-prime-probe";

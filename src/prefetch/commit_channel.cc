@@ -5,10 +5,22 @@
 namespace mtrap
 {
 
+namespace
+{
+
+StatSchema &
+commitChannelStatSchema()
+{
+    static StatSchema s("pf_commit_channel");
+    return s;
+}
+
+} // namespace
+
 PrefetchCommitChannel::PrefetchCommitChannel(
         StridePrefetcher *l2_prefetcher, StatGroup *parent)
     : l2Prefetcher_(l2_prefetcher),
-      stats_("pf_commit_channel", parent),
+      stats_(commitChannelStatSchema(), "pf_commit_channel", parent),
       notified(&stats_, "notified", "commit notifications received"),
       filteredNoPrefetcher(&stats_, "filtered",
                            "notifications dropped (level has no "

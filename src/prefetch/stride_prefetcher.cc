@@ -6,11 +6,23 @@
 namespace mtrap
 {
 
+namespace
+{
+
+StatSchema &
+prefetcherStatSchema()
+{
+    static StatSchema s("prefetcher");
+    return s;
+}
+
+} // namespace
+
 StridePrefetcher::StridePrefetcher(const PrefetcherParams &params,
                                    CoherenceBus *bus, StatGroup *parent)
     : params_(params), bus_(bus),
       table_(params.tableEntries),
-      stats_("prefetcher", parent),
+      stats_(prefetcherStatSchema(), "prefetcher", parent),
       trains(&stats_, "trains", "training events observed"),
       issued(&stats_, "issued", "prefetch fills issued"),
       usefulFills(&stats_, "useful_fills",

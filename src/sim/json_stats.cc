@@ -32,8 +32,12 @@ dumpStatsJson(const StatGroup &group, std::ostream &os)
 {
     os << "{";
     bool first = true;
+    // Both the dotted name and the formatted value are escaped: stat
+    // paths include runtime group names (workload/config labels can
+    // reach CacheParams::name), and a hostile label must not be able to
+    // break the JSON framing.
     group.visit([&os, &first](const std::string &path,
-                              const StatBase &stat) {
+                              const StatView &stat) {
         if (!first)
             os << ",";
         first = false;

@@ -7,9 +7,21 @@
 namespace mtrap
 {
 
+namespace
+{
+
+StatSchema &
+memSystemStatSchema()
+{
+    static StatSchema s("memsys");
+    return s;
+}
+
+} // namespace
+
 MemSystem::MemSystem(const MemSystemParams &params, StatGroup *parent)
     : params_(params),
-      stats_("memsys", parent),
+      stats_(memSystemStatSchema(), "memsys", parent),
       dataAccesses(&stats_, "data_accesses", "execute-time data accesses"),
       ifetchAccesses(&stats_, "ifetch_accesses", "instruction-line fetches"),
       probes(&stats_, "probes", "non-mutating latency probes"),
@@ -40,21 +52,21 @@ MemSystem::MemSystem(const MemSystemParams &params, StatGroup *parent)
 
     for (CoreId c = 0; c < params_.cores; ++c) {
         CacheParams l1dp = params_.l1d;
-        l1dp.name = strfmt("l1d%u", c);
+        l1dp.name = StatName::indexed("l1d", c);
         l1dp.seed += c * 101;
         l1d_.push_back(std::make_unique<Cache>(l1dp, &stats_));
 
         CacheParams l1ip = params_.l1i;
-        l1ip.name = strfmt("l1i%u", c);
+        l1ip.name = StatName::indexed("l1i", c);
         l1ip.seed += c * 103;
         l1i_.push_back(std::make_unique<Cache>(l1ip, &stats_));
 
         TlbParams dtp = params_.dtlb;
-        dtp.name = strfmt("dtlb%u", c);
+        dtp.name = StatName::indexed("dtlb", c);
         dtlb_.push_back(std::make_unique<Tlb>(dtp, &stats_));
 
         TlbParams itp = params_.itlb;
-        itp.name = strfmt("itlb%u", c);
+        itp.name = StatName::indexed("itlb", c);
         itlb_.push_back(std::make_unique<Tlb>(itp, &stats_));
 
         mt_.push_back(std::make_unique<MuonTrapCore>(params_.mt, c,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <ostream>
 
 #include "common/log.hh"
 
@@ -277,6 +278,8 @@ Scheduler::run(std::uint64_t total_commits)
         // execution so external budget chunking can't move decisions.
         if (cs.done % kChunk == 0) {
             const Pick pick = designate(cs);
+            if (params_.trace)
+                recordDecision(cs, static_cast<CoreId>(c), pick);
             if (pick.none) {
                 cs.parked = true;
                 continue;
@@ -312,6 +315,37 @@ Scheduler::run(std::uint64_t total_commits)
         }
     }
     return done;
+}
+
+void
+Scheduler::recordDecision(const CoreState &cs, CoreId core,
+                          const Pick &pick)
+{
+    SchedTraceRow row;
+    row.when = cs.core->now();
+    row.slot = cs.core->now() / params_.quantum;
+    row.core = core;
+    if (pick.none) {
+        row.action = "park";
+    } else if (pick.idle) {
+        row.action = "idle";
+    } else {
+        row.action = "run";
+        row.job = static_cast<int>(tasks_[pick.task].job);
+        row.thread = static_cast<int>(tasks_[pick.task].thread);
+    }
+    trace_.push_back(row);
+}
+
+void
+writeSchedTrace(const Scheduler &sched, std::ostream &os)
+{
+    os << "cycle,slot,core,job,thread,action\n";
+    for (const SchedTraceRow &r : sched.trace()) {
+        os << r.when << "," << r.slot << ","
+           << static_cast<unsigned>(r.core) << "," << r.job << ","
+           << r.thread << "," << r.action << "\n";
+    }
 }
 
 } // namespace mtrap

@@ -27,6 +27,7 @@
 #define MTRAP_SIM_SCHEDULER_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "cpu/core.hh"
@@ -49,6 +50,26 @@ struct SchedParams
     /** Migrate single-threaded tasks onto cores whose run queues have
      *  no runnable work left (gang members stay pinned). */
     bool migrate = true;
+    /** Record one SchedTraceRow per scheduling decision (mtrap_sim
+     *  --sched-trace); off by default — the trace grows with run
+     *  length. */
+    bool trace = false;
+};
+
+/** One scheduling decision (core→job occupancy at a decision slot). */
+struct SchedTraceRow
+{
+    /** Core front-end clock when the decision was taken. */
+    Cycle when = 0;
+    /** Absolute time slice, when / quantum. */
+    std::uint64_t slot = 0;
+    CoreId core = 0;
+    /** Job chosen to occupy the core, or -1 (idle hole / parked). */
+    int job = -1;
+    /** Thread of `job` on this core, or -1. */
+    int thread = -1;
+    /** "run", "idle" (gang-padding hole) or "park" (queue ran dry). */
+    const char *action = "run";
 };
 
 /**
@@ -103,6 +124,9 @@ class Scheduler
     std::uint64_t migrations() const { return migrations_; }
     /** Slots a core sat idle on a gang-padding hole. */
     std::uint64_t idleSlots() const { return idleSlots_; }
+
+    /** Decision trace (empty unless SchedParams::trace). */
+    const std::vector<SchedTraceRow> &trace() const { return trace_; }
 
   private:
     /** Scheduling decisions fire every kChunk commits of a core's
@@ -167,7 +191,14 @@ class Scheduler
     std::uint64_t switches_ = 0;
     std::uint64_t migrations_ = 0;
     std::uint64_t idleSlots_ = 0;
+
+    void recordDecision(const CoreState &cs, CoreId core,
+                        const Pick &pick);
+    std::vector<SchedTraceRow> trace_;
 };
+
+/** Serialise a decision trace as CSV (header + one row per decision). */
+void writeSchedTrace(const Scheduler &sched, std::ostream &os);
 
 } // namespace mtrap
 

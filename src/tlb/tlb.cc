@@ -6,6 +6,18 @@
 namespace mtrap
 {
 
+namespace
+{
+
+StatSchema &
+tlbStatSchema()
+{
+    static StatSchema s("tlb");
+    return s;
+}
+
+} // namespace
+
 AddressSpace::AddressSpace() = default;
 
 std::uint64_t
@@ -75,7 +87,7 @@ Tlb::Tlb(const TlbParams &params, StatGroup *parent)
                        ? ~std::uint64_t{0}
                        : (std::uint64_t{1} << params.entries) - 1),
       freeMask_(params.entries > 64 ? 0 : allFreeMask_),
-      stats_(params.name, parent),
+      stats_(tlbStatSchema(), params.name, parent),
       hits(&stats_, "hits", "translation hits"),
       misses(&stats_, "misses", "translation misses"),
       insertions(&stats_, "insertions", "entries installed"),

@@ -88,7 +88,7 @@ struct TlbEntry
 /** TLB configuration. */
 struct TlbParams
 {
-    std::string name = "tlb";
+    StatName name = "tlb";
     unsigned entries = 64;
 };
 

@@ -5,10 +5,22 @@
 namespace mtrap
 {
 
+namespace
+{
+
+StatSchema &
+walkerStatSchema()
+{
+    static StatSchema s("walker");
+    return s;
+}
+
+} // namespace
+
 PageTableWalker::PageTableWalker(const AddressSpace *vm, CoreId core,
                                  PtwAccessIface *access, StatGroup *parent)
     : vm_(vm), core_(core), access_(access),
-      stats_("ptw", parent),
+      stats_(walkerStatSchema(), "ptw", parent),
       walks(&stats_, "walks", "page-table walks performed"),
       retranslations(&stats_, "retranslations",
                      "commit-time retranslations"),

@@ -108,14 +108,33 @@ TEST(Stats, HistogramBuckets)
     EXPECT_EQ(h.overflow(), 0u);
 }
 
+namespace
+{
+
+struct RatioCtx
+{
+    Counter *a;
+    Counter *b;
+};
+
+double
+ratioFormula(const void *ctx)
+{
+    const RatioCtx *r = static_cast<const RatioCtx *>(ctx);
+    return r->b->value() ? static_cast<double>(r->a->value())
+                               / static_cast<double>(r->b->value())
+                         : 0.0;
+}
+
+} // namespace
+
 TEST(Stats, FormulaComputesOnDemand)
 {
     StatGroup g("g");
     Counter a(&g, "a", "");
     Counter b(&g, "b", "");
-    Formula f(&g, "f", "ratio", [&] {
-        return b.value() ? static_cast<double>(a.value()) / b.value() : 0.0;
-    });
+    RatioCtx ctx{&a, &b};
+    Formula f(&g, "f", "ratio", &ratioFormula, &ctx);
     a += 3;
     b += 4;
     EXPECT_DOUBLE_EQ(f.value(), 0.75);
@@ -131,8 +150,8 @@ TEST(Stats, GroupDumpContainsPathAndFind)
     root.dump(os);
     EXPECT_NE(os.str().find("system.l1.hits = 7"), std::string::npos);
     EXPECT_EQ(child.path(), "system.l1");
-    EXPECT_EQ(root.find("hits"), nullptr); // lives in the child group
-    EXPECT_NE(child.find("hits"), nullptr);
+    EXPECT_FALSE(root.find("hits")); // lives in the child group
+    EXPECT_TRUE(child.find("hits"));
 }
 
 TEST(Stats, FindLocatesLocalStatsOnly)
@@ -140,8 +159,8 @@ TEST(Stats, FindLocatesLocalStatsOnly)
     StatGroup root("r");
     StatGroup child("c", &root);
     Counter c(&child, "x", "");
-    EXPECT_EQ(root.find("x"), nullptr);
-    EXPECT_NE(child.find("x"), nullptr);
+    EXPECT_FALSE(root.find("x"));
+    EXPECT_TRUE(child.find("x"));
 }
 
 TEST(Stats, ResetAllRecurses)

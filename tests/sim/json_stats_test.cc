@@ -33,7 +33,7 @@ TEST(StatGroupVisit, WalksSubtreeWithPaths)
     b += 4;
 
     std::vector<std::string> paths;
-    root.visit([&paths](const std::string &p, const StatBase &) {
+    root.visit([&paths](const std::string &p, const StatView &) {
         paths.push_back(p);
     });
     ASSERT_EQ(paths.size(), 2u);
@@ -57,6 +57,26 @@ TEST(DumpStatsJson, EmitsValidLookingObject)
     EXPECT_NE(s.find("\"sys.avg\""), std::string::npos);
     // Exactly one comma between the two entries.
     EXPECT_EQ(std::count(s.begin(), s.end(), ','), 1);
+}
+
+TEST(DumpStatsJson, EscapesHostileStatNames)
+{
+    // A workload/config label can reach a group name (CacheParams::name
+    // and friends); quotes, backslashes and control characters in it
+    // must not break the JSON framing.
+    StatGroup root("sys");
+    StatGroup evil("l1\"d\\x\n", &root);
+    Counter c(&evil, "hits", "");
+    c += 3;
+
+    std::ostringstream os;
+    dumpStatsJson(root, os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"sys.l1\\\"d\\\\x\\n.hits\": \"3\""),
+              std::string::npos);
+    // No raw quote/newline survives inside the key.
+    EXPECT_EQ(s.find("l1\"d"), std::string::npos);
+    EXPECT_EQ(s.find("x\n.hits"), std::string::npos);
 }
 
 TEST(DumpStatsJson, EmptyGroupStillValid)

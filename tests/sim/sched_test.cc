@@ -184,5 +184,76 @@ TEST(GangScheduler, RunTotalsAreExactAcrossCores)
     EXPECT_EQ(sys->runScheduled(99'980), 99'980u);
 }
 
+TEST(GangScheduler, DecisionTraceRecordsOccupancyRows)
+{
+    auto build = [] {
+        SystemConfig cfg = SystemConfig::forScheme(Scheme::MuonTrap, 2);
+        auto sys = std::make_unique<System>(cfg);
+        SchedParams sp;
+        sp.quantum = 5'000;
+        sp.trace = true;
+        sys->attachScheduler(sp);
+        Asid asid = 1;
+        for (const char *name : {"hmmer", "gamess", "mcf"})
+            sys->addScheduledWorkload(
+                buildWorkload(specProfile(name), asid++));
+        return sys;
+    };
+
+    auto sys = build();
+    EXPECT_EQ(sys->runScheduled(30'000), 30'000u);
+    const auto &rows = sys->scheduler()->trace();
+    ASSERT_FALSE(rows.empty());
+    std::uint64_t runs = 0;
+    for (const SchedTraceRow &r : rows) {
+        EXPECT_LT(r.core, 2u);
+        const std::string action = r.action;
+        EXPECT_TRUE(action == "run" || action == "idle" ||
+                    action == "park");
+        if (action == "run") {
+            ++runs;
+            EXPECT_GE(r.job, 0);
+            EXPECT_LT(r.job, 3);
+            EXPECT_EQ(r.thread, 0); // single-threaded jobs
+        } else {
+            EXPECT_EQ(r.job, -1);
+        }
+        EXPECT_EQ(r.slot, r.when / 5'000);
+    }
+    EXPECT_GT(runs, 0u);
+
+    // CSV serialisation: header plus one line per decision.
+    std::ostringstream csv;
+    writeSchedTrace(*sys->scheduler(), csv);
+    const std::string s = csv.str();
+    EXPECT_EQ(s.rfind("cycle,slot,core,job,thread,action\n", 0), 0u);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(s.begin(), s.end(), '\n')),
+              rows.size() + 1);
+
+    // The trace is deterministic: an identical run traces identically.
+    auto sys2 = build();
+    EXPECT_EQ(sys2->runScheduled(30'000), 30'000u);
+    std::ostringstream csv2;
+    writeSchedTrace(*sys2->scheduler(), csv2);
+    EXPECT_EQ(csv.str(), csv2.str());
+
+    // Tracing must not perturb the simulation itself.
+    auto untraced = [] {
+        SystemConfig cfg = SystemConfig::forScheme(Scheme::MuonTrap, 2);
+        auto sys = std::make_unique<System>(cfg);
+        SchedParams sp;
+        sp.quantum = 5'000;
+        sys->attachScheduler(sp);
+        Asid asid = 1;
+        for (const char *name : {"hmmer", "gamess", "mcf"})
+            sys->addScheduledWorkload(
+                buildWorkload(specProfile(name), asid++));
+        EXPECT_EQ(sys->runScheduled(30'000), 30'000u);
+        return statsOf(*sys);
+    };
+    EXPECT_EQ(statsOf(*sys), untraced());
+}
+
 } // namespace
 } // namespace mtrap

@@ -38,10 +38,14 @@
  *                        (slot-aligned) co-scheduling
  *   --no-migrate         disable load-balancing migration onto idle
  *                        cores
+ *   --sched-trace FILE   dump one CSV row per scheduling decision
+ *                        (cycle,slot,core,job,thread,action) for
+ *                        schedule visualisation
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -71,7 +75,8 @@ usage()
                  "[--reference-fetch]\n"
                  "                 [--timeshare NAME]... [--cores N] "
                  "[--quantum C]\n"
-                 "                 [--no-gang] [--no-migrate]\n");
+                 "                 [--no-gang] [--no-migrate] "
+                 "[--sched-trace FILE]\n");
     std::exit(1);
 }
 
@@ -101,6 +106,7 @@ main(int argc, char **argv)
     std::vector<std::string> timeshare;
     unsigned cores = 0;
     SchedParams sched;
+    std::string sched_trace_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -148,6 +154,9 @@ main(int argc, char **argv)
             sched.gang = false;
         } else if (arg == "--no-migrate") {
             sched.migrate = false;
+        } else if (arg == "--sched-trace") {
+            sched_trace_path = next();
+            sched.trace = true;
         } else if (arg == "--baseline") {
             with_baseline = true;
         } else if (arg == "--stats") {
@@ -160,7 +169,8 @@ main(int argc, char **argv)
     }
     if (workload_name.empty())
         usage();
-    if (timeshare.empty() && (cores || !sched.gang || !sched.migrate))
+    if (timeshare.empty() &&
+        (cores || !sched.gang || !sched.migrate || sched.trace))
         warn("scheduler flags have no effect without --timeshare");
 
     // Multiprogrammed path: gang-schedule the whole mix.
@@ -195,6 +205,15 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(s->switches()),
                     static_cast<unsigned long long>(s->migrations()),
                     static_cast<unsigned long long>(s->idleSlots()));
+
+        if (!sched_trace_path.empty()) {
+            std::ofstream f(sched_trace_path);
+            if (!f)
+                fatal("cannot open %s", sched_trace_path.c_str());
+            writeSchedTrace(*s, f);
+            std::printf("schedule trace (%zu decisions) written to %s\n",
+                        s->trace().size(), sched_trace_path.c_str());
+        }
 
         if (with_baseline) {
             const RunResult base =
