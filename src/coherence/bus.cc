@@ -1,6 +1,7 @@
 #include "coherence/bus.hh"
 
 #include "common/log.hh"
+#include "trace/trace.hh"
 
 namespace mtrap
 {
@@ -182,7 +183,7 @@ CoherenceBus::invalidateRemoteFilters(CoreId core, Addr paddr)
 
 SnoopOutcome
 CoherenceBus::readRequest(CoreId core, Addr paddr, bool speculative,
-                          bool muontrap_rules, bool fill_l2)
+                          bool muontrap_rules, bool fill_l2, Cycle when)
 {
     ++transactions;
     SnoopOutcome out;
@@ -194,6 +195,8 @@ CoherenceBus::readRequest(CoreId core, Addr paddr, bool speculative,
         // Reduced coherency speculation (§4.5, defends attack 3): a
         // speculative read may not demote a remote private M/E line.
         ++nacks;
+        if (tracer_)
+            tracer_->record(core, TraceEventKind::BusNack, when, paddr);
         out.nacked = true;
         return out;
     }
@@ -225,6 +228,8 @@ CoherenceBus::readRequest(CoreId core, Addr paddr, bool speculative,
         out.latency += l2_->params().hitLatency; // L2 lookup (miss)
         out.latency += mem_->access(macc);
         ++memoryFetches;
+        if (tracer_)
+            tracer_->record(core, TraceEventKind::L2Miss, when, paddr);
         out.serviceLevel = 3;
         if (fill_l2) {
             Eviction ev;
@@ -246,7 +251,7 @@ CoherenceBus::readRequest(CoreId core, Addr paddr, bool speculative,
 
 SnoopOutcome
 CoherenceBus::writeRequest(CoreId core, Addr paddr, bool speculative,
-                           bool muontrap_rules, bool fill_l2)
+                           bool muontrap_rules, bool fill_l2, Cycle when)
 {
     ++transactions;
     SnoopOutcome out;
@@ -256,6 +261,8 @@ CoherenceBus::writeRequest(CoreId core, Addr paddr, bool speculative,
         // Filter caches may never take E/M while speculative; the store
         // may still prefetch the line in S via readRequest.
         ++nacks;
+        if (tracer_)
+            tracer_->record(core, TraceEventKind::BusNack, when, paddr);
         out.nacked = true;
         return out;
     }
@@ -279,6 +286,8 @@ CoherenceBus::writeRequest(CoreId core, Addr paddr, bool speculative,
         out.latency += l2_->params().hitLatency;
         out.latency += mem_->access(macc);
         ++memoryFetches;
+        if (tracer_)
+            tracer_->record(core, TraceEventKind::L2Miss, when, paddr);
         out.serviceLevel = 3;
         if (fill_l2)
             l2_->fill(paddr, CoherState::Shared);

@@ -35,6 +35,8 @@
 namespace mtrap
 {
 
+class Tracer;
+
 /** Timing of bus transactions. */
 struct BusParams
 {
@@ -96,7 +98,8 @@ class CoherenceBus
      *                      behaviour; MuonTrap speculative fills skip it)
      */
     SnoopOutcome readRequest(CoreId core, Addr paddr, bool speculative,
-                             bool muontrap_rules, bool fill_l2);
+                             bool muontrap_rules, bool fill_l2,
+                             Cycle when = 0);
 
     /**
      * Exclusive request (GetExclusive) from `core` — a baseline store, a
@@ -106,7 +109,8 @@ class CoherenceBus
      * NACKed (filter caches may not take E/M).
      */
     SnoopOutcome writeRequest(CoreId core, Addr paddr, bool speculative,
-                              bool muontrap_rules, bool fill_l2);
+                              bool muontrap_rules, bool fill_l2,
+                              Cycle when = 0);
 
     /**
      * MuonTrap commit-time asynchronous upgrade (store commit or SE
@@ -145,7 +149,13 @@ class CoherenceBus
      */
     bool anyOtherNonSpecHolder(CoreId core, Addr paddr) const;
 
+    /** Route NACK and DRAM-fetch events into `tracer` (null disables).
+     *  Events are stamped with the requester's `when` argument. */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
   private:
+    Tracer *tracer_ = nullptr;
+
     /** Demote remote M/E copies of `paddr` to S (writing M data back to
      *  L2); returns true if any remote supplied data. */
     bool demoteRemotesToShared(CoreId core, Addr paddr);

@@ -179,6 +179,14 @@ StatView::number() const
     return 0.0;
 }
 
+const std::uint64_t *
+StatView::words() const
+{
+    if (def_->kind == StatKind::Formula)
+        return nullptr;
+    return &group_->words_[def_->offset];
+}
+
 std::string
 StatView::format() const
 {

@@ -193,6 +193,14 @@ class StatView
     /** Render the current value(s) exactly as the legacy package did. */
     std::string format() const;
 
+    /**
+     * Direct pointer to the stat's data words in the live sheet (stable
+     * for the group's lifetime), or nullptr for formulas, which own no
+     * words. Interval samplers (trace/stats_series.hh) keep these
+     * pointers so each sample is plain loads — no name lookups.
+     */
+    const std::uint64_t *words() const;
+
   private:
     const StatDef *def_ = nullptr;
     const StatGroup *group_ = nullptr;

@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "perf/odometer.hh"
 #include "sim/mem_system.hh"
+#include "trace/trace.hh"
 
 namespace mtrap
 {
@@ -149,6 +150,9 @@ void
 Core::contextSwitch(const ArchContext &next)
 {
     drain();
+    if (tracer_)
+        tracer_->record(id_, TraceEventKind::ContextSwitch, fetchCycle_,
+                        next.asid, ctx_.asid);
     mem_->onContextSwitch(id_, fetchCycle_);
     fetchCycle_ += params_.contextSwitchCost;
     fetchedThisCycle_ = 0;
@@ -528,6 +532,9 @@ Core::squash()
     fetchedThisCycle_ = 0;
 
     ++squashes;
+    if (tracer_)
+        tracer_->record(id_, TraceEventKind::Squash, fetchCycle_,
+                        chk.correctPc);
     mem_->onSquash(id_, fetchCycle_);
     specDepth_ = 0;
 }

@@ -43,6 +43,7 @@ namespace mtrap
 {
 
 class MemSystem;
+class Tracer;
 
 /** Core-side defence model (memory-side schemes need no core change). */
 enum class CoreDefense : std::uint8_t
@@ -128,6 +129,10 @@ class Core
 
     /** True once the running program executed Halt. */
     bool halted() const { return ctx_.halted; }
+
+    /** Route context-switch and squash events into `tracer` (null
+     *  disables: the hooks reduce to one predictable branch). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
     /** Current front-end cycle (the core's clock). */
     Cycle now() const { return fetchCycle_; }
@@ -326,6 +331,8 @@ class Core
     /** mem_ downcast to the concrete hierarchy when it is one (else
      *  null): the fast side of the shims above. */
     MemSystem *msys_ = nullptr;
+    /** Event sink for the tracing hooks; null when tracing is off. */
+    Tracer *tracer_ = nullptr;
     BranchPredictor bpred_;
 
     // --- architectural state -----------------------------------------------

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "trace/trace.hh"
 
 namespace mtrap
 {
@@ -21,7 +22,7 @@ specBufferStatSchema()
 
 SpecBuffer::SpecBuffer(const SpecBufferParams &params, CoreId core,
                        StatGroup *parent)
-    : params_(params),
+    : params_(params), core_(core),
       stats_(specBufferStatSchema(), StatName::indexed("specbuf", core),
              parent),
       allocations(&stats_, "allocations", "speculative loads buffered"),
@@ -72,8 +73,11 @@ SpecBuffer::release(Addr vaddr)
 }
 
 void
-SpecBuffer::clear()
+SpecBuffer::clear(Cycle when)
 {
+    if (tracer_ && !slots_.empty())
+        tracer_->record(core_, TraceEventKind::SpecClear, when,
+                        slots_.size());
     slots_.clear();
 }
 

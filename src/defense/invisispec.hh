@@ -27,6 +27,8 @@
 namespace mtrap
 {
 
+class Tracer;
+
 /** Speculative-buffer configuration. */
 struct SpecBufferParams
 {
@@ -53,8 +55,13 @@ class SpecBuffer
     /** The load exposed or was squashed; release its slot. */
     void release(Addr vaddr);
 
-    /** Drop everything (squash of the whole window). */
-    void clear();
+    /** Drop everything (squash of the whole window, or a context
+     *  switch's hygiene). `when` stamps the trace event when a tracer
+     *  is attached; clearing an empty buffer is not traced. */
+    void clear(Cycle when = 0);
+
+    /** Route performed clears into `tracer` (null disables). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
     std::size_t occupancy() const { return slots_.size(); }
     unsigned capacity() const { return params_.entries; }
@@ -68,6 +75,8 @@ class SpecBuffer
 
   private:
     SpecBufferParams params_;
+    CoreId core_ = 0;
+    Tracer *tracer_ = nullptr;
     std::deque<Addr> slots_;
 
     StatGroup stats_;

@@ -1,18 +1,52 @@
 #include "harness/job.hh"
 
+#include <chrono>
+#include <fstream>
 #include <stdexcept>
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "trace/chrome_trace.hh"
 #include "workload/parsec_profiles.hh"
 #include "workload/spec_profiles.hh"
 
 namespace mtrap::harness
 {
 
-JobResult
-runJob(const JobSpec &job)
+namespace
 {
+
+/** Dump the attached tracer's capture for a --trace-dir job. */
+void
+writeJobTrace(const JobSpec &job, RunOutput &out)
+{
+    if (job.tracePath.empty())
+        return;
+    std::ofstream f(job.tracePath);
+    if (!f)
+        throw std::runtime_error("cannot open trace file "
+                                 + job.tracePath);
+    writeChromeTrace(*out.system->tracer(), out.statSeries.get(), f);
+}
+
+/** Wall-clock seconds since `t0` (host telemetry only). */
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+JobResult
+runJob(const JobSpec &spec)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    JobSpec job = spec;
+    if (!job.tracePath.empty())
+        job.opt.trace = true;
     JobResult r;
     r.index = job.index;
     r.suite = job.suite;
@@ -27,6 +61,7 @@ runJob(const JobSpec &job)
         custom.row = job.row;
         custom.col = job.col;
         custom.kind = job.kind;
+        custom.wallSeconds = secondsSince(t0);
         return custom;
     }
 
@@ -44,6 +79,10 @@ runJob(const JobSpec &job)
         r.run = out.result;
         if (job.collect)
             job.collect(*out.system, r);
+        writeJobTrace(job, out);
+        r.instructions = out.result.instructionsPerCore
+                         * out.system->numCores();
+        r.wallSeconds = secondsSince(t0);
         return r;
     }
 
@@ -56,6 +95,10 @@ runJob(const JobSpec &job)
     r.run = out.result;
     if (job.collect)
         job.collect(*out.system, r);
+    writeJobTrace(job, out);
+    r.instructions = out.result.instructionsPerCore
+                     * out.system->numCores();
+    r.wallSeconds = secondsSince(t0);
     return r;
 }
 

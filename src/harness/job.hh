@@ -68,6 +68,14 @@ struct JobSpec
      * filled in by the pool afterwards.
      */
     std::function<JobResult(const JobSpec &)> custom;
+
+    /**
+     * When set, the job runs with a Tracer attached and writes Chrome
+     * trace-event JSON here after the run (mtrap_batch --trace-dir).
+     * Trace contents are deterministic, so the file is identical no
+     * matter which worker thread produced it.
+     */
+    std::string tracePath;
 };
 
 /** Outcome of one job, in submission order. */
@@ -85,6 +93,14 @@ struct JobResult
 
     bool ok = true;
     std::string error;
+
+    // Host-side telemetry (progress reporting only — never serialised
+    // into result artifacts, which must stay machine-independent).
+    /** Wall-clock seconds the worker spent on this job. */
+    double wallSeconds = 0.0;
+    /** Total committed instructions the job simulated (measured phase,
+     *  summed over cores for scheduled jobs). */
+    std::uint64_t instructions = 0;
 };
 
 /** Execute one job synchronously (exceptions propagate to the pool). */

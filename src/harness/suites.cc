@@ -1,5 +1,6 @@
 #include "harness/suites.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -427,17 +428,55 @@ buildSuite(const std::string &name, const RunOptions &opt,
 
 int
 runSuite(const Suite &suite, ExperimentPool &pool, bool render_table,
-         ResultStore *store)
+         ResultStore *store, const SuiteRunOptions &run_opt)
 {
+    Suite traced_suite;
+    const Suite *to_run = &suite;
+    if (!run_opt.traceDir.empty()) {
+        traced_suite = suite;
+        for (JobSpec &j : traced_suite.jobs)
+            j.tracePath = run_opt.traceDir + "/" + traced_suite.name
+                          + "_" + std::to_string(j.index)
+                          + ".trace.json";
+        to_run = &traced_suite;
+    }
+
     // Legacy progress lines fire when a whole row (workload) or column
     // (scheme) finishes; completion order varies with the pool, the
-    // line set does not.
+    // line set does not. Per-job lines (mtrap_batch) add wall time and
+    // simulation throughput as each job lands, with an ETA from the
+    // mean job time so far.
     std::map<std::string, unsigned> remaining;
-    for (const JobSpec &j : suite.jobs)
+    for (const JobSpec &j : to_run->jobs)
         ++remaining[suite.progressByCol ? j.col : j.row];
 
+    const std::size_t total = to_run->jobs.size();
+    std::size_t done = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+
     std::vector<JobResult> results = pool.run(
-        suite.jobs, [&](const JobResult &r) {
+        to_run->jobs, [&](const JobResult &r) {
+            ++done;
+            if (run_opt.perJobProgress) {
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                const double eta = done
+                    ? elapsed / static_cast<double>(done)
+                          * static_cast<double>(total - done)
+                    : 0.0;
+                const double kips = r.wallSeconds > 0.0
+                    ? static_cast<double>(r.instructions)
+                          / r.wallSeconds / 1e3
+                    : 0.0;
+                std::fprintf(stderr,
+                             "[%zu/%zu] %s: %s/%s %.1fs %.0f kinst/s "
+                             "(ETA %.0fs)\n",
+                             done, total, suite.name.c_str(),
+                             r.row.c_str(), r.col.c_str(),
+                             r.wallSeconds, kips, eta);
+            }
             const std::string &key =
                 suite.progressByCol ? r.col : r.row;
             if (--remaining[key] == 0)

@@ -56,6 +56,18 @@ const std::vector<std::string> &suiteNames();
 Suite buildSuite(const std::string &name, const RunOptions &opt,
                  std::uint64_t seed = 0);
 
+/** Optional runSuite behaviour (mtrap_batch front-end features). */
+struct SuiteRunOptions
+{
+    /** One stderr line per finished job: name, wall seconds, simulated
+     *  kinst/s, done/total and an ETA. Host telemetry only — result
+     *  artifacts are unaffected. */
+    bool perJobProgress = false;
+    /** When non-empty, every job runs traced and writes Chrome
+     *  trace-event JSON to DIR/<suite>_<index>.trace.json. */
+    std::string traceDir;
+};
+
 /**
  * Run `suite` on `pool`: emits the legacy "<suite>: <group> done"
  * progress lines on stderr as row/column groups complete, renders the
@@ -64,7 +76,7 @@ Suite buildSuite(const std::string &name, const RunOptions &opt,
  * (nonzero on job failure or verdict failure).
  */
 int runSuite(const Suite &suite, ExperimentPool &pool, bool render_table,
-             ResultStore *store);
+             ResultStore *store, const SuiteRunOptions &run_opt = {});
 
 } // namespace mtrap::harness
 

@@ -1,6 +1,7 @@
 #include "muontrap/controller.hh"
 
 #include "common/log.hh"
+#include "trace/trace.hh"
 
 namespace mtrap
 {
@@ -49,7 +50,7 @@ muontrapStatSchema()
 
 MuonTrapCore::MuonTrapCore(const MuonTrapConfig &cfg, CoreId core,
                            StatGroup *parent)
-    : cfg_(cfg),
+    : cfg_(cfg), core_(core),
       stats_(muontrapStatSchema(), StatName::indexed("muontrap", core),
              parent),
       flushCtxSwitch(&stats_, "flush_ctx_switch",
@@ -84,7 +85,7 @@ MuonTrapCore::MuonTrapCore(const MuonTrapConfig &cfg, CoreId core,
 }
 
 void
-MuonTrapCore::flush(FlushReason reason)
+MuonTrapCore::flush(FlushReason reason, Cycle when)
 {
     if (!cfg_.enabled)
         return;
@@ -102,6 +103,9 @@ MuonTrapCore::flush(FlushReason reason)
       case FlushReason::Misspeculation: ++flushMisspec; break;
       case FlushReason::Explicit: ++flushExplicit; break;
     }
+    if (tracer_)
+        tracer_->record(core_, TraceEventKind::FilterFlush, when,
+                        static_cast<std::uint64_t>(reason));
 
     if (dataFilter_)
         dataFilter_->flashClear();

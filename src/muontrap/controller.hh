@@ -22,6 +22,8 @@
 namespace mtrap
 {
 
+class Tracer;
+
 /** Full MuonTrap configuration. */
 struct MuonTrapConfig
 {
@@ -93,11 +95,18 @@ class MuonTrapCore
      * valid bits live in registers. Does nothing when the configuration
      * doesn't warrant clearing for this reason (e.g. misspeculation with
      * clearOnMisspec off, or an insecure L0 which never clears).
+     * `when` stamps the trace event when a tracer is attached; clears
+     * that the policy suppresses are not traced.
      */
-    void flush(FlushReason reason);
+    void flush(FlushReason reason, Cycle when = 0);
+
+    /** Route performed flushes into `tracer` (null disables). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
   private:
     MuonTrapConfig cfg_;
+    CoreId core_ = 0;
+    Tracer *tracer_ = nullptr;
     std::unique_ptr<FilterCache> dataFilter_;
     std::unique_ptr<FilterCache> instFilter_;
     std::unique_ptr<Tlb> filterTlb_;

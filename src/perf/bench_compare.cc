@@ -1,280 +1,20 @@
 #include "perf/bench_compare.hh"
 
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
 #include <map>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "perf/perf_suite.hh"
 
 namespace mtrap::perf
 {
 
-namespace
-{
-
-/**
- * Minimal JSON document model + recursive-descent parser — just enough
- * for the fixed BENCH.json schema (objects, arrays, strings with the
- * escapes jsonEscape emits, numbers, booleans, null). Kept local: the
- * simulator has no other JSON-reading need.
- */
-struct JsonValue
-{
-    enum class Kind
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object
-    };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::map<std::string, JsonValue> object;
-
-    const JsonValue *field(const std::string &key) const
-    {
-        if (kind != Kind::Object)
-            return nullptr;
-        const auto it = object.find(key);
-        return it == object.end() ? nullptr : &it->second;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &s) : s_(s) {}
-
-    bool parse(JsonValue &out, std::string &err)
-    {
-        skipWs();
-        if (!value(out, err))
-            return false;
-        skipWs();
-        if (pos_ != s_.size()) {
-            err = "trailing characters at offset "
-                  + std::to_string(pos_);
-            return false;
-        }
-        return true;
-    }
-
-  private:
-    bool value(JsonValue &out, std::string &err)
-    {
-        if (pos_ >= s_.size()) {
-            err = "unexpected end of input";
-            return false;
-        }
-        switch (s_[pos_]) {
-          case '{': return object(out, err);
-          case '[': return array(out, err);
-          case '"':
-            out.kind = JsonValue::Kind::String;
-            return string(out.string, err);
-          case 't':
-          case 'f':
-            out.kind = JsonValue::Kind::Bool;
-            out.boolean = s_[pos_] == 't';
-            return literal(out.boolean ? "true" : "false", err);
-          case 'n':
-            out.kind = JsonValue::Kind::Null;
-            return literal("null", err);
-          default:
-            out.kind = JsonValue::Kind::Number;
-            return number(out.number, err);
-        }
-    }
-
-    bool object(JsonValue &out, std::string &err)
-    {
-        out.kind = JsonValue::Kind::Object;
-        ++pos_; // '{'
-        skipWs();
-        if (peek() == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            std::string key;
-            if (!string(key, err))
-                return false;
-            skipWs();
-            if (peek() != ':') {
-                err = "expected ':' at offset " + std::to_string(pos_);
-                return false;
-            }
-            ++pos_;
-            skipWs();
-            JsonValue v;
-            if (!value(v, err))
-                return false;
-            out.object.emplace(std::move(key), std::move(v));
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == '}') {
-                ++pos_;
-                return true;
-            }
-            err = "expected ',' or '}' at offset " + std::to_string(pos_);
-            return false;
-        }
-    }
-
-    bool array(JsonValue &out, std::string &err)
-    {
-        out.kind = JsonValue::Kind::Array;
-        ++pos_; // '['
-        skipWs();
-        if (peek() == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            JsonValue v;
-            if (!value(v, err))
-                return false;
-            out.array.push_back(std::move(v));
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == ']') {
-                ++pos_;
-                return true;
-            }
-            err = "expected ',' or ']' at offset " + std::to_string(pos_);
-            return false;
-        }
-    }
-
-    bool string(std::string &out, std::string &err)
-    {
-        if (peek() != '"') {
-            err = "expected string at offset " + std::to_string(pos_);
-            return false;
-        }
-        ++pos_;
-        out.clear();
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_];
-            if (c == '\\') {
-                ++pos_;
-                if (pos_ >= s_.size()) {
-                    err = "unterminated escape";
-                    return false;
-                }
-                switch (s_[pos_]) {
-                  case '"': c = '"'; break;
-                  case '\\': c = '\\'; break;
-                  case '/': c = '/'; break;
-                  case 'n': c = '\n'; break;
-                  case 't': c = '\t'; break;
-                  case 'r': c = '\r'; break;
-                  case 'b': c = '\b'; break;
-                  case 'f': c = '\f'; break;
-                  case 'u':
-                    // BENCH.json never emits \u; decode as '?' rather
-                    // than failing on a hand-edited file.
-                    if (pos_ + 4 >= s_.size()) {
-                        err = "truncated \\u escape";
-                        return false;
-                    }
-                    pos_ += 4;
-                    c = '?';
-                    break;
-                  default:
-                    err = "unknown escape";
-                    return false;
-                }
-            }
-            out.push_back(c);
-            ++pos_;
-        }
-        if (pos_ >= s_.size()) {
-            err = "unterminated string";
-            return false;
-        }
-        ++pos_; // closing quote
-        return true;
-    }
-
-    bool number(double &out, std::string &err)
-    {
-        const std::size_t start = pos_;
-        while (pos_ < s_.size()
-               && (std::isdigit(static_cast<unsigned char>(s_[pos_]))
-                   || s_[pos_] == '.' || s_[pos_] == '-'
-                   || s_[pos_] == '+' || s_[pos_] == 'e'
-                   || s_[pos_] == 'E'))
-            ++pos_;
-        if (pos_ == start) {
-            err = "expected number at offset " + std::to_string(start);
-            return false;
-        }
-        const std::string tok = s_.substr(start, pos_ - start);
-        char *end = nullptr;
-        out = std::strtod(tok.c_str(), &end);
-        if (!end || *end != '\0') {
-            err = "bad number '" + tok + "'";
-            return false;
-        }
-        return true;
-    }
-
-    bool literal(const char *lit, std::string &err)
-    {
-        const std::string l(lit);
-        if (s_.compare(pos_, l.size(), l) != 0) {
-            err = "expected '" + l + "' at offset "
-                  + std::to_string(pos_);
-            return false;
-        }
-        pos_ += l.size();
-        return true;
-    }
-
-    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-    void skipWs()
-    {
-        while (pos_ < s_.size()
-               && std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
-
-double
-numberField(const JsonValue &v, const std::string &key, double fallback)
-{
-    const JsonValue *f = v.field(key);
-    return f && f->kind == JsonValue::Kind::Number ? f->number : fallback;
-}
-
-} // namespace
-
 bool
 parseBenchJson(const std::string &text, BenchFile &out, std::string &err)
 {
     JsonValue root;
-    JsonParser parser(text);
-    if (!parser.parse(root, err))
+    if (!parseJson(text, root, err))
         return false;
     if (root.kind != JsonValue::Kind::Object) {
         err = "top level is not an object";
@@ -311,14 +51,14 @@ parseBenchJson(const std::string &text, BenchFile &out, std::string &err)
         bs.name = name->string;
         const JsonValue *ok = s.field("ok");
         bs.ok = ok && ok->kind == JsonValue::Kind::Bool && ok->boolean;
-        bs.wallSeconds = numberField(s, "wall_seconds", 0.0);
+        bs.wallSeconds = jsonNumberField(s, "wall_seconds", 0.0);
         bs.instructionsPerSecond =
-            numberField(s, "instructions_per_second", 0.0);
+            jsonNumberField(s, "instructions_per_second", 0.0);
         out.scenarios.push_back(std::move(bs));
     }
 
     if (const JsonValue *agg = root.field("aggregate")) {
-        out.scoreKips = numberField(*agg, "score_kips", 0.0);
+        out.scoreKips = jsonNumberField(*agg, "score_kips", 0.0);
         const JsonValue *ok = agg->field("ok");
         out.ok = ok && ok->kind == JsonValue::Kind::Bool && ok->boolean;
     }

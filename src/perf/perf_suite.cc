@@ -4,6 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/log.hh"
 #include "perf/odometer.hh"
 #include "sim/json_stats.hh"
@@ -18,6 +22,26 @@ namespace mtrap::perf
 
 namespace
 {
+
+/** Process peak RSS in bytes (0 where getrusage is unavailable).
+ *  ru_maxrss is kilobytes on Linux, bytes on macOS. */
+std::uint64_t
+peakRssBytes()
+{
+#if defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+#elif defined(__unix__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#else
+    return 0;
+#endif
+}
 
 RunOptions
 runOptionsFor(const PerfOptions &opt)
@@ -308,6 +332,9 @@ runScenarios(const std::vector<PerfScenario> &scenarios,
             }
         }
 
+        r.repeats = reps;
+        r.peakRssBytes = peakRssBytes();
+
         if (r.ok && r.instructions == 0) {
             r.ok = false;
             r.error = "scenario reported zero simulation work";
@@ -376,12 +403,20 @@ writeBenchJson(const std::vector<ScenarioResult> &results,
            << ", \"cycles_per_second\": "
            << strfmt("%.1f", r.cyclesPerSecond())
            << ", \"instructions_per_second\": "
-           << strfmt("%.1f", r.instructionsPerSecond());
+           << strfmt("%.1f", r.instructionsPerSecond())
+           << ", \"repeats\": " << r.repeats
+           << ", \"peak_rss_bytes\": " << r.peakRssBytes;
         if (!r.ok)
             os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
         os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
+#ifdef MTRAP_BUILD_TYPE
+    os << "  \"host\": {\"build_type\": \"" << MTRAP_BUILD_TYPE
+       << "\"},\n";
+#else
+    os << "  \"host\": {\"build_type\": \"unknown\"},\n";
+#endif
     os << "  \"aggregate\": {\"score_kips\": "
        << strfmt("%.1f", aggregateScoreKips(results))
        << ", \"wall_seconds_total\": " << strfmt("%.6f", wall_total)

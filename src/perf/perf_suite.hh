@@ -25,15 +25,22 @@
  *       "instructions": I,            // instructions committed (best rep)
  *       "cycles_per_second": C / W,
  *       "instructions_per_second": I / W,
+ *       "repeats": R,                 // timing repeats actually run
+ *       "peak_rss_bytes": B,          // process peak RSS after scenario
  *       "error": "..."                // only when !ok
  *     }, ...
  *   ],
+ *   "host": { "build_type": "..." },  // CMAKE_BUILD_TYPE at compile time
  *   "aggregate": {
  *     "score_kips": geomean of per-scenario instructions_per_second/1e3,
  *     "wall_seconds_total": sum of per-scenario best wall times,
  *     "ok": all scenarios ok
  *   }
  * }
+ *
+ * The gate (mtrap_perf --compare) ignores unknown keys, so the
+ * "repeats"/"peak_rss_bytes"/"host" metadata never breaks an existing
+ * consumer; the schema tag stays "mtrap-bench-v1".
  */
 
 #ifndef MTRAP_PERF_PERF_SUITE_HH
@@ -86,6 +93,12 @@ struct ScenarioResult
     std::uint64_t simCycles = 0;
     /** Instructions committed during the best iteration. */
     std::uint64_t instructions = 0;
+    /** Timing repeats actually executed. */
+    unsigned repeats = 0;
+    /** Process peak RSS right after the scenario finished (0 when the
+     *  platform cannot report it). Cumulative by nature — a high-water
+     *  mark — so per-scenario values are monotonic in run order. */
+    std::uint64_t peakRssBytes = 0;
 
     double cyclesPerSecond() const
     {

@@ -114,6 +114,16 @@ MemSystem::ptwAccess(const Access &acc)
 
 MemSystem::~MemSystem() = default;
 
+void
+MemSystem::setTracer(Tracer *tracer)
+{
+    bus_->setTracer(tracer);
+    for (CoreSide &s : side_) {
+        s.mt->setTracer(tracer);
+        s.spec->setTracer(tracer);
+    }
+}
+
 // --------------------------------------------------------------------------
 // Translation
 // --------------------------------------------------------------------------
@@ -232,7 +242,7 @@ MemSystem::baselineDataAccess(CoreId core, Asid asid, Addr paddr, Addr pc,
             // commit-time write).
             if (line->state == CoherState::Shared) {
                 SnoopOutcome so = bus_->writeRequest(core, paddr, false,
-                                                     false, true);
+                                                     false, true, when);
                 out.latency += so.latency;
             }
             line->state = CoherState::Modified;
@@ -247,9 +257,9 @@ MemSystem::baselineDataAccess(CoreId core, Asid asid, Addr paddr, Addr pc,
 
     SnoopOutcome so = is_store
                           ? bus_->writeRequest(core, paddr, false, false,
-                                               true)
+                                               true, when)
                           : bus_->readRequest(core, paddr, false, false,
-                                              true);
+                                              true, when);
     // Misses occupy an L1 MSHR for their duration.
     out.latency += l1.reserveMshr(paddr, when, so.latency);
     out.latency += so.latency;
@@ -316,7 +326,7 @@ MemSystem::filterDataAccess(CoreId core, Asid asid, Addr vaddr, Addr paddr,
         if (is_store && !protect) {
             if (l1line->state == CoherState::Shared) {
                 SnoopOutcome so = bus_->writeRequest(core, paddr, false,
-                                                     false, true);
+                                                     false, true, when);
                 out.latency += so.latency;
             }
             l1line->state = CoherState::Modified;
@@ -333,11 +343,11 @@ MemSystem::filterDataAccess(CoreId core, Asid asid, Addr vaddr, Addr paddr,
     SnoopOutcome so;
     if (!protect) {
         // Insecure L0: normal baseline request, fills L2.
-        so = is_store ? bus_->writeRequest(core, paddr, false, false, true)
-                      : bus_->readRequest(core, paddr, false, false, true);
+        so = is_store ? bus_->writeRequest(core, paddr, false, false, true, when)
+                      : bus_->readRequest(core, paddr, false, false, true, when);
     } else {
         so = bus_->readRequest(core, paddr, speculative && coh, coh,
-                               /*fill_l2=*/!speculative);
+                               /*fill_l2=*/!speculative, when);
     }
     if (so.nacked) {
         out.nacked = true;
@@ -454,7 +464,7 @@ MemSystem::commitData(CoreId core, Asid asid, Addr vaddr, Addr pc,
             // (§4.2).
             ++recommitFetches;
             SnoopOutcome so = bus_->readRequest(
-                core, paddr, false, params_.mt.protectCoherence, true);
+                core, paddr, false, params_.mt.protectCoherence, true, when);
             fillL1(*side_[core].l1d, paddr,
                    so.wouldBeExclusive ? CoherState::Exclusive
                                        : CoherState::Shared);
@@ -484,7 +494,7 @@ MemSystem::commitData(CoreId core, Asid asid, Addr vaddr, Addr pc,
         Cache &l1 = *side_[core].l1d;
         CacheLine *own = l1.peek(paddr);
         if (!own || own->state != CoherState::Modified) {
-            bus_->writeRequest(core, paddr, false, false, true);
+            bus_->writeRequest(core, paddr, false, false, true, when);
             CacheLine &nl = fillL1(l1, paddr, CoherState::Modified);
             nl.dirty = true;
         }
@@ -525,12 +535,12 @@ MemSystem::ifetchAccess(CoreId core, Asid asid, Addr vaddr, Cycle when)
         ++l1i.misses;
         SnoopOutcome so = bus_->readRequest(core, paddr, true,
                                             params_.mt.protectCoherence,
-                                            /*fill_l2=*/false);
+                                            /*fill_l2=*/false, when);
         if (so.nacked) {
             // Instruction lines are read-shared; a NACK can only happen
             // if a data store owns the line. Retry non-speculatively.
             so = bus_->readRequest(core, paddr, false,
-                                   params_.mt.protectCoherence, false);
+                                   params_.mt.protectCoherence, false, when);
         }
         lat += fi->reserveMshr(paddr, when, so.latency);
         lat += so.latency;
@@ -549,7 +559,7 @@ MemSystem::ifetchAccess(CoreId core, Asid asid, Addr vaddr, Cycle when)
     const bool fill_l2 =
         !(params_.mt.enabled && params_.mt.protectData);
     SnoopOutcome so = bus_->readRequest(core, paddr, false, false,
-                                        fill_l2);
+                                        fill_l2, when);
     lat += l1i.reserveMshr(paddr, when, so.latency);
     lat += so.latency;
     fillL1(l1i, paddr, CoherState::Shared);
@@ -590,7 +600,7 @@ MemSystem::commitIfetch(CoreId core, Asid asid, Addr vaddr, Cycle when)
         // the line, so bring it into the L1I now.
         ++recommitFetches;
         bus_->readRequest(core, paddr, false,
-                          params_.mt.protectCoherence, true);
+                          params_.mt.protectCoherence, true, when);
         fillL1(*side_[core].l1i, paddr, CoherState::Shared);
     }
 }
@@ -717,23 +727,20 @@ MemSystem::timeIfetchProbe(CoreId core, Asid asid, Addr vaddr)
 void
 MemSystem::onSyscall(CoreId core, Cycle when)
 {
-    (void)when;
-    side_[core].mt->flush(FlushReason::Syscall);
+    side_[core].mt->flush(FlushReason::Syscall, when);
 }
 
 void
 MemSystem::onSandboxSwitch(CoreId core, Cycle when)
 {
-    (void)when;
-    side_[core].mt->flush(FlushReason::Sandbox);
+    side_[core].mt->flush(FlushReason::Sandbox, when);
 }
 
 void
 MemSystem::onContextSwitch(CoreId core, Cycle when)
 {
-    (void)when;
-    side_[core].mt->flush(FlushReason::ContextSwitch);
-    side_[core].spec->clear();
+    side_[core].mt->flush(FlushReason::ContextSwitch, when);
+    side_[core].spec->clear(when);
     // The incoming context starts with a cold functional word cache.
     for (FuncLine &l : funcCache_[core].line)
         l.lineVa = kAddrInvalid;
@@ -742,16 +749,14 @@ MemSystem::onContextSwitch(CoreId core, Cycle when)
 void
 MemSystem::onFlushBarrier(CoreId core, Cycle when)
 {
-    (void)when;
-    side_[core].mt->flush(FlushReason::Explicit);
+    side_[core].mt->flush(FlushReason::Explicit, when);
 }
 
 void
 MemSystem::onSquash(CoreId core, Cycle when)
 {
-    (void)when;
-    side_[core].mt->flush(FlushReason::Misspeculation);
-    side_[core].spec->clear();
+    side_[core].mt->flush(FlushReason::Misspeculation, when);
+    side_[core].spec->clear(when);
 }
 
 std::uint64_t

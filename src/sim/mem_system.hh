@@ -123,6 +123,10 @@ class MemSystem final : public MemIface, public PtwAccessIface
     StridePrefetcher *prefetcher() { return prefetcher_.get(); }
     PrefetchCommitChannel *commitChannel() { return channel_.get(); }
 
+    /** Route memory-side trace hooks (bus, MuonTrap filters, spec
+     *  buffers) into `tracer`; null detaches. */
+    void setTracer(Tracer *tracer);
+
     /**
      * Timing probe used by attack kernels to model a victim/attacker
      * *measuring* an access: returns the latency a demand load would see

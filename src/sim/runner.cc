@@ -1,5 +1,7 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "common/rng.hh"
 
@@ -37,6 +39,8 @@ runConfigured(const Workload &w, const SystemConfig &cfg,
         c.core.decodedFetch = false;
 
     auto sys = std::make_unique<System>(c);
+    if (opt.trace)
+        sys->attachTracer(opt.traceParams);
     sys->loadWorkload(w);
 
     // Warm up caches, TLBs and predictors, then reset statistics.
@@ -44,7 +48,30 @@ runConfigured(const Workload &w, const SystemConfig &cfg,
     sys->resetStats();
     const Cycle start = sys->maxCommitCycle();
 
-    sys->run(opt.measureInstructions);
+    // Interval sampling chunks the measured phase on *absolute* commit
+    // targets (System::runTo), so the final chunk lands on exactly the
+    // targets a monolithic run() would: a sampled single-core run is
+    // identical to an unsampled one, stats included.
+    std::unique_ptr<StatSeries> series;
+    if (opt.statsInterval) {
+        series = std::make_unique<StatSeries>(sys->root(),
+                                              opt.statsInterval, start);
+        std::vector<std::uint64_t> base(sys->numCores());
+        for (unsigned c = 0; c < sys->numCores(); ++c)
+            base[c] = sys->core(c).committedCount();
+        std::uint64_t done = 0;
+        while (done < opt.measureInstructions) {
+            done = std::min(done + opt.statsInterval,
+                            opt.measureInstructions);
+            std::vector<std::uint64_t> targets(base);
+            for (std::uint64_t &t : targets)
+                t += done;
+            sys->runTo(targets);
+            series->sample(sys->maxCommitCycle(), done);
+        }
+    } else {
+        sys->run(opt.measureInstructions);
+    }
     const Cycle end = sys->maxCommitCycle();
 
     RunResult r;
@@ -58,6 +85,7 @@ runConfigured(const Workload &w, const SystemConfig &cfg,
     RunOutput out;
     out.result = r;
     out.system = std::move(sys);
+    out.statSeries = std::move(series);
     return out;
 }
 
@@ -78,6 +106,8 @@ runMixConfigured(const std::vector<Workload> &mix, const SystemConfig &cfg,
         c.core.decodedFetch = false;
 
     auto sys = std::make_unique<System>(c);
+    if (opt.trace)
+        sys->attachTracer(opt.traceParams);
     sys->attachScheduler(sched);
     std::string mix_name;
     for (const Workload &w : mix) {
@@ -90,7 +120,26 @@ runMixConfigured(const std::vector<Workload> &mix, const SystemConfig &cfg,
     sys->resetStats();
     const Cycle start = sys->maxCommitCycle();
 
-    sys->runScheduled(opt.measureInstructions * cores);
+    // Chunked runScheduled == monolithic (the scheduler's determinism
+    // contract), so interval sampling observes without perturbing.
+    const std::uint64_t total = opt.measureInstructions * cores;
+    std::unique_ptr<StatSeries> series;
+    if (opt.statsInterval) {
+        series = std::make_unique<StatSeries>(sys->root(),
+                                              opt.statsInterval, start);
+        std::uint64_t done = 0;
+        while (done < total) {
+            const std::uint64_t step =
+                std::min(opt.statsInterval, total - done);
+            const std::uint64_t did = sys->runScheduled(step);
+            done += did;
+            series->sample(sys->maxCommitCycle(), done);
+            if (did < step)
+                break; // every task halted
+        }
+    } else {
+        sys->runScheduled(total);
+    }
     const Cycle end = sys->maxCommitCycle();
 
     RunResult r;
@@ -104,6 +153,7 @@ runMixConfigured(const std::vector<Workload> &mix, const SystemConfig &cfg,
     RunOutput out;
     out.result = r;
     out.system = std::move(sys);
+    out.statSeries = std::move(series);
     return out;
 }
 

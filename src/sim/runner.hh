@@ -12,6 +12,8 @@
 #include <string>
 
 #include "sim/system.hh"
+#include "trace/stats_series.hh"
+#include "trace/trace.hh"
 #include "workload/kernels.hh"
 
 namespace mtrap
@@ -46,6 +48,26 @@ struct RunOptions
      * system, the MTRAP_REFERENCE_FETCH environment variable.
      */
     bool referenceFetch = false;
+
+    /**
+     * Attach a Tracer (see trace/trace.hh) to the system before the
+     * run: cycle-stamped context switches, squashes, scheduler
+     * decisions, filter flushes, spec-buffer clears, L2 misses and bus
+     * NACKs land in per-core ring buffers for Chrome-trace/CSV export
+     * (mtrap_sim --trace / --trace-csv). Off by default: no tracer is
+     * allocated and every hook is a never-taken null test.
+     */
+    bool trace = false;
+    TraceParams traceParams{};
+
+    /**
+     * Sample the stat tree into a StatSeries every this-many committed
+     * instructions of the measured phase (0 = off). Relies on the
+     * scheduler/system chunked == monolithic determinism contract, so
+     * sampling is a pure observation: results and stats are unchanged.
+     * For mix runs the interval counts total commits across cores.
+     */
+    std::uint64_t statsInterval = 0;
 };
 
 /** Outcome of one measured run. */
@@ -66,6 +88,8 @@ struct RunOutput
 {
     RunResult result;
     std::unique_ptr<System> system;
+    /** Interval time-series, when RunOptions::statsInterval != 0. */
+    std::unique_ptr<StatSeries> statSeries;
 };
 
 /** Run `w` under an explicit configuration. */

@@ -24,6 +24,12 @@ Scheduler::Scheduler(std::vector<Core *> cores, const SchedParams &params)
         cs.core = c;
         cores_.push_back(std::move(cs));
     }
+    // Legacy --sched-trace: a private, detached ring (no stat-tree
+    // footprint). A System-attached Tracer overrides it via setTracer.
+    if (params_.trace)
+        ownTracer_ = std::make_unique<Tracer>(
+            static_cast<unsigned>(cores_.size()), TraceParams{},
+            /*parent=*/nullptr);
 }
 
 Scheduler::Scheduler(Core *core, Cycle quantum)
@@ -241,6 +247,11 @@ Scheduler::rebalance()
         to.parked = false;
         tasks_[task].core = static_cast<CoreId>(target);
         ++migrations_;
+        if (Tracer *t = activeTracer())
+            t->recordSched(static_cast<CoreId>(target),
+                           TraceEventKind::SchedMigrate,
+                           to.core->now(), tasks_[task].job,
+                           static_cast<std::uint32_t>(donor));
     }
 }
 
@@ -278,7 +289,7 @@ Scheduler::run(std::uint64_t total_commits)
         // execution so external budget chunking can't move decisions.
         if (cs.done % kChunk == 0) {
             const Pick pick = designate(cs);
-            if (params_.trace)
+            if (activeTracer())
                 recordDecision(cs, static_cast<CoreId>(c), pick);
             if (pick.none) {
                 cs.parked = true;
@@ -321,20 +332,49 @@ void
 Scheduler::recordDecision(const CoreState &cs, CoreId core,
                           const Pick &pick)
 {
-    SchedTraceRow row;
-    row.when = cs.core->now();
-    row.slot = cs.core->now() / params_.quantum;
-    row.core = core;
+    Tracer *t = activeTracer();
+    const Cycle when = cs.core->now();
     if (pick.none) {
-        row.action = "park";
+        t->recordSched(core, TraceEventKind::SchedPark, when);
     } else if (pick.idle) {
-        row.action = "idle";
+        t->recordSched(core, TraceEventKind::SchedIdle, when);
     } else {
-        row.action = "run";
-        row.job = static_cast<int>(tasks_[pick.task].job);
-        row.thread = static_cast<int>(tasks_[pick.task].thread);
+        t->recordSched(core, TraceEventKind::SchedRun, when,
+                       tasks_[pick.task].job,
+                       tasks_[pick.task].thread);
     }
-    trace_.push_back(row);
+}
+
+std::vector<SchedTraceRow>
+Scheduler::trace() const
+{
+    std::vector<SchedTraceRow> rows;
+    const Tracer *t = activeTracer();
+    if (!t)
+        return rows;
+    for (const TraceEvent &e : t->schedBuffer().ordered()) {
+        SchedTraceRow row;
+        row.when = e.when;
+        row.slot = e.when / params_.quantum;
+        row.core = e.core;
+        switch (e.kind) {
+          case TraceEventKind::SchedRun:
+            row.action = "run";
+            row.job = static_cast<int>(e.arg0);
+            row.thread = static_cast<int>(e.arg1);
+            break;
+          case TraceEventKind::SchedIdle:
+            row.action = "idle";
+            break;
+          case TraceEventKind::SchedPark:
+            row.action = "park";
+            break;
+          default:
+            continue; // migrations are not decision rows
+        }
+        rows.push_back(row);
+    }
+    return rows;
 }
 
 void

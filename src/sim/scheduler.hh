@@ -28,10 +28,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "cpu/core.hh"
 #include "isa/program.hh"
+#include "trace/trace.hh"
 
 namespace mtrap
 {
@@ -125,8 +127,22 @@ class Scheduler
     /** Slots a core sat idle on a gang-padding hole. */
     std::uint64_t idleSlots() const { return idleSlots_; }
 
-    /** Decision trace (empty unless SchedParams::trace). */
-    const std::vector<SchedTraceRow> &trace() const { return trace_; }
+    /**
+     * Decision trace, decoded from the tracer's scheduler ring (empty
+     * unless SchedParams::trace or an attached system Tracer enabled
+     * recording). Rows are in decision order, exactly as PR 5's
+     * in-line vector recorded them.
+     */
+    std::vector<SchedTraceRow> trace() const;
+
+    /**
+     * Route decision events into `tracer` (the System-owned tracer)
+     * instead of the scheduler's private one. The private tracer — a
+     * detached ring created only when SchedParams::trace is set — keeps
+     * the legacy --sched-trace path alive without touching the
+     * system's stat tree.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
   private:
     /** Scheduling decisions fire every kChunk commits of a core's
@@ -194,7 +210,15 @@ class Scheduler
 
     void recordDecision(const CoreState &cs, CoreId core,
                         const Pick &pick);
-    std::vector<SchedTraceRow> trace_;
+    /** The ring decisions go to: the system tracer when attached, else
+     *  the private one, else null (recording disabled). */
+    Tracer *activeTracer() const
+    {
+        return tracer_ ? tracer_ : ownTracer_.get();
+    }
+
+    Tracer *tracer_ = nullptr;
+    std::unique_ptr<Tracer> ownTracer_;
 };
 
 /** Serialise a decision trace as CSV (header + one row per decision). */

@@ -61,11 +61,24 @@ System::loadWorkload(const Workload &w)
 void
 System::run(std::uint64_t max_commits_per_core)
 {
+    std::vector<std::uint64_t> targets;
+    targets.reserve(numCores());
+    for (const auto &c : cores_)
+        targets.push_back(c->committedCount() + max_commits_per_core);
+    runTo(targets);
+}
+
+void
+System::runTo(const std::vector<std::uint64_t> &targets)
+{
+    if (targets.size() != numCores())
+        fatal("runTo: %zu targets for %u cores", targets.size(),
+              numCores());
+
     // Single-core fast path: no interleaving decisions to make, so skip
     // the scheduling structure entirely.
     if (numCores() == 1) {
-        Core &core = *cores_[0];
-        core.stepLoop(core.committedCount() + max_commits_per_core);
+        cores_[0]->stepLoop(targets[0]);
         return;
     }
 
@@ -95,10 +108,8 @@ System::run(std::uint64_t max_commits_per_core)
     act.reserve(numCores());
     for (unsigned c = 0; c < numCores(); ++c) {
         Core &core = *cores_[c];
-        const std::uint64_t target =
-            core.committedCount() + max_commits_per_core;
-        if (!core.halted() && core.committedCount() < target)
-            act.push_back(Entry{core.now(), c, &core, target});
+        if (!core.halted() && core.committedCount() < targets[c])
+            act.push_back(Entry{core.now(), c, &core, targets[c]});
     }
 
     while (!act.empty()) {
@@ -138,7 +149,23 @@ System::attachScheduler(const SchedParams &params)
     for (auto &c : cores_)
         cores.push_back(c.get());
     sched_ = std::make_unique<Scheduler>(std::move(cores), params);
+    if (tracer_)
+        sched_->setTracer(tracer_.get());
     return *sched_;
+}
+
+Tracer &
+System::attachTracer(const TraceParams &params)
+{
+    if (tracer_)
+        fatal("system: tracer already attached");
+    tracer_ = std::make_unique<Tracer>(numCores(), params, &root_);
+    for (auto &c : cores_)
+        c->setTracer(tracer_.get());
+    mem_->setTracer(tracer_.get());
+    if (sched_)
+        sched_->setTracer(tracer_.get());
+    return *tracer_;
 }
 
 JobId
@@ -157,7 +184,10 @@ System::addScheduledWorkload(const Workload &w)
     programs.reserve(owned.threads());
     for (const Program &p : owned.threadPrograms)
         programs.push_back(&p);
-    return sched_->addJob(programs, w.asid);
+    const JobId job = sched_->addJob(programs, w.asid);
+    if (tracer_)
+        tracer_->setJobLabel(job, owned.name);
+    return job;
 }
 
 std::uint64_t

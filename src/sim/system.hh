@@ -15,6 +15,7 @@
 #include "defense/scheme.hh"
 #include "sim/mem_system.hh"
 #include "sim/scheduler.hh"
+#include "trace/trace.hh"
 #include "workload/kernels.hh"
 
 namespace mtrap
@@ -60,6 +61,16 @@ class System
     void run(std::uint64_t max_commits_per_core);
 
     /**
+     * Like run(), but to an *absolute* committed-instruction target per
+     * core (one entry per core). Because stepOne can retire a small
+     * batch past a target, budget-relative chunking accumulates the
+     * overshoot; absolute targets make a chunked measured phase land on
+     * exactly the same final commit counts as a monolithic one (the
+     * runner's interval stat sampling relies on this).
+     */
+    void runTo(const std::vector<std::uint64_t> &targets);
+
+    /**
      * Attach a gang scheduler that owns every core: from here on the
      * scheduler decides which Core steps which Program. Workloads are
      * admitted with addScheduledWorkload and driven with runScheduled;
@@ -84,6 +95,18 @@ class System
      *  Scheduler::run). */
     std::uint64_t runScheduled(std::uint64_t total_commits);
 
+    /**
+     * Attach an event tracer and wire it into every hook site: cores
+     * (context switches, squashes), the memory side (bus, MuonTrap
+     * filters, spec buffers) and the scheduler if one is attached (or
+     * attached later). Its recorded/dropped counters join the system
+     * stat tree under "system.trace". Fatal if already attached.
+     */
+    Tracer &attachTracer(const TraceParams &params = {});
+
+    /** The attached tracer, or nullptr. */
+    Tracer *tracer() { return tracer_.get(); }
+
     /** Drain all cores' pipelines. */
     void drainAll();
 
@@ -105,6 +128,9 @@ class System
     /** Owned copies of scheduled workloads: the scheduler's tasks point
      *  into these programs for the system's whole lifetime. */
     std::vector<std::unique_ptr<Workload>> schedJobs_;
+    /** Event tracer, when attached; components hold raw pointers into
+     *  it, so it lives as long as the system. */
+    std::unique_ptr<Tracer> tracer_;
 };
 
 } // namespace mtrap

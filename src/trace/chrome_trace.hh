@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Trace exporters and the matching schema validator.
+ *
+ * writeChromeTrace emits the Chrome trace-event JSON format (loadable
+ * in Perfetto or chrome://tracing): scheduler slots become "X"
+ * (complete) span events on one track per core, instantaneous events
+ * ("i") mark context switches / squashes / filter flushes / spec-buffer
+ * clears / L2 misses / bus NACKs on the same tracks, and an optional
+ * StatSeries contributes "C" (counter) events with per-interval IPC.
+ * Timestamps are simulated cycles (ts unit is nominally µs — Perfetto
+ * renders the numbers verbatim), so the file is deterministic: same
+ * seed, same bytes.
+ *
+ * validateChromeTrace is the schema gate CI runs on a freshly produced
+ * trace: well-formed JSON, a traceEvents array, required fields per
+ * event, and non-decreasing timestamps within each (pid, tid) track.
+ */
+
+#ifndef MTRAP_TRACE_CHROME_TRACE_HH
+#define MTRAP_TRACE_CHROME_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace mtrap
+{
+
+class StatSeries;
+
+/** Emit Chrome trace-event JSON for everything `tracer` captured;
+ *  `series` (optional) adds per-interval counter tracks. */
+void writeChromeTrace(const Tracer &tracer, const StatSeries *series,
+                      std::ostream &os);
+
+/** Flat CSV of every captured event (merged, cycle-ordered):
+ *  `cycle,core,kind,arg0,arg1`. */
+void writeTraceCsv(const Tracer &tracer, std::ostream &os);
+
+/**
+ * Validate Chrome trace-event JSON text. Returns true when `text` is a
+ * JSON object whose "traceEvents" array entries carry the required
+ * fields (name/ph strings; pid/tid/ts numbers on non-metadata events)
+ * and every (pid, tid) track's timestamps are non-decreasing. On
+ * failure `err` names the first violation.
+ */
+bool validateChromeTrace(const std::string &text, std::string &err);
+
+} // namespace mtrap
+
+#endif // MTRAP_TRACE_CHROME_TRACE_HH

@@ -1,0 +1,101 @@
+#include "trace/stats_series.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+StatSeries::StatSeries(const StatGroup &root,
+                       std::uint64_t interval_instructions,
+                       Cycle start_cycle)
+    : interval_(interval_instructions), prevCycle_(start_cycle)
+{
+    if (interval_ == 0)
+        fatal("stat series: zero interval");
+
+    root.visit([this](const std::string &path, const StatView &stat) {
+        if (stat.kind() != StatKind::Counter)
+            return;
+        const std::uint64_t *w = stat.words();
+        if (!w)
+            return;
+        const bool committed =
+            path.size() > 10
+            && path.compare(path.size() - 10, 10, ".committed") == 0;
+        if (committed)
+            committedCols_.push_back(columns_.size());
+        columns_.push_back(path);
+        words_.push_back(w);
+        prev_.push_back(*w);
+    });
+}
+
+void
+StatSeries::sample(Cycle now, std::uint64_t instructions_done)
+{
+    Row row;
+    row.cycle = now;
+    row.instructions = instructions_done;
+    row.delta.resize(words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        const std::uint64_t v = *words_[i];
+        row.delta[i] = v - prev_[i];
+        prev_[i] = v;
+    }
+    rows_.push_back(std::move(row));
+}
+
+int
+StatSeries::columnIndex(const std::string &path) const
+{
+    for (std::size_t i = 0; i < columns_.size(); ++i)
+        if (columns_[i] == path)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::uint64_t
+StatSeries::columnTotal(std::size_t col) const
+{
+    std::uint64_t sum = 0;
+    for (const Row &r : rows_)
+        sum += r.delta.at(col);
+    return sum;
+}
+
+double
+StatSeries::intervalIpc(std::size_t row) const
+{
+    const Row &r = rows_.at(row);
+    const Cycle prev = row ? rows_[row - 1].cycle : prevCycle_;
+    const Cycle dc = r.cycle > prev ? r.cycle - prev : 1;
+    std::uint64_t insts = 0;
+    for (std::size_t c : committedCols_)
+        insts += r.delta[c];
+    return static_cast<double>(insts) / static_cast<double>(dc);
+}
+
+void
+StatSeries::writeCsv(std::ostream &os) const
+{
+    os << "cycle,instructions,ipc";
+    for (const std::string &c : columns_)
+        os << "," << c;
+    os << "\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const Row &r = rows_[i];
+        os << r.cycle << "," << r.instructions;
+        // Fixed precision: the CSV must be byte-stable run to run.
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6f", intervalIpc(i));
+        os << "," << buf;
+        for (std::uint64_t d : r.delta)
+            os << "," << d;
+        os << "\n";
+    }
+}
+
+} // namespace mtrap

@@ -1,0 +1,141 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::SchedRun: return "sched_run";
+      case TraceEventKind::SchedIdle: return "sched_idle";
+      case TraceEventKind::SchedPark: return "sched_park";
+      case TraceEventKind::SchedMigrate: return "sched_migrate";
+      case TraceEventKind::ContextSwitch: return "ctx_switch";
+      case TraceEventKind::Squash: return "squash";
+      case TraceEventKind::FilterFlush: return "filter_flush";
+      case TraceEventKind::SpecClear: return "spec_clear";
+      case TraceEventKind::L2Miss: return "l2_miss";
+      case TraceEventKind::BusNack: return "bus_nack";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+TraceBuffer::TraceBuffer(std::size_t entries, bool clamp_monotonic)
+    : clamp_(clamp_monotonic)
+{
+    if (entries == 0)
+        fatal("trace buffer: zero entries");
+    ring_.resize(roundUpPow2(entries));
+    mask_ = ring_.size() - 1;
+}
+
+bool
+TraceBuffer::push(const TraceEvent &e)
+{
+    TraceEvent ev = e;
+    if (clamp_) {
+        ev.when = std::max(ev.when, lastWhen_);
+        lastWhen_ = ev.when;
+    }
+
+    ring_[head_] = ev;
+    head_ = (head_ + 1) & mask_;
+    if (count_ < ring_.size()) {
+        ++count_;
+        return false;
+    }
+    return true; // overwrote the oldest entry
+}
+
+std::vector<TraceEvent>
+TraceBuffer::ordered() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    const std::size_t start = (head_ + ring_.size() - count_) & mask_;
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(start + i) & mask_]);
+    return out;
+}
+
+Tracer::Tracer(unsigned cores, const TraceParams &params, StatGroup *parent)
+    : sched_(params.bufferEntries, /*clamp_monotonic=*/false),
+      stats_("trace", parent),
+      recorded(&stats_, "recorded", "trace events recorded"),
+      dropped(&stats_, "dropped",
+              "trace events dropped to ring-buffer overflow (oldest "
+              "first)")
+{
+    if (cores == 0)
+        fatal("tracer: no cores");
+    perCore_.reserve(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        perCore_.emplace_back(params.bufferEntries);
+}
+
+void
+Tracer::record(CoreId core, TraceEventKind kind, Cycle when,
+               std::uint64_t arg0, std::uint32_t arg1)
+{
+    TraceEvent e;
+    e.when = when;
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+    e.core = static_cast<std::uint16_t>(core);
+    e.kind = kind;
+    ++recorded;
+    if (perCore_.at(core).push(e))
+        ++dropped;
+}
+
+void
+Tracer::recordSched(CoreId core, TraceEventKind kind, Cycle when,
+                    std::uint64_t arg0, std::uint32_t arg1)
+{
+    TraceEvent e;
+    e.when = when;
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+    e.core = static_cast<std::uint16_t>(core);
+    e.kind = kind;
+    ++recorded;
+    if (sched_.push(e))
+        ++dropped;
+}
+
+void
+Tracer::setJobLabel(unsigned job, const std::string &name)
+{
+    if (jobLabels_.size() <= job)
+        jobLabels_.resize(job + 1);
+    jobLabels_[job] = name;
+}
+
+std::string
+Tracer::jobLabel(unsigned job) const
+{
+    if (job < jobLabels_.size() && !jobLabels_[job].empty())
+        return jobLabels_[job];
+    return "job" + std::to_string(job);
+}
+
+} // namespace mtrap

@@ -26,9 +26,15 @@
  *   --instructions N     measured instructions per core (default 100000)
  *   --warmup N           warmup instructions per core (default 30000)
  *   --no-tables          skip table rendering even when unsharded
+ *   --trace-dir DIR      run every job with event tracing attached and
+ *                        write DIR/<suite>_<index>.trace.json (Chrome
+ *                        trace-event JSON, Perfetto-loadable) per job
+ *
+ * Per-job progress telemetry goes to stderr as each job completes:
+ * job name, wall seconds, simulated kinst/s, done/total and an ETA.
  *
  * Determinism: results (and therefore --out/--csv artifacts) are
- * byte-identical for any --jobs value.
+ * byte-identical for any --jobs value; so are --trace-dir files.
  */
 
 #include <cstdio>
@@ -57,7 +63,8 @@ usage()
                  "                   [--jobs N] [--shard i/m] [--out "
                  "FILE] [--csv FILE]\n"
                  "                   [--seed S] [--instructions N] "
-                 "[--warmup N] [--no-tables]\n");
+                 "[--warmup N] [--no-tables]\n"
+                 "                   [--trace-dir DIR]\n");
     std::exit(1);
 }
 
@@ -114,6 +121,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 0;
     RunOptions opt; // defaults: kDefault{Warmup,Measure}Instructions
     bool tables = true;
+    std::string trace_dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -147,6 +155,8 @@ main(int argc, char **argv)
             opt.warmupInstructions = parseNumber(next(), "--warmup");
         } else if (arg == "--no-tables") {
             tables = false;
+        } else if (arg == "--trace-dir") {
+            trace_dir = next();
         } else {
             usage();
         }
@@ -183,13 +193,18 @@ main(int argc, char **argv)
     std::fprintf(stderr, "mtrap_batch: %u worker thread(s), shard %u/%u\n",
                  pool.threads(), shard_index, shard_count);
 
+    SuiteRunOptions run_opt;
+    run_opt.perJobProgress = true;
+    run_opt.traceDir = trace_dir;
+
     ResultStore store;
     int rc = 0;
     for (const std::string &name : expanded) {
         Suite suite = buildSuite(name, opt, seed);
         suite.jobs = shardJobs(std::move(suite.jobs), shard_index,
                                shard_count);
-        const int suite_rc = runSuite(suite, pool, tables, &store);
+        const int suite_rc = runSuite(suite, pool, tables, &store,
+                                      run_opt);
         if (suite_rc != 0)
             rc = suite_rc;
     }

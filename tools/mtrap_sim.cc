@@ -41,6 +41,18 @@
  *   --sched-trace FILE   dump one CSV row per scheduling decision
  *                        (cycle,slot,core,job,thread,action) for
  *                        schedule visualisation
+ *
+ * Tracing & time-series options (see src/trace/):
+ *   --trace FILE         record cycle-stamped events (context switches,
+ *                        squashes, scheduler decisions, filter flushes,
+ *                        spec-buffer clears, L2 misses, bus NACKs) and
+ *                        export Chrome trace-event JSON — load FILE in
+ *                        Perfetto (ui.perfetto.dev) or chrome://tracing
+ *   --trace-csv FILE     same events as a flat cycle-ordered CSV
+ *   --stats-interval N   sample the stat tree every N committed
+ *                        instructions of the measured phase
+ *   --stats-out FILE     write the interval time-series CSV
+ *                        (cycle,instructions,ipc,<counter columns>)
  */
 
 #include <cstdio>
@@ -55,6 +67,7 @@
 #include "harness/job.hh"
 #include "sim/json_stats.hh"
 #include "sim/runner.hh"
+#include "trace/chrome_trace.hh"
 #include "workload/parsec_profiles.hh"
 #include "workload/spec_profiles.hh"
 
@@ -76,7 +89,10 @@ usage()
                  "                 [--timeshare NAME]... [--cores N] "
                  "[--quantum C]\n"
                  "                 [--no-gang] [--no-migrate] "
-                 "[--sched-trace FILE]\n");
+                 "[--sched-trace FILE]\n"
+                 "                 [--trace FILE] [--trace-csv FILE]\n"
+                 "                 [--stats-interval N] "
+                 "[--stats-out FILE]\n");
     std::exit(1);
 }
 
@@ -88,6 +104,42 @@ parseNumber(const std::string &s)
     if (!parseU64(s, v))
         usage();
     return v;
+}
+
+/** Export whatever tracing/time-series outputs the flags asked for. */
+void
+writeTraceOutputs(const RunOutput &out, const std::string &trace_path,
+                  const std::string &trace_csv_path,
+                  const std::string &stats_out_path)
+{
+    const Tracer *t = out.system->tracer();
+    if (!trace_path.empty()) {
+        std::ofstream f(trace_path);
+        if (!f)
+            fatal("cannot open %s", trace_path.c_str());
+        writeChromeTrace(*t, out.statSeries.get(), f);
+        std::printf("chrome trace (%llu events, %llu dropped) written "
+                    "to %s\n",
+                    static_cast<unsigned long long>(t->recordedCount()),
+                    static_cast<unsigned long long>(t->droppedCount()),
+                    trace_path.c_str());
+    }
+    if (!trace_csv_path.empty()) {
+        std::ofstream f(trace_csv_path);
+        if (!f)
+            fatal("cannot open %s", trace_csv_path.c_str());
+        writeTraceCsv(*t, f);
+        std::printf("event CSV written to %s\n", trace_csv_path.c_str());
+    }
+    if (!stats_out_path.empty()) {
+        std::ofstream f(stats_out_path);
+        if (!f)
+            fatal("cannot open %s", stats_out_path.c_str());
+        out.statSeries->writeCsv(f);
+        std::printf("stat time-series (%zu intervals) written to %s\n",
+                    out.statSeries->rows().size(),
+                    stats_out_path.c_str());
+    }
 }
 
 } // namespace
@@ -107,6 +159,7 @@ main(int argc, char **argv)
     unsigned cores = 0;
     SchedParams sched;
     std::string sched_trace_path;
+    std::string trace_path, trace_csv_path, stats_out_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -157,6 +210,16 @@ main(int argc, char **argv)
         } else if (arg == "--sched-trace") {
             sched_trace_path = next();
             sched.trace = true;
+        } else if (arg == "--trace") {
+            trace_path = next();
+            opt.trace = true;
+        } else if (arg == "--trace-csv") {
+            trace_csv_path = next();
+            opt.trace = true;
+        } else if (arg == "--stats-interval") {
+            opt.statsInterval = parseNumber(next());
+        } else if (arg == "--stats-out") {
+            stats_out_path = next();
         } else if (arg == "--baseline") {
             with_baseline = true;
         } else if (arg == "--stats") {
@@ -169,6 +232,8 @@ main(int argc, char **argv)
     }
     if (workload_name.empty())
         usage();
+    if (!stats_out_path.empty() && !opt.statsInterval)
+        fatal("--stats-out needs --stats-interval");
     if (timeshare.empty() &&
         (cores || !sched.gang || !sched.migrate || sched.trace))
         warn("scheduler flags have no effect without --timeshare");
@@ -214,6 +279,8 @@ main(int argc, char **argv)
             std::printf("schedule trace (%zu decisions) written to %s\n",
                         s->trace().size(), sched_trace_path.c_str());
         }
+        writeTraceOutputs(out, trace_path, trace_csv_path,
+                          stats_out_path);
 
         if (with_baseline) {
             const RunResult base =
@@ -246,6 +313,7 @@ main(int argc, char **argv)
                 schemeName(scheme), w.name.c_str(),
                 static_cast<unsigned long long>(out.result.cycles),
                 out.result.ipc);
+    writeTraceOutputs(out, trace_path, trace_csv_path, stats_out_path);
 
     if (with_baseline) {
         const RunResult base = runScheme(w, Scheme::Baseline, opt);

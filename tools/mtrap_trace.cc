@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Trace-file schema validator: checks that a Chrome trace-event JSON
+ * file produced by mtrap_sim --trace (or a harness --trace-dir job)
+ * satisfies the contract Perfetto and chrome://tracing rely on —
+ * well-formed JSON, a traceEvents array, required fields per event,
+ * non-decreasing timestamps within each (pid, tid) track. CI runs this
+ * on a freshly produced trace so exporter regressions fail the build.
+ *
+ * Usage:
+ *   mtrap_trace --validate FILE
+ *
+ * Exit status 0 when the file validates; 1 with a diagnostic on stderr
+ * otherwise.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/chrome_trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3 || std::string(argv[1]) != "--validate") {
+        std::fprintf(stderr, "usage: mtrap_trace --validate FILE\n");
+        return 1;
+    }
+    const std::string path = argv[2];
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "mtrap_trace: cannot open %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << f.rdbuf();
+
+    std::string err;
+    if (!mtrap::validateChromeTrace(text.str(), err)) {
+        std::fprintf(stderr, "mtrap_trace: %s: INVALID: %s\n",
+                     path.c_str(), err.c_str());
+        return 1;
+    }
+    std::printf("%s: OK\n", path.c_str());
+    return 0;
+}
