@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -145,6 +146,63 @@ Cache::validLineCount() const
             ++n;
     });
     return n;
+}
+
+void
+Cache::saveState(Serializer &s) const
+{
+    // Touched sets, sparse, in ascending index order. Lines are
+    // trivially-copyable PODs; the format version covers their layout.
+    s.u32(lines_.touchedSetCount());
+    lines_.forEachTouchedSet([&](unsigned set, const CacheLine *base) {
+        s.u32(set);
+        s.raw(base, sizeof(CacheLine) * params_.assoc);
+    });
+
+    repl_->saveState(s);
+    s.vec(mshrFree_);
+
+    // FlatWordMap iteration order is unspecified; sort for a
+    // deterministic byte stream.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> fills_vec;
+    fills_vec.reserve(inflightFills_.size());
+    inflightFills_.forEach([&](std::uint64_t k, std::uint64_t v) {
+        fills_vec.emplace_back(k, v);
+    });
+    std::sort(fills_vec.begin(), fills_vec.end());
+    s.u64(fills_vec.size());
+    for (const auto &[k, v] : fills_vec) {
+        s.u64(k);
+        s.u64(v);
+    }
+}
+
+void
+Cache::restoreState(Deserializer &d)
+{
+    lines_.resetTouched();
+    const std::uint32_t touched = d.u32();
+    for (std::uint32_t i = 0; i < touched; ++i) {
+        const std::uint32_t set = d.u32();
+        if (set >= sets_)
+            throw SnapshotError("cache set index out of range");
+        d.raw(lines_.set(set), sizeof(CacheLine) * params_.assoc);
+    }
+
+    repl_->restoreState(d);
+    std::vector<Cycle> mshr;
+    d.vec(mshr);
+    if (mshr.size() != mshrFree_.size())
+        throw SnapshotError("MSHR slot count mismatch");
+    mshrFree_ = std::move(mshr);
+
+    inflightFills_.clear();
+    const std::uint64_t nfills = d.u64();
+    for (std::uint64_t i = 0; i < nfills; ++i) {
+        const std::uint64_t k = d.u64();
+        const std::uint64_t v = d.u64();
+        inflightFills_.put(k, v);
+    }
 }
 
 Cycle

@@ -28,6 +28,9 @@
 namespace mtrap
 {
 
+class Serializer;
+class Deserializer;
+
 /** Geometry and timing of one cache. */
 struct CacheParams
 {
@@ -126,6 +129,34 @@ class LineArray
     const CacheLine *setIfTouched(unsigned set) const
     {
         return const_cast<LineArray *>(this)->setIfTouched(set);
+    }
+
+    /** Visit every touched set in ascending index order: fn(set, base).
+     *  The deterministic sparse walk the snapshot layer serialises. */
+    template <typename Fn>
+    void forEachTouchedSet(Fn &&fn) const
+    {
+        for (unsigned s = 0; s < sets_; ++s) {
+            const CacheLine *base = setIfTouched(s);
+            if (base)
+                fn(s, base);
+        }
+    }
+
+    /** Count of touched (constructed) sets. */
+    unsigned touchedSetCount() const
+    {
+        unsigned n = 0;
+        for (std::uint64_t w : initBits_)
+            n += static_cast<unsigned>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** Forget every touched set (storage stays; sets re-construct on
+     *  next touch). Restore paths call this before repopulating. */
+    void resetTouched()
+    {
+        initBits_.assign(initBits_.size(), 0);
     }
 
     /** Visit every line of every touched set. */
@@ -255,6 +286,15 @@ class Cache
      * when the first fill does).
      */
     Cycle reserveMshr(Addr paddr, Cycle when, Cycle miss_latency);
+
+    /**
+     * Checkpoint the cache's mutable state: touched line sets (sparse),
+     * replacement-policy state, MSHR slots and in-flight fills. Stats
+     * sheets are handled by the System-level stats section. FilterCache
+     * extends this with its virtual-tag arrays.
+     */
+    virtual void saveState(Serializer &s) const;
+    virtual void restoreState(Deserializer &d);
 
     virtual ~Cache() = default;
 

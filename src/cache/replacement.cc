@@ -1,6 +1,7 @@
 #include "cache/replacement.hh"
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -62,6 +63,56 @@ Replacement::create(ReplPolicy p, unsigned sets, unsigned ways,
         return std::make_unique<TreePlruReplacement>(sets, ways);
     }
     panic("unknown replacement policy");
+}
+
+void
+Replacement::saveState(Serializer &s) const
+{
+    s.u64(stamp_);
+}
+
+void
+Replacement::restoreState(Deserializer &d)
+{
+    stamp_ = d.u64();
+}
+
+void
+RandomReplacement::saveState(Serializer &s) const
+{
+    Replacement::saveState(s);
+    std::uint64_t st[4];
+    rng_.saveState(st);
+    for (std::uint64_t w : st)
+        s.u64(w);
+}
+
+void
+RandomReplacement::restoreState(Deserializer &d)
+{
+    Replacement::restoreState(d);
+    std::uint64_t st[4];
+    for (std::uint64_t &w : st)
+        w = d.u64();
+    rng_.restoreState(st);
+}
+
+void
+TreePlruReplacement::saveState(Serializer &s) const
+{
+    Replacement::saveState(s);
+    s.vec(bits_);
+}
+
+void
+TreePlruReplacement::restoreState(Deserializer &d)
+{
+    Replacement::restoreState(d);
+    std::vector<std::uint8_t> bits;
+    d.vec(bits);
+    if (bits.size() != bits_.size())
+        throw SnapshotError("tree-plru bit array size mismatch");
+    bits_ = std::move(bits);
 }
 
 unsigned

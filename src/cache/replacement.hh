@@ -19,6 +19,9 @@
 namespace mtrap
 {
 
+class Serializer;
+class Deserializer;
+
 /** Replacement-policy selector. */
 enum class ReplPolicy : std::uint8_t { Lru, Fifo, Random, TreePlru };
 
@@ -76,6 +79,11 @@ class Replacement
                                                unsigned ways,
                                                std::uint64_t seed);
 
+    /** Checkpoint the policy's state (stamp counter; subclasses append
+     *  RNG state / tree bits). */
+    virtual void saveState(Serializer &s) const;
+    virtual void restoreState(Deserializer &d);
+
   protected:
     enum class TouchKind : std::uint8_t { Stamp, CountOnly, Virtual };
 
@@ -110,6 +118,8 @@ class RandomReplacement : public Replacement
     explicit RandomReplacement(std::uint64_t seed) : rng_(seed) {}
     unsigned victim(unsigned set_idx, const CacheLine *set,
                     unsigned ways) override;
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
 
   private:
     Rng rng_;
@@ -125,6 +135,8 @@ class TreePlruReplacement : public Replacement
                     unsigned ways) override;
     void touched(unsigned set_idx, unsigned way, CacheLine &line) override;
     void filled(unsigned set_idx, unsigned way, CacheLine &line) override;
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
 
   private:
     void mark(unsigned set_idx, unsigned way);

@@ -1,0 +1,103 @@
+#include "common/checked_io.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace mtrap
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwIoError(const std::string &what, const std::string &path,
+             const char *stage)
+{
+    throw std::runtime_error("cannot write " + what + " '" + path + "': "
+                             + stage + " failed");
+}
+
+} // namespace
+
+void
+writeFileChecked(const std::string &path, const std::string &contents,
+                 const std::string &what)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throwIoError(what, path, "open");
+    os.write(contents.data(),
+             static_cast<std::streamsize>(contents.size()));
+    os.flush();
+    if (!os)
+        throwIoError(what, path, "write");
+    os.close();
+    if (os.fail())
+        throwIoError(what, path, "close");
+}
+
+void
+writeFileCheckedOrDie(const std::string &path, const std::string &contents,
+                      const std::string &what)
+{
+    try {
+        writeFileChecked(path, contents, what);
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+}
+
+CheckedOfstream::CheckedOfstream(const std::string &path,
+                                 const std::string &what)
+    : os_(path, std::ios::binary | std::ios::trunc), path_(path),
+      what_(what)
+{
+    if (!os_)
+        throwIoError(what_, path_, "open");
+}
+
+CheckedOfstream::~CheckedOfstream()
+{
+    if (!finished_) {
+        // Last-ditch check: a destructor cannot throw, so a failure
+        // here is a programming error (caller skipped finish()).
+        os_.flush();
+        if (!os_)
+            panic("unchecked write failure on %s '%s'", what_.c_str(),
+                  path_.c_str());
+    }
+}
+
+void
+CheckedOfstream::finish()
+{
+    finished_ = true;
+    os_.flush();
+    if (!os_)
+        throwIoError(what_, path_, "write");
+    os_.close();
+    if (os_.fail())
+        throwIoError(what_, path_, "close");
+}
+
+void
+writeFileAtomicChecked(const std::string &path, const std::string &contents,
+                       const std::string &what)
+{
+    // Unique per process+call; concurrent writers never share a temp.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid())
+                            + "." + std::to_string(counter.fetch_add(1));
+    writeFileChecked(tmp, contents, what);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throwIoError(what, path, "rename");
+    }
+}
+
+} // namespace mtrap

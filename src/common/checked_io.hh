@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Checked artifact writing: every file the simulator emits (stats JSON,
+ * CSV tables, traces, snapshots) goes through writeFileChecked /
+ * CheckedOfstream so a bad path, full disk or failed flush fails loudly
+ * instead of silently truncating the artifact.
+ */
+
+#ifndef MTRAP_COMMON_CHECKED_IO_HH
+#define MTRAP_COMMON_CHECKED_IO_HH
+
+#include <fstream>
+#include <string>
+
+namespace mtrap
+{
+
+/**
+ * Write `contents` to `path`, throwing std::runtime_error with a
+ * descriptive message if the file cannot be opened or any write/flush
+ * fails. `what` names the artifact for the error message ("stats JSON",
+ * "snapshot", ...).
+ */
+void writeFileChecked(const std::string &path, const std::string &contents,
+                      const std::string &what);
+
+/**
+ * Like writeFileChecked but exits via fatal() instead of throwing —
+ * for tool main()s where an I/O failure is a user-facing error.
+ */
+void writeFileCheckedOrDie(const std::string &path,
+                           const std::string &contents,
+                           const std::string &what);
+
+/**
+ * Streaming flavour for writers that build output incrementally: wraps
+ * std::ofstream and verifies open at construction and stream health at
+ * finish(). finish() flushes, closes and throws std::runtime_error on
+ * any recorded failure; the destructor calls finish() if it has not run
+ * (and terminates on failure, so callers must finish() explicitly on
+ * paths that should report errors).
+ */
+class CheckedOfstream
+{
+  public:
+    CheckedOfstream(const std::string &path, const std::string &what);
+    ~CheckedOfstream();
+
+    CheckedOfstream(const CheckedOfstream &) = delete;
+    CheckedOfstream &operator=(const CheckedOfstream &) = delete;
+
+    std::ofstream &stream() { return os_; }
+    operator std::ostream &() { return os_; }
+
+    /** Flush, close and verify; throws std::runtime_error on failure. */
+    void finish();
+
+  private:
+    std::ofstream os_;
+    std::string path_;
+    std::string what_;
+    bool finished_ = false;
+};
+
+/**
+ * Atomically replace `path` with `contents`: write to a unique sibling
+ * temp file, fsync-free flush-and-check, then rename over `path`.
+ * Concurrent writers of identical content race benignly (rename is
+ * atomic); readers never observe a partial file. Throws
+ * std::runtime_error on failure.
+ */
+void writeFileAtomicChecked(const std::string &path,
+                            const std::string &contents,
+                            const std::string &what);
+
+} // namespace mtrap
+
+#endif // MTRAP_COMMON_CHECKED_IO_HH

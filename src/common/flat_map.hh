@@ -94,6 +94,26 @@ class FlatWordMap
                 put(s.key, s.value);
     }
 
+    /**
+     * Visit every (key, value) pair. Order is the internal slot order
+     * (unspecified); callers needing a deterministic byte stream — the
+     * snapshot layer — must sort what they collect.
+     */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_)
+            if (s.key != kEmptyKey)
+                fn(s.key, s.value);
+    }
+
+    /** Drop every entry, keeping the current capacity. */
+    void clear()
+    {
+        slots_.assign(slots_.size(), Slot{kEmptyKey, 0});
+        size_ = 0;
+    }
+
   private:
     struct Slot
     {

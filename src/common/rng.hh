@@ -36,6 +36,20 @@ class Rng
     /** Uniform in [lo, hi] inclusive. */
     std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
 
+    /** Internal state, for checkpoint save/restore. */
+    void saveState(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = s_[i];
+    }
+
+    /** Overwrite the internal state from a checkpoint. */
+    void restoreState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = in[i];
+    }
+
   private:
     std::uint64_t s_[4];
 };

@@ -250,6 +250,31 @@ class StatGroup
     void visit(const std::function<void(const std::string &path,
                                         const StatView &stat)> &fn) const;
 
+    /**
+     * Pre-order walk over this group and every descendant, in
+     * registration order — the deterministic traversal the snapshot
+     * layer pairs with sheet() to memcpy all telemetry in one pass.
+     */
+    template <typename Fn>
+    void forEachGroup(Fn &&fn)
+    {
+        fn(*this);
+        for (StatGroup *c = firstChild_; c; c = c->nextSibling_)
+            c->forEachGroup(fn);
+    }
+
+    template <typename Fn>
+    void forEachGroup(Fn &&fn) const
+    {
+        fn(*this);
+        for (const StatGroup *c = firstChild_; c; c = c->nextSibling_)
+            c->forEachGroup(fn);
+    }
+
+    /** The raw telemetry sheet (kSheetWords words): checkpoint access. */
+    std::uint64_t *sheet() { return words_; }
+    const std::uint64_t *sheet() const { return words_; }
+
     // --- binding API (used by the typed handles below) -------------------
     std::uint64_t *bindWords(const char *name, const char *desc,
                              StatKind kind, std::uint32_t words,

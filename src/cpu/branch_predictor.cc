@@ -1,6 +1,7 @@
 #include "cpu/branch_predictor.hh"
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -172,6 +173,48 @@ BranchPredictor::restore(const Snapshot &s)
     globalHistory_ = s.globalHistory;
     ras_ = s.ras;
     rasTop_ = s.rasTop;
+}
+
+void
+BranchPredictor::saveState(Serializer &s) const
+{
+    s.vec(localHistory_);
+    s.vec(localCounters_);
+    s.vec(globalCounters_);
+    s.vec(chooser_);
+    s.u64(globalHistory_);
+    s.u64(btb_.size());
+    for (const BtbEntry &e : btb_) {
+        s.u64(e.pc);
+        s.u64(e.target);
+    }
+    s.vec(ras_);
+    s.u32(rasTop_);
+}
+
+void
+BranchPredictor::restoreState(Deserializer &d)
+{
+    auto restoreSized = [&](auto &v, const char *what) {
+        std::remove_reference_t<decltype(v)> in;
+        d.vec(in);
+        if (in.size() != v.size())
+            throw SnapshotError(std::string(what) + " size mismatch");
+        v = std::move(in);
+    };
+    restoreSized(localHistory_, "local history");
+    restoreSized(localCounters_, "local counters");
+    restoreSized(globalCounters_, "global counters");
+    restoreSized(chooser_, "chooser");
+    globalHistory_ = d.u64();
+    if (d.u64() != btb_.size())
+        throw SnapshotError("BTB size mismatch");
+    for (BtbEntry &e : btb_) {
+        e.pc = d.u64();
+        e.target = d.u64();
+    }
+    restoreSized(ras_, "RAS");
+    rasTop_ = d.u32();
 }
 
 } // namespace mtrap

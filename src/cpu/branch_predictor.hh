@@ -23,6 +23,9 @@
 namespace mtrap
 {
 
+class Serializer;
+class Deserializer;
+
 /** Predictor sizing. */
 struct BranchPredictorParams
 {
@@ -78,6 +81,10 @@ class BranchPredictor
      *  the checkpoint-pool path, taken on every mispredict). */
     void snapshotInto(Snapshot &s) const;
     void restore(const Snapshot &s);
+
+    /** Checkpoint every table (histories, counters, BTB, RAS). */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     unsigned counterIndexLocal(Addr pc);

@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "perf/odometer.hh"
 #include "sim/mem_system.hh"
+#include "snapshot/snapshot.hh"
 #include "trace/trace.hh"
 
 namespace mtrap
@@ -158,6 +159,225 @@ Core::contextSwitch(const ArchContext &next)
     fetchedThisCycle_ = 0;
     ++contextSwitches;
     setContext(next);
+}
+
+// --------------------------------------------------------------------------
+// Checkpointing
+// --------------------------------------------------------------------------
+
+void
+saveArchContext(Serializer &s, const ArchContext &ctx)
+{
+    s.u32(ctx.asid);
+    s.u64(ctx.pc);
+    for (std::uint64_t r : ctx.regs)
+        s.u64(r);
+    s.vec(ctx.callStack);
+    s.b(ctx.halted);
+}
+
+void
+restoreArchContext(Deserializer &d, ArchContext &ctx)
+{
+    // ctx.program is deliberately untouched: the caller re-installs it.
+    ctx.asid = d.u32();
+    ctx.pc = d.u64();
+    for (std::uint64_t &r : ctx.regs)
+        r = d.u64();
+    d.vec(ctx.callStack);
+    ctx.halted = d.b();
+}
+
+namespace
+{
+
+void
+saveBpredSnapshot(Serializer &s, const BranchPredictor::Snapshot &b)
+{
+    s.u64(b.globalHistory);
+    s.vec(b.ras);
+    s.u32(b.rasTop);
+}
+
+void
+restoreBpredSnapshot(Deserializer &d, BranchPredictor::Snapshot &b)
+{
+    b.globalHistory = d.u64();
+    d.vec(b.ras);
+    b.rasTop = d.u32();
+}
+
+void
+saveFuPool(Serializer &s, const std::array<Cycle, 16> &until)
+{
+    for (Cycle c : until)
+        s.u64(c);
+}
+
+void
+restoreFuPool(Deserializer &d, std::array<Cycle, 16> &until)
+{
+    for (Cycle &c : until)
+        c = d.u64();
+}
+
+} // namespace
+
+void
+Core::saveState(Serializer &s) const
+{
+    // Architectural state.
+    saveArchContext(s, ctx_);
+    for (Cycle c : regDone_)
+        s.u64(c);
+    for (Cycle c : regTaint_)
+        s.u64(c);
+
+    // Fetch / window clocks.
+    s.u64(nextSeq_);
+    s.u64(fetchCycle_);
+    s.u32(fetchedThisCycle_);
+    s.u64(lastIfetchLine_);
+
+    // The in-flight window, oldest first. Entries are 64-byte PODs.
+    s.u64(winCount_);
+    for (std::size_t i = 0; i < winCount_; ++i)
+        s.raw(&winBuf_[(winHead_ + i) & winMask_], sizeof(WinEntry));
+
+    s.u32(loadsInFlight_);
+    s.u32(storesInFlight_);
+    s.u64(lastCommitC_);
+    s.u64(commitSlotCycle_);
+    s.u32(commitsInSlot_);
+    s.u64(lastBranchDone_);
+    s.u64(committedEver_);
+
+    // Wrong-path checkpoint stack (live prefix only).
+    s.u64(specDepth_);
+    for (std::size_t i = 0; i < specDepth_; ++i) {
+        const Checkpoint &cp = specStack_[i];
+        for (std::uint64_t r : cp.regs)
+            s.u64(r);
+        for (Cycle c : cp.regDone)
+            s.u64(c);
+        for (Cycle c : cp.regTaint)
+            s.u64(c);
+        s.vec(cp.callStack);
+        s.u64(cp.correctPc);
+        s.u64(cp.resolveAt);
+        s.u64(cp.firstWrongSeq);
+        s.u64(cp.lastCommitC);
+        s.u64(cp.commitSlotCycle);
+        s.u32(cp.commitsInSlot);
+        s.u64(cp.lastBranchDone);
+        s.u64(cp.lastIfetchLine);
+        saveBpredSnapshot(s, cp.bpred);
+    }
+
+    // Functional-unit next-free clocks (counts are configuration).
+    saveFuPool(s, intUnits_.until);
+    saveFuPool(s, fpUnits_.until);
+    saveFuPool(s, mulUnits_.until);
+    saveFuPool(s, memUnits_.until);
+
+    // Store buffer + presence filter.
+    s.u64(storeBuffer_.size());
+    for (const BufferedStore &b : storeBuffer_) {
+        s.u64(b.vaddr);
+        s.u64(b.seq);
+        s.u64(b.value);
+    }
+    s.u64(sbPresence_);
+
+    bpred_.saveState(s);
+}
+
+void
+Core::restoreState(Deserializer &d)
+{
+    restoreArchContext(d, ctx_);
+    for (Cycle &c : regDone_)
+        c = d.u64();
+    for (Cycle &c : regTaint_)
+        c = d.u64();
+
+    nextSeq_ = d.u64();
+    fetchCycle_ = d.u64();
+    fetchedThisCycle_ = d.u32();
+    lastIfetchLine_ = d.u64();
+
+    const std::uint64_t wc = d.u64();
+    if (wc > winBuf_.size())
+        throw SnapshotError("window occupancy exceeds ROB capacity");
+    winHead_ = 0;
+    winCount_ = static_cast<std::size_t>(wc);
+    for (std::size_t i = 0; i < winCount_; ++i)
+        d.raw(&winBuf_[i], sizeof(WinEntry));
+
+    loadsInFlight_ = d.u32();
+    storesInFlight_ = d.u32();
+    lastCommitC_ = d.u64();
+    commitSlotCycle_ = d.u64();
+    commitsInSlot_ = d.u32();
+    lastBranchDone_ = d.u64();
+    committedEver_ = d.u64();
+
+    const std::uint64_t depth = d.u64();
+    if (depth > 4096)
+        throw SnapshotError("implausible checkpoint-stack depth");
+    if (specStack_.size() < depth)
+        specStack_.resize(depth);
+    specDepth_ = static_cast<std::size_t>(depth);
+    for (std::size_t i = 0; i < specDepth_; ++i) {
+        Checkpoint &cp = specStack_[i];
+        for (std::uint64_t &r : cp.regs)
+            r = d.u64();
+        for (Cycle &c : cp.regDone)
+            c = d.u64();
+        for (Cycle &c : cp.regTaint)
+            c = d.u64();
+        d.vec(cp.callStack);
+        cp.correctPc = d.u64();
+        cp.resolveAt = d.u64();
+        cp.firstWrongSeq = d.u64();
+        cp.lastCommitC = d.u64();
+        cp.commitSlotCycle = d.u64();
+        cp.commitsInSlot = d.u32();
+        cp.lastBranchDone = d.u64();
+        cp.lastIfetchLine = d.u64();
+        restoreBpredSnapshot(d, cp.bpred);
+    }
+
+    restoreFuPool(d, intUnits_.until);
+    restoreFuPool(d, fpUnits_.until);
+    restoreFuPool(d, mulUnits_.until);
+    restoreFuPool(d, memUnits_.until);
+
+    const std::uint64_t sb = d.u64();
+    if (sb > params_.sqSize)
+        throw SnapshotError("store-buffer occupancy exceeds SQ capacity");
+    storeBuffer_.clear();
+    storeBuffer_.reserve(sb);
+    for (std::uint64_t i = 0; i < sb; ++i) {
+        BufferedStore b;
+        b.vaddr = d.u64();
+        b.seq = d.u64();
+        b.value = d.u64();
+        storeBuffer_.push_back(b);
+    }
+    sbPresence_ = d.u64();
+
+    bpred_.restoreState(d);
+
+    // Restore never carries a commit budget: that belongs to the active
+    // run() call, not the machine.
+    commitStop_ = kNoCommitStop;
+    budgetStall_ = false;
+
+    // The decode cache is observably transparent; drop it and re-bind
+    // the (caller-installed) program's decoded stream.
+    decodeCache_.clear();
+    bindDecoded();
 }
 
 // --------------------------------------------------------------------------

@@ -98,6 +98,12 @@ struct ArchContext
     bool halted = false;
 };
 
+/** Checkpoint an ArchContext minus its Program pointer (pointers do
+ *  not survive a process boundary; restore keeps whatever program the
+ *  caller installed, and callers re-bind it afterwards). */
+void saveArchContext(Serializer &s, const ArchContext &ctx);
+void restoreArchContext(Deserializer &d, ArchContext &ctx);
+
 /**
  * One out-of-order core.
  */
@@ -198,6 +204,28 @@ class Core
     /** Architectural register view (for tests and workload setup). */
     std::uint64_t reg(unsigned idx) const { return ctx_.regs.at(idx); }
     void setReg(unsigned idx, std::uint64_t v) { ctx_.regs.at(idx) = v; }
+
+    /**
+     * Checkpoint the full microarchitectural state: architectural
+     * context, window ring, store buffer, checkpoint stack, predictor,
+     * functional-unit clocks. Nothing is drained first — in-flight
+     * wrong-path state rides along, which is what makes a restored run
+     * bit-identical to the uninterrupted one. The installed Program
+     * pointer is *not* serialized: restoreState keeps whichever program
+     * the caller (workload replay) installed and re-binds the decoded
+     * stream against it.
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
+
+    /** Swap in `p` as the running context's program and re-bind the
+     *  decoded stream. The scheduler's restore path re-attaches each
+     *  resident task's program after restoreState. */
+    void restoreProgramBinding(const Program *p)
+    {
+        ctx_.program = p;
+        bindDecoded();
+    }
 
   private:
     /** Sliding-window record of one in-flight (or wrong-path)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 #include "trace/trace.hh"
 
 namespace mtrap
@@ -86,6 +87,20 @@ SpecBuffer::holdsWord(Addr vaddr) const
 {
     const Addr word = vaddr & ~static_cast<Addr>(7);
     return std::find(slots_.begin(), slots_.end(), word) != slots_.end();
+}
+
+void
+SpecBuffer::saveState(Serializer &s) const
+{
+    s.deq(slots_);
+}
+
+void
+SpecBuffer::restoreState(Deserializer &d)
+{
+    d.deq(slots_);
+    if (slots_.size() > params_.entries)
+        throw SnapshotError("spec buffer occupancy exceeds capacity");
 }
 
 } // namespace mtrap

@@ -28,6 +28,8 @@ namespace mtrap
 {
 
 class Tracer;
+class Serializer;
+class Deserializer;
 
 /** Speculative-buffer configuration. */
 struct SpecBufferParams
@@ -72,6 +74,10 @@ class SpecBuffer
      * entry. True only for an exact word match.
      */
     bool holdsWord(Addr vaddr) const;
+
+    /** Checkpoint the occupied slots. */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     SpecBufferParams params_;

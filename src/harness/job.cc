@@ -1,9 +1,9 @@
 #include "harness/job.hh"
 
 #include <chrono>
-#include <fstream>
 #include <stdexcept>
 
+#include "common/checked_io.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "trace/chrome_trace.hh"
@@ -22,11 +22,10 @@ writeJobTrace(const JobSpec &job, RunOutput &out)
 {
     if (job.tracePath.empty())
         return;
-    std::ofstream f(job.tracePath);
-    if (!f)
-        throw std::runtime_error("cannot open trace file "
-                                 + job.tracePath);
-    writeChromeTrace(*out.system->tracer(), out.statSeries.get(), f);
+    CheckedOfstream f(job.tracePath, "job trace");
+    writeChromeTrace(*out.system->tracer(), out.statSeries.get(),
+                     f.stream());
+    f.finish();
 }
 
 /** Wall-clock seconds since `t0` (host telemetry only). */

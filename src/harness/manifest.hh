@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Resume manifest for sharded sweeps (mtrap_batch --resume).
+ *
+ * A manifest is an append-only text file with one record per
+ * *successfully* completed job, written from runSuite's (serialised)
+ * completion callback and flushed per line. Restarting a killed shard
+ * with the same manifest skips every recorded job and merges the
+ * recorded results back into the suite's result set, so the rendered
+ * table and archived artifacts are identical to an uninterrupted run.
+ *
+ * Failed jobs are never recorded — they re-run on resume. A record is
+ * self-delimiting (version tag up front, "#end" sentinel at the back),
+ * so a half-written final line from a killed process is simply skipped
+ * and its job re-runs. Doubles round-trip through %.17g, which is
+ * exact, keeping resumed artifacts byte-identical.
+ */
+
+#ifndef MTRAP_HARNESS_MANIFEST_HH
+#define MTRAP_HARNESS_MANIFEST_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/job.hh"
+
+namespace mtrap::harness
+{
+
+/**
+ * Encode one completed job as a single manifest line (no trailing
+ * newline). Tabs/newlines inside strings are replaced by spaces — no
+ * suite uses them, and a lossy name beats a corrupt record.
+ */
+std::string resumeManifestLine(const JobResult &r);
+
+/**
+ * Load every well-formed record for `suite` from `path`. A missing
+ * file is an empty manifest (first run); malformed or truncated lines
+ * are skipped. Later records win on duplicate job indices (a job
+ * completed twice across restarts is recorded twice, identically).
+ */
+std::vector<JobResult> loadResumeManifest(const std::string &path,
+                                          const std::string &suite);
+
+} // namespace mtrap::harness
+
+#endif // MTRAP_HARNESS_MANIFEST_HH

@@ -1,11 +1,15 @@
 #include "harness/suites.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 
 #include "common/log.hh"
+#include "harness/manifest.hh"
 #include "harness/sweep.hh"
 #include "sim/mem_system.hh"
 #include "workload/attacks.hh"
@@ -430,15 +434,53 @@ int
 runSuite(const Suite &suite, ExperimentPool &pool, bool render_table,
          ResultStore *store, const SuiteRunOptions &run_opt)
 {
-    Suite traced_suite;
+    Suite local_suite;
     const Suite *to_run = &suite;
-    if (!run_opt.traceDir.empty()) {
-        traced_suite = suite;
-        for (JobSpec &j : traced_suite.jobs)
-            j.tracePath = run_opt.traceDir + "/" + traced_suite.name
-                          + "_" + std::to_string(j.index)
-                          + ".trace.json";
-        to_run = &traced_suite;
+    std::vector<JobResult> prior;
+    if (!run_opt.traceDir.empty() || !run_opt.warmSnapshotDir.empty()
+        || !run_opt.resumeManifest.empty()) {
+        local_suite = suite;
+        for (JobSpec &j : local_suite.jobs) {
+            if (!run_opt.traceDir.empty())
+                j.tracePath = run_opt.traceDir + "/" + local_suite.name
+                              + "_" + std::to_string(j.index)
+                              + ".trace.json";
+            if (!run_opt.warmSnapshotDir.empty())
+                j.opt.warmSnapshotDir = run_opt.warmSnapshotDir;
+        }
+        if (!run_opt.resumeManifest.empty()) {
+            prior = loadResumeManifest(run_opt.resumeManifest,
+                                       suite.name);
+            std::set<std::size_t> recorded;
+            for (const JobResult &r : prior)
+                recorded.insert(r.index);
+            auto &jobs = local_suite.jobs;
+            jobs.erase(std::remove_if(jobs.begin(), jobs.end(),
+                                      [&](const JobSpec &j) {
+                                          return recorded.count(j.index)
+                                                 != 0;
+                                      }),
+                       jobs.end());
+            if (!prior.empty())
+                std::fprintf(stderr,
+                             "%s: resume — %zu job(s) already in %s, "
+                             "%zu to run\n",
+                             suite.name.c_str(), prior.size(),
+                             run_opt.resumeManifest.c_str(),
+                             jobs.size());
+        }
+        to_run = &local_suite;
+    }
+
+    // The manifest is append-only and flushed per record; the pool's
+    // completion callback is serialised, so no locking is needed.
+    std::ofstream manifest;
+    if (!run_opt.resumeManifest.empty()) {
+        manifest.open(run_opt.resumeManifest,
+                      std::ios::out | std::ios::app);
+        if (!manifest)
+            fatal("cannot open resume manifest %s for append",
+                  run_opt.resumeManifest.c_str());
     }
 
     // Legacy progress lines fire when a whole row (workload) or column
@@ -457,6 +499,13 @@ runSuite(const Suite &suite, ExperimentPool &pool, bool render_table,
     std::vector<JobResult> results = pool.run(
         to_run->jobs, [&](const JobResult &r) {
             ++done;
+            if (manifest.is_open() && r.ok) {
+                manifest << resumeManifestLine(r) << '\n';
+                manifest.flush();
+                if (!manifest)
+                    fatal("write to resume manifest %s failed",
+                          run_opt.resumeManifest.c_str());
+            }
             if (run_opt.perJobProgress) {
                 const double elapsed =
                     std::chrono::duration<double>(
@@ -483,6 +532,12 @@ runSuite(const Suite &suite, ExperimentPool &pool, bool render_table,
                 std::fprintf(stderr, "%s: %s done\n",
                              suite.name.c_str(), key.c_str());
         });
+
+    // Recorded results from previous attempts rejoin the live ones;
+    // renderers and the store match on (row, col, kind) / sort by
+    // index, so the merged set is indistinguishable from one run.
+    for (JobResult &r : prior)
+        results.push_back(std::move(r));
 
     int rc = 0;
     for (const JobResult &r : results) {

@@ -66,6 +66,19 @@ struct SuiteRunOptions
     /** When non-empty, every job runs traced and writes Chrome
      *  trace-event JSON to DIR/<suite>_<index>.trace.json. */
     std::string traceDir;
+    /** When non-empty, every job warm-forks through this snapshot
+     *  cache directory (RunOptions::warmSnapshotDir): jobs sharing a
+     *  (config, context) fingerprint pair warm up once and restore
+     *  thereafter, with bit-identical results. */
+    std::string warmSnapshotDir;
+    /**
+     * When non-empty, completed jobs are appended to this manifest
+     * file (flushed per job) and jobs already recorded in it are
+     * skipped, their recorded results merged back into the table
+     * (mtrap_batch --resume). A killed shard restarted with the same
+     * manifest finishes only the missing jobs, byte-identically.
+     */
+    std::string resumeManifest;
 };
 
 /**

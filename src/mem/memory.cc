@@ -1,6 +1,9 @@
 #include "mem/memory.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -53,6 +56,40 @@ Addr
 MainMemory::rowOf(Addr addr) const
 {
     return addr / params_.rowBytes;
+}
+
+void
+MainMemory::saveState(Serializer &s) const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> words;
+    words.reserve(store_.size());
+    store_.forEach([&](std::uint64_t k, std::uint64_t v) {
+        words.emplace_back(k, v);
+    });
+    std::sort(words.begin(), words.end());
+    s.u64(words.size());
+    for (const auto &[k, v] : words) {
+        s.u64(k);
+        s.u64(v);
+    }
+    s.vec(openRow_);
+}
+
+void
+MainMemory::restoreState(Deserializer &d)
+{
+    store_.clear();
+    const std::uint64_t n = d.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t k = d.u64();
+        const std::uint64_t v = d.u64();
+        store_.put(k, v);
+    }
+    std::vector<Addr> rows;
+    d.vec(rows);
+    if (rows.size() != openRow_.size())
+        throw SnapshotError("memory bank count mismatch");
+    openRow_ = std::move(rows);
 }
 
 Cycle

@@ -23,6 +23,9 @@
 namespace mtrap
 {
 
+class Serializer;
+class Deserializer;
+
 /** Timing parameters for the DRAM model (defaults ~ DDR3-1600 in core
  *  cycles at 2 GHz, matching Table 1's "DDR3-1600 11-11-11-28"). */
 struct MemoryParams
@@ -76,6 +79,11 @@ class MainMemory
     std::size_t footprintWords() const { return store_.size(); }
 
     const MemoryParams &params() const { return params_; }
+
+    /** Checkpoint the word store (sorted by address for deterministic
+     *  bytes) and the per-bank open rows. */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     unsigned bankOf(Addr addr) const;

@@ -1,6 +1,7 @@
 #include "muontrap/controller.hh"
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 #include "trace/trace.hh"
 
 namespace mtrap
@@ -113,6 +114,28 @@ MuonTrapCore::flush(FlushReason reason, Cycle when)
         instFilter_->flashClear();
     if (filterTlb_)
         filterTlb_->flush();
+}
+
+void
+MuonTrapCore::saveState(Serializer &s) const
+{
+    if (dataFilter_)
+        dataFilter_->saveState(s);
+    if (instFilter_)
+        instFilter_->saveState(s);
+    if (filterTlb_)
+        filterTlb_->saveState(s);
+}
+
+void
+MuonTrapCore::restoreState(Deserializer &d)
+{
+    if (dataFilter_)
+        dataFilter_->restoreState(d);
+    if (instFilter_)
+        instFilter_->restoreState(d);
+    if (filterTlb_)
+        filterTlb_->restoreState(d);
 }
 
 } // namespace mtrap

@@ -23,6 +23,8 @@ namespace mtrap
 {
 
 class Tracer;
+class Serializer;
+class Deserializer;
 
 /** Full MuonTrap configuration. */
 struct MuonTrapConfig
@@ -102,6 +104,10 @@ class MuonTrapCore
 
     /** Route performed flushes into `tracer` (null disables). */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Checkpoint the owned filter structures (present ones only). */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     MuonTrapConfig cfg_;

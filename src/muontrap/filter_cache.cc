@@ -1,6 +1,7 @@
 #include "muontrap/filter_cache.hh"
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -153,6 +154,36 @@ FilterCache::presentValid(Addr paddr)
 {
     CacheLine *l = Cache::peek(paddr);
     return l && validBit_[wayOf(l)];
+}
+
+void
+FilterCache::saveState(Serializer &s) const
+{
+    Cache::saveState(s);
+    s.boolVec(validBit_);
+    s.u64(vtags_.size());
+    for (const VirtTag &t : vtags_) {
+        s.u64(t.vtag);
+        s.u32(t.asid);
+    }
+}
+
+void
+FilterCache::restoreState(Deserializer &d)
+{
+    Cache::restoreState(d);
+    std::vector<bool> valid;
+    d.boolVec(valid);
+    if (valid.size() != validBit_.size())
+        throw SnapshotError("filter-cache valid-bit count mismatch");
+    validBit_ = std::move(valid);
+    const std::uint64_t n = d.u64();
+    if (n != vtags_.size())
+        throw SnapshotError("filter-cache vtag count mismatch");
+    for (VirtTag &t : vtags_) {
+        t.vtag = d.u64();
+        t.asid = d.u32();
+    }
 }
 
 } // namespace mtrap

@@ -96,6 +96,10 @@ class FilterCache : public Cache
      *  a checked variant for tests: is the line present *and* valid? */
     bool presentValid(Addr paddr);
 
+    /** Base cache state plus valid bits and virtual tags. */
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
+
   private:
     /** Register-file valid bit per line (parallel-clearable). */
     std::vector<bool> validBit_;

@@ -170,6 +170,44 @@ systemConstructChurnBody(const PerfOptions &opt)
     }
 }
 
+/**
+ * Snapshot-centric warm-fork shape: warm one 4-core MuonTrap machine,
+ * serialize it, then fork several fresh systems off the in-memory
+ * image and run a short measured slice from each — the sweep pattern
+ * mtrap_batch --warm-snapshot executes per cache hit. With the
+ * measured slices deliberately small, save/restore cost dominates, so
+ * the regression gate watches serialization throughput; the scenario
+ * also asserts the forks observe identical machines (same makespan),
+ * so a perf run can never bless a snapshot layer that drifted.
+ */
+void
+snapshotWarmForkBody(const PerfOptions &opt)
+{
+    constexpr std::uint64_t kCtx = 1;
+    const Workload w = buildParsecWorkload("canneal", 4);
+    const SystemConfig cfg = SystemConfig::forScheme(Scheme::MuonTrap, 4);
+
+    System warm(cfg);
+    warm.loadWorkload(w);
+    warm.run(opt.warmupInstructions);
+    const std::vector<std::uint8_t> image = warm.saveSnapshot(kCtx);
+
+    const unsigned forks = opt.quick ? 2 : 6;
+    const std::uint64_t slice = opt.measureInstructions / 8 + 1;
+    Cycle makespan = 0;
+    for (unsigned n = 0; n < forks; ++n) {
+        System sys(cfg);
+        sys.loadWorkload(w);
+        sys.restoreSnapshot(image, kCtx);
+        sys.run(slice);
+        if (n == 0)
+            makespan = sys.maxCommitCycle();
+        else if (sys.maxCommitCycle() != makespan)
+            throw std::runtime_error(
+                "snapshot warm-fork: forked runs diverged");
+    }
+}
+
 void
 attackVignetteBody(const PerfOptions &opt)
 {
@@ -283,6 +321,15 @@ defaultScenarios()
         "System-construction cost)";
     churn.body = systemConstructChurnBody;
     s.push_back(std::move(churn));
+
+    PerfScenario snap;
+    snap.name = "snapshot-warm-fork-muontrap";
+    snap.description =
+        "warm one 4-core MuonTrap machine, serialize it, fork several "
+        "fresh systems off the image and run short slices (tracks "
+        "snapshot save/restore cost and the warm-fork sweep shape)";
+    snap.body = snapshotWarmForkBody;
+    s.push_back(std::move(snap));
 
     PerfScenario attack;
     attack.name = "attack-spectre-prime-probe";

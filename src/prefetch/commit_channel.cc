@@ -1,6 +1,7 @@
 #include "prefetch/commit_channel.hh"
 
 #include "prefetch/stride_prefetcher.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -42,6 +43,31 @@ PrefetchCommitChannel::notifyCommit(const PrefetchNotify &n)
         return;
     }
     queue_.push_back(n);
+}
+
+void
+PrefetchCommitChannel::saveState(Serializer &s) const
+{
+    s.u64(queue_.size());
+    for (const PrefetchNotify &n : queue_) {
+        s.u64(n.pc);
+        s.u64(n.paddr);
+        s.u8(n.fillLevel);
+    }
+}
+
+void
+PrefetchCommitChannel::restoreState(Deserializer &d)
+{
+    queue_.clear();
+    const std::uint64_t n = d.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PrefetchNotify pn;
+        pn.pc = d.u64();
+        pn.paddr = d.u64();
+        pn.fillLevel = d.u8();
+        queue_.push_back(pn);
+    }
 }
 
 void

@@ -22,6 +22,8 @@ namespace mtrap
 {
 
 class StridePrefetcher;
+class Serializer;
+class Deserializer;
 
 /** One commit-time prefetcher notification. */
 struct PrefetchNotify
@@ -56,6 +58,10 @@ class PrefetchCommitChannel
     void drain();
 
     std::size_t pending() const { return queue_.size(); }
+
+    /** Checkpoint the pending notification queue. */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     StridePrefetcher *l2Prefetcher_;

@@ -2,6 +2,7 @@
 
 #include "coherence/bus.hh"
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -88,6 +89,31 @@ StridePrefetcher::reset()
 {
     for (auto &e : table_)
         e = Entry{};
+}
+
+void
+StridePrefetcher::saveState(Serializer &s) const
+{
+    s.u64(table_.size());
+    for (const Entry &e : table_) {
+        s.u64(e.pc);
+        s.u64(e.lastLine);
+        s.i64(e.stride);
+        s.u32(e.confidence);
+    }
+}
+
+void
+StridePrefetcher::restoreState(Deserializer &d)
+{
+    if (d.u64() != table_.size())
+        throw SnapshotError("prefetcher table size mismatch");
+    for (Entry &e : table_) {
+        e.pc = d.u64();
+        e.lastLine = d.u64();
+        e.stride = d.i64();
+        e.confidence = d.u32();
+    }
 }
 
 } // namespace mtrap

@@ -21,6 +21,8 @@ namespace mtrap
 {
 
 class CoherenceBus;
+class Serializer;
+class Deserializer;
 
 /** Stride-prefetcher configuration. */
 struct PrefetcherParams
@@ -51,6 +53,10 @@ class StridePrefetcher
 
     /** Drop all training state (context-switch hygiene in tests). */
     void reset();
+
+    /** Checkpoint the stride table. */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
     const PrefetcherParams &params() const { return params_; }
 

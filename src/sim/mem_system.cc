@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -122,6 +123,48 @@ MemSystem::setTracer(Tracer *tracer)
         s.mt->setTracer(tracer);
         s.spec->setTracer(tracer);
     }
+}
+
+void
+MemSystem::saveState(Serializer &s) const
+{
+    mem_->saveState(s);
+    l2_->saveState(s);
+    if (prefetcher_)
+        prefetcher_->saveState(s);
+    if (channel_)
+        channel_->saveState(s);
+    for (CoreId c = 0; c < params_.cores; ++c) {
+        l1d_[c]->saveState(s);
+        l1i_[c]->saveState(s);
+        dtlb_[c]->saveState(s);
+        itlb_[c]->saveState(s);
+        mt_[c]->saveState(s);
+        specBuffer_[c]->saveState(s);
+    }
+}
+
+void
+MemSystem::restoreState(Deserializer &d)
+{
+    mem_->restoreState(d);
+    l2_->restoreState(d);
+    if (prefetcher_)
+        prefetcher_->restoreState(d);
+    if (channel_)
+        channel_->restoreState(d);
+    for (CoreId c = 0; c < params_.cores; ++c) {
+        l1d_[c]->restoreState(d);
+        l1i_[c]->restoreState(d);
+        dtlb_[c]->restoreState(d);
+        itlb_[c]->restoreState(d);
+        mt_[c]->restoreState(d);
+        specBuffer_[c]->restoreState(d);
+    }
+    // The word caches are transparent; drop them rather than carrying
+    // their contents across the snapshot boundary.
+    for (FuncReadCache &fc : funcCache_)
+        fc = FuncReadCache{};
 }
 
 // --------------------------------------------------------------------------

@@ -143,6 +143,18 @@ class MemSystem final : public MemIface, public PtwAccessIface
     /** Like timeProbe, but through the instruction side (attack 6). */
     Cycle timeIfetchProbe(CoreId core, Asid asid, Addr vaddr);
 
+    /**
+     * Checkpoint the whole hierarchy: main memory word store, L2,
+     * prefetcher + commit channel (when enabled), then per core the
+     * L1s, TLBs, MuonTrap filters and spec buffer. The bus and walkers
+     * hold no mutable state beyond statistics. The functional word
+     * caches are observably transparent (miss and hit return the same
+     * value and cost zero cycles) and are reset on restore instead of
+     * being serialized.
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
+
   private:
     struct Translation
     {

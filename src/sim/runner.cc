@@ -1,9 +1,11 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -22,6 +24,111 @@ applySeed(SystemConfig &c, std::uint64_t seed)
     c.mem.l2.seed = mixSeeds(c.mem.l2.seed, seed);
     c.mem.mt.dataParams.seed = mixSeeds(c.mem.mt.dataParams.seed, seed);
     c.mem.mt.instParams.seed = mixSeeds(c.mem.mt.instParams.seed, seed);
+}
+
+/**
+ * Context fingerprint of a single-workload run: everything besides the
+ * SystemConfig that shapes the warm state. Two runs sharing (config
+ * fingerprint, context fingerprint) have bit-identical machines at the
+ * end of warmup — which is exactly what lets them share a snapshot.
+ */
+std::uint64_t
+runContextFingerprint(const Workload &w, const RunOptions &opt)
+{
+    Fingerprint fp;
+    fp.mix("single");
+    fp.mix(w.name);
+    fp.mix(w.asid);
+    fp.mix(w.threads());
+    fp.mix(opt.warmupInstructions);
+    fp.mix(opt.trace ? 1 : 0);
+    if (opt.trace)
+        fp.mix(opt.traceParams.bufferEntries);
+    return fp.value();
+}
+
+/** Context fingerprint of a scheduled mix run (admission order, asids
+ *  and scheduler policy all shape the warm state). */
+std::uint64_t
+mixContextFingerprint(const std::vector<Workload> &mix,
+                      const SchedParams &sched, const RunOptions &opt)
+{
+    Fingerprint fp;
+    fp.mix("mix");
+    fp.mix(mix.size());
+    for (const Workload &w : mix) {
+        fp.mix(w.name);
+        fp.mix(w.asid);
+        fp.mix(w.threads());
+    }
+    fp.mix(sched.quantum);
+    fp.mix(sched.gang ? 1 : 0);
+    fp.mix(sched.migrate ? 1 : 0);
+    fp.mix(sched.trace ? 1 : 0);
+    fp.mix(opt.warmupInstructions);
+    fp.mix(opt.trace ? 1 : 0);
+    if (opt.trace)
+        fp.mix(opt.traceParams.bufferEntries);
+    return fp.value();
+}
+
+std::string
+warmSnapshotPath(const std::string &dir, std::uint64_t cfg_fp,
+                 std::uint64_t ctx_fp)
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "/warm-%016llx-%016llx.snap",
+                  static_cast<unsigned long long>(cfg_fp),
+                  static_cast<unsigned long long>(ctx_fp));
+    return dir + name;
+}
+
+/**
+ * The warm phase of a run: restore from an explicit snapshot, hit the
+ * warm-fork cache, or execute the warmup (`warm`) — then publish the
+ * warm machine wherever the options ask. An unreadable or invalid
+ * warm-cache entry counts as a miss (the entry is rewarmed and
+ * atomically overwritten); an explicit --snapshot-in failure throws.
+ */
+template <typename WarmFn>
+void
+applyWarmPhase(System &sys, const RunOptions &opt, std::uint64_t ctx_fp,
+               WarmFn &&warm)
+{
+    bool restored = false;
+    std::string warm_path;
+    if (!opt.snapshotIn.empty()) {
+        sys.restoreSnapshotFile(opt.snapshotIn, ctx_fp);
+        restored = true;
+    } else if (!opt.warmSnapshotDir.empty()) {
+        warm_path = warmSnapshotPath(opt.warmSnapshotDir,
+                                     sys.configFingerprint(), ctx_fp);
+        bool valid = true;
+        std::vector<std::uint8_t> image;
+        try {
+            image = readSnapshotFile(warm_path);
+            // Validate the full framing (magic, version, fingerprints,
+            // CRC) before touching the machine: a failure here leaves
+            // the system pristine for the warmup fallback, while a
+            // failure inside restoreSnapshot (a fingerprint-matching
+            // yet inconsistent file) propagates loudly.
+            Deserializer probe(image, sys.configFingerprint(), ctx_fp);
+            (void)probe;
+        } catch (const SnapshotError &) {
+            valid = false;
+        }
+        if (valid) {
+            sys.restoreSnapshot(std::move(image), ctx_fp);
+            restored = true;
+        }
+    }
+
+    if (!restored)
+        warm();
+    if (!restored && !warm_path.empty())
+        sys.saveSnapshotFile(warm_path, ctx_fp);
+    if (!opt.snapshotOut.empty())
+        sys.saveSnapshotFile(opt.snapshotOut, ctx_fp);
 }
 
 } // namespace
@@ -43,8 +150,10 @@ runConfigured(const Workload &w, const SystemConfig &cfg,
         sys->attachTracer(opt.traceParams);
     sys->loadWorkload(w);
 
-    // Warm up caches, TLBs and predictors, then reset statistics.
-    sys->run(opt.warmupInstructions);
+    // Warm up caches, TLBs and predictors — or restore the warm
+    // machine from a snapshot — then reset statistics.
+    applyWarmPhase(*sys, opt, runContextFingerprint(w, opt),
+                   [&] { sys->run(opt.warmupInstructions); });
     sys->resetStats();
     const Cycle start = sys->maxCommitCycle();
 
@@ -116,7 +225,8 @@ runMixConfigured(const std::vector<Workload> &mix, const SystemConfig &cfg,
     }
 
     const std::uint64_t cores = c.cores;
-    sys->runScheduled(opt.warmupInstructions * cores);
+    applyWarmPhase(*sys, opt, mixContextFingerprint(mix, sched, opt),
+                   [&] { sys->runScheduled(opt.warmupInstructions * cores); });
     sys->resetStats();
     const Cycle start = sys->maxCommitCycle();
 

@@ -68,6 +68,33 @@ struct RunOptions
      * For mix runs the interval counts total commits across cores.
      */
     std::uint64_t statsInterval = 0;
+
+    /**
+     * Restore the machine from this snapshot file instead of running
+     * the warmup phase (mtrap_sim --snapshot-in). The file's config
+     * and context fingerprints must match this run's; any mismatch or
+     * corruption aborts loudly. The measured phase of a restored run
+     * is bit-identical to the monolithic one.
+     */
+    std::string snapshotIn;
+
+    /**
+     * After the warmup phase (or a restore), save a snapshot of the
+     * warm machine here (mtrap_sim --snapshot-out). Written
+     * atomically; any I/O failure aborts loudly.
+     */
+    std::string snapshotOut;
+
+    /**
+     * Warm-fork directory (mtrap_batch --warm-snapshot DIR): warm
+     * state is cached in DIR keyed by the (config, context)
+     * fingerprint pair. A hit skips the warmup phase entirely; a miss
+     * warms up and saves atomically, so concurrent sweep points racing
+     * on the same key are benign (identical writers). A cached file
+     * that fails validation (e.g. a format-version bump) is rewarmed
+     * and overwritten, never trusted.
+     */
+    std::string warmSnapshotDir;
 };
 
 /** Outcome of one measured run. */

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -109,6 +110,73 @@ Scheduler::placement(JobId job) const
     for (unsigned t = 0; t < jobThreads_[job]; ++t)
         cores.push_back(tasks_[jobFirstTask_[job] + t].core);
     return cores;
+}
+
+void
+Scheduler::saveState(Serializer &s) const
+{
+    s.u64(tasks_.size());
+    for (const Task &t : tasks_) {
+        saveArchContext(s, t.ctx);
+        s.b(t.started);
+        s.u32(t.core);
+    }
+    for (const CoreState &cs : cores_) {
+        s.vec(cs.queue);
+        s.i64(cs.resident);
+        s.u64(cs.done);
+        s.b(cs.parked);
+    }
+    s.i64(resumeCore_);
+    s.u64(switches_);
+    s.u64(migrations_);
+    s.u64(idleSlots_);
+    if (ownTracer_)
+        ownTracer_->saveState(s);
+}
+
+void
+Scheduler::restoreState(Deserializer &d)
+{
+    const std::uint64_t nt = d.u64();
+    if (nt != tasks_.size())
+        throw SnapshotError("scheduled task count mismatch");
+    for (Task &t : tasks_) {
+        restoreArchContext(d, t.ctx); // keeps t.ctx.program
+        t.started = d.b();
+        t.core = d.u32();
+        if (t.core >= cores_.size())
+            throw SnapshotError("task placed on nonexistent core");
+    }
+    for (CoreState &cs : cores_) {
+        d.vec(cs.queue);
+        for (int e : cs.queue)
+            if (e != kIdle &&
+                (e < 0 || static_cast<std::size_t>(e) >= tasks_.size()))
+                throw SnapshotError("run-queue entry out of range");
+        const std::int64_t res = d.i64();
+        if (res < -1 || res >= static_cast<std::int64_t>(tasks_.size()))
+            throw SnapshotError("resident task out of range");
+        cs.resident = static_cast<int>(res);
+        cs.done = d.u64();
+        cs.parked = d.b();
+    }
+    const std::int64_t rc = d.i64();
+    if (rc < -1 || rc >= static_cast<std::int64_t>(cores_.size()))
+        throw SnapshotError("resume core out of range");
+    resumeCore_ = static_cast<int>(rc);
+    switches_ = d.u64();
+    migrations_ = d.u64();
+    idleSlots_ = d.u64();
+    if (ownTracer_)
+        ownTracer_->restoreState(d);
+
+    // The cores restored their contexts minus the Program pointer;
+    // re-attach each resident task's program (installed by the
+    // replayed admission) and re-bind its decoded stream.
+    for (CoreState &cs : cores_)
+        if (cs.resident >= 0)
+            cs.core->restoreProgramBinding(tasks_[cs.resident].ctx.program);
 }
 
 bool

@@ -136,6 +136,19 @@ class Scheduler
     std::vector<SchedTraceRow> trace() const;
 
     /**
+     * Checkpoint the scheduling state: per-task contexts (minus their
+     * Program pointers — restore preserves the pointers the replayed
+     * admission installed and re-binds resident tasks onto their
+     * cores), per-core run queues / residency / decision-grid
+     * counters, the mid-chunk resume point, and the private
+     * --sched-trace ring when one exists. Call restoreState only after
+     * re-admitting the identical job set in the identical order (the
+     * context fingerprint enforces this from the outside).
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
+
+    /**
      * Route decision events into `tracer` (the System-owned tracer)
      * instead of the scheduler's private one. The private tracer — a
      * detached ring created only when SchedParams::trace is set — keeps

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -212,6 +213,206 @@ System::maxCommitCycle() const
     for (const auto &c : cores_)
         m = std::max(m, c->lastCommitCycle());
     return m;
+}
+
+// --------------------------------------------------------------------------
+// Checkpointing
+// --------------------------------------------------------------------------
+
+namespace
+{
+
+void
+mixCacheParams(Fingerprint &fp, const CacheParams &p)
+{
+    fp.mix(p.name.str());
+    fp.mix(p.sizeBytes);
+    fp.mix(p.assoc);
+    fp.mix(p.hitLatency);
+    fp.mix(p.mshrs);
+    fp.mix(static_cast<std::uint64_t>(p.repl));
+    fp.mix(p.seed);
+}
+
+void
+mixFilterCacheParams(Fingerprint &fp, const FilterCacheParams &p)
+{
+    fp.mix(p.name.str());
+    fp.mix(p.sizeBytes);
+    fp.mix(p.assoc);
+    fp.mix(p.hitLatency);
+    fp.mix(p.mshrs);
+    fp.mix(static_cast<std::uint64_t>(p.repl));
+    fp.mix(p.seed);
+}
+
+void
+mixTlbParams(Fingerprint &fp, const TlbParams &p)
+{
+    fp.mix(p.name.str());
+    fp.mix(p.entries);
+}
+
+} // namespace
+
+std::uint64_t
+System::configFingerprint() const
+{
+    Fingerprint fp;
+    fp.mix(cfg_.cores);
+
+    const CoreParams &cp = cfg_.core;
+    fp.mix(cp.fetchWidth);
+    fp.mix(cp.commitWidth);
+    fp.mix(cp.robSize);
+    fp.mix(cp.lqSize);
+    fp.mix(cp.sqSize);
+    fp.mix(cp.intAlus);
+    fp.mix(cp.fpAlus);
+    fp.mix(cp.mulDivs);
+    fp.mix(cp.memPorts);
+    fp.mix(cp.dispatchLatency);
+    fp.mix(cp.redirectPenalty);
+    fp.mix(cp.contextSwitchCost);
+    fp.mix(static_cast<std::uint64_t>(cp.defense));
+    fp.mix(cp.decodedFetch ? 1 : 0);
+    fp.mix(cp.bpred.localEntries);
+    fp.mix(cp.bpred.localHistoryBits);
+    fp.mix(cp.bpred.globalEntries);
+    fp.mix(cp.bpred.chooserEntries);
+    fp.mix(cp.bpred.btbEntries);
+    fp.mix(cp.bpred.rasEntries);
+
+    const MemSystemParams &mp = cfg_.mem;
+    fp.mix(mp.cores);
+    mixCacheParams(fp, mp.l1d);
+    mixCacheParams(fp, mp.l1i);
+    mixCacheParams(fp, mp.l2);
+    mixTlbParams(fp, mp.dtlb);
+    mixTlbParams(fp, mp.itlb);
+    fp.mix(mp.bus.transactionLatency);
+    fp.mix(mp.bus.remoteSupplyLatency);
+    fp.mix(mp.mem.rowHitLatency);
+    fp.mix(mp.mem.rowMissLatency);
+    fp.mix(mp.mem.banks);
+    fp.mix(mp.mem.rowBytes);
+    fp.mix(mp.prefetcher.tableEntries);
+    fp.mix(mp.prefetcher.confidenceThreshold);
+    fp.mix(mp.prefetcher.confidenceMax);
+    fp.mix(mp.prefetcher.degree);
+    fp.mix(mp.l2PrefetcherEnabled ? 1 : 0);
+
+    const MuonTrapConfig &mt = mp.mt;
+    fp.mix(mt.enabled ? 1 : 0);
+    fp.mix(mt.protectData ? 1 : 0);
+    fp.mix(mt.protectCoherence ? 1 : 0);
+    fp.mix(mt.instFilter ? 1 : 0);
+    fp.mix(mt.tlbFilter ? 1 : 0);
+    fp.mix(mt.commitPrefetch ? 1 : 0);
+    fp.mix(mt.clearOnMisspec ? 1 : 0);
+    fp.mix(mt.parallelL0L1 ? 1 : 0);
+    mixFilterCacheParams(fp, mt.dataParams);
+    mixFilterCacheParams(fp, mt.instParams);
+    fp.mix(mt.filterTlbEntries);
+
+    return fp.value();
+}
+
+std::vector<std::uint8_t>
+System::saveSnapshot(std::uint64_t ctx_fp) const
+{
+    Serializer s;
+
+    s.beginSection(kTagMemSystem);
+    mem_->saveState(s);
+    s.endSection();
+
+    for (const auto &c : cores_) {
+        s.beginSection(kTagCore);
+        c->saveState(s);
+        s.endSection();
+    }
+
+    if (sched_) {
+        s.beginSection(kTagScheduler);
+        sched_->saveState(s);
+        s.endSection();
+    }
+
+    if (tracer_) {
+        s.beginSection(kTagTracer);
+        tracer_->saveState(s);
+        s.endSection();
+    }
+
+    // Every stat sheet in the tree, pre-order. The walk is a pure
+    // function of the construction sequence, so save and restore see
+    // the same group list in the same order.
+    s.beginSection(kTagStats);
+    std::uint64_t groups = 0;
+    root_.forEachGroup([&](const StatGroup &) { ++groups; });
+    s.u64(groups);
+    root_.forEachGroup([&](const StatGroup &g) {
+        s.raw(g.sheet(), StatGroup::kSheetWords * sizeof(std::uint64_t));
+    });
+    s.endSection();
+
+    return frameSnapshot(s, configFingerprint(), ctx_fp);
+}
+
+void
+System::saveSnapshotFile(const std::string &path,
+                         std::uint64_t ctx_fp) const
+{
+    writeSnapshotFile(path, saveSnapshot(ctx_fp));
+}
+
+void
+System::restoreSnapshot(std::vector<std::uint8_t> image,
+                        std::uint64_t ctx_fp)
+{
+    Deserializer d(std::move(image), configFingerprint(), ctx_fp);
+
+    d.beginSection(kTagMemSystem);
+    mem_->restoreState(d);
+    d.endSection();
+
+    for (auto &c : cores_) {
+        d.beginSection(kTagCore);
+        c->restoreState(d);
+        d.endSection();
+    }
+
+    if (sched_) {
+        d.beginSection(kTagScheduler);
+        sched_->restoreState(d);
+        d.endSection();
+    }
+
+    if (tracer_) {
+        d.beginSection(kTagTracer);
+        tracer_->restoreState(d);
+        d.endSection();
+    }
+
+    d.beginSection(kTagStats);
+    std::uint64_t groups = 0;
+    root_.forEachGroup([&](const StatGroup &) { ++groups; });
+    if (d.u64() != groups)
+        throw SnapshotError("stat group count mismatch");
+    root_.forEachGroup([&](StatGroup &g) {
+        d.raw(g.sheet(), StatGroup::kSheetWords * sizeof(std::uint64_t));
+    });
+    d.endSection();
+
+    if (d.peekTag() != kTagEnd)
+        throw SnapshotError("unexpected trailing section");
+}
+
+void
+System::restoreSnapshotFile(const std::string &path, std::uint64_t ctx_fp)
+{
+    restoreSnapshot(readSnapshotFile(path), ctx_fp);
 }
 
 } // namespace mtrap

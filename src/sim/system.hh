@@ -118,6 +118,40 @@ class System
 
     void dumpStats(std::ostream &os) { root_.dump(os); }
 
+    /**
+     * 64-bit digest of every configuration field. Snapshot headers
+     * carry it; restore refuses an image taken under any other
+     * configuration (warm microarchitectural state is meaningless —
+     * and silently wrong — under different structural parameters).
+     */
+    std::uint64_t configFingerprint() const;
+
+    /**
+     * Serialize the whole machine — memory system, every core, the
+     * scheduler and tracer when attached, and all statistic sheets —
+     * into a snapshot image. Nothing is drained first: in-flight
+     * wrong-path state rides along, so a restored run replays the
+     * monolithic one bit for bit. `ctx_fp` tags the run context
+     * (workload identity + warmup position); restore validates it.
+     */
+    std::vector<std::uint8_t> saveSnapshot(std::uint64_t ctx_fp) const;
+    void saveSnapshotFile(const std::string &path,
+                          std::uint64_t ctx_fp) const;
+
+    /**
+     * Restore from a snapshot image. Precondition: this system was
+     * built from the same SystemConfig and the same workload
+     * loading/admission calls were replayed (loadWorkload /
+     * addScheduledWorkload install the Program pointers a snapshot
+     * cannot carry). Throws SnapshotError on any mismatch or
+     * corruption, leaving no partial state observable to callers that
+     * catch and rebuild.
+     */
+    void restoreSnapshot(std::vector<std::uint8_t> image,
+                         std::uint64_t ctx_fp);
+    void restoreSnapshotFile(const std::string &path,
+                             std::uint64_t ctx_fp);
+
   private:
     SystemConfig cfg_;
     StatGroup root_;

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -210,6 +211,38 @@ Tlb::flush()
         e.valid = false;
     freeMask_ = params_.entries > 64 ? 0 : allFreeMask_;
     ++flushes;
+}
+
+void
+Tlb::saveState(Serializer &s) const
+{
+    s.u64(entries_.size());
+    for (const TlbEntry &e : entries_) {
+        s.u32(e.asid);
+        s.u64(e.vpn);
+        s.u64(e.ppn);
+        s.u64(e.lastUse);
+        s.b(e.valid);
+    }
+    s.u64(freeMask_);
+    s.u64(stamp_);
+}
+
+void
+Tlb::restoreState(Deserializer &d)
+{
+    if (d.u64() != entries_.size())
+        throw SnapshotError("TLB entry count mismatch");
+    for (TlbEntry &e : entries_) {
+        e.asid = d.u32();
+        e.vpn = d.u64();
+        e.ppn = d.u64();
+        e.lastUse = d.u64();
+        e.valid = d.b();
+    }
+    freeMask_ = d.u64();
+    stamp_ = d.u64();
+    mru_ = nullptr;
 }
 
 unsigned

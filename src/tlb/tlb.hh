@@ -26,6 +26,9 @@
 namespace mtrap
 {
 
+class Serializer;
+class Deserializer;
+
 /**
  * Global virtual-to-physical mapping authority (one per simulated
  * system). Default mappings are a deterministic per-ASID hash; explicit
@@ -135,6 +138,12 @@ class Tlb
 
     unsigned validCount() const;
     unsigned capacity() const { return params_.entries; }
+
+    /** Checkpoint entries, LRU stamp and free mask. The MRU hint is
+     *  reset on restore: the fallback scan repeats the full compare and
+     *  counts identically, so behaviour is unchanged. */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     /** Associative scan behind the MRU fast path (takes the vpn). */

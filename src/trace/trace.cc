@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/snapshot.hh"
 
 namespace mtrap
 {
@@ -77,6 +78,29 @@ TraceBuffer::ordered() const
     return out;
 }
 
+void
+TraceBuffer::saveState(Serializer &s) const
+{
+    s.u64(count_);
+    s.u64(lastWhen_);
+    const std::size_t start = (head_ + ring_.size() - count_) & mask_;
+    for (std::size_t i = 0; i < count_; ++i)
+        s.raw(&ring_[(start + i) & mask_], sizeof(TraceEvent));
+}
+
+void
+TraceBuffer::restoreState(Deserializer &d)
+{
+    const std::uint64_t n = d.u64();
+    if (n > ring_.size())
+        throw SnapshotError("trace ring occupancy exceeds capacity");
+    lastWhen_ = d.u64();
+    count_ = static_cast<std::size_t>(n);
+    for (std::size_t i = 0; i < count_; ++i)
+        d.raw(&ring_[i], sizeof(TraceEvent));
+    head_ = count_ & mask_;
+}
+
 Tracer::Tracer(unsigned cores, const TraceParams &params, StatGroup *parent)
     : sched_(params.bufferEntries, /*clamp_monotonic=*/false),
       stats_("trace", parent),
@@ -120,6 +144,30 @@ Tracer::recordSched(CoreId core, TraceEventKind kind, Cycle when,
     ++recorded;
     if (sched_.push(e))
         ++dropped;
+}
+
+void
+Tracer::saveState(Serializer &s) const
+{
+    for (const TraceBuffer &b : perCore_)
+        b.saveState(s);
+    sched_.saveState(s);
+    s.u64(jobLabels_.size());
+    for (const std::string &l : jobLabels_)
+        s.str(l);
+}
+
+void
+Tracer::restoreState(Deserializer &d)
+{
+    for (TraceBuffer &b : perCore_)
+        b.restoreState(d);
+    sched_.restoreState(d);
+    const std::uint64_t n = d.u64();
+    d.checkCount(n, 1);
+    jobLabels_.assign(static_cast<std::size_t>(n), std::string());
+    for (std::string &l : jobLabels_)
+        l = d.str();
 }
 
 void

@@ -41,6 +41,9 @@
 namespace mtrap
 {
 
+class Serializer;
+class Deserializer;
+
 /** What happened (TraceEvent::kind). */
 enum class TraceEventKind : std::uint8_t
 {
@@ -116,6 +119,11 @@ class TraceBuffer
     /** Buffered events, oldest first. */
     std::vector<TraceEvent> ordered() const;
 
+    /** Checkpoint the buffered events (ring renormalised to slot 0;
+     *  only logical content and the monotonic clamp survive). */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
+
   private:
     std::vector<TraceEvent> ring_;
     std::size_t mask_ = 0;
@@ -163,6 +171,12 @@ class Tracer
 
     std::uint64_t recordedCount() const { return recorded.value(); }
     std::uint64_t droppedCount() const { return dropped.value(); }
+
+    /** Checkpoint every ring plus the job labels. Warmup-phase events
+     *  live in the rings, so a restored traced run must carry them to
+     *  reproduce the monolithic run's trace files byte for byte. */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     std::vector<TraceBuffer> perCore_;

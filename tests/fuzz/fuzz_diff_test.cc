@@ -36,6 +36,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -219,6 +220,9 @@ fuzzProgram(std::uint64_t seed, unsigned body_ops, unsigned iterations)
 struct FuzzResult
 {
     std::uint64_t trajectory = 0;
+    /** Trajectory hash after each commit chunk — pinpoints the first
+     *  divergent chunk for the snapshot repro hook. */
+    std::vector<std::uint64_t> chunkTrajectory;
     std::string statsJson;
     std::vector<std::array<std::uint64_t, kNumRegs>> regs;
     std::vector<bool> halted;
@@ -266,6 +270,7 @@ runFuzz(const std::vector<Program> &progs, Scheme scheme, bool decoded,
                 r.trajectory = fnv(r.trajectory, core.reg(i));
             all_halted = all_halted && core.halted();
         }
+        r.chunkTrajectory.push_back(r.trajectory);
         if (all_halted)
             break;
     }
@@ -307,13 +312,64 @@ fuzzSchemes()
     return s;
 }
 
+/**
+ * Divergence repro hook: when MTRAP_FUZZ_SNAPSHOT_DIR is set and the
+ * two fetch paths' commit streams diverge, re-run both configurations
+ * to the last chunk boundary on which they still agreed and drop a
+ * snapshot of each machine there. Loading those snapshots (same
+ * config, same setContext replay) puts a debugger one 500-commit
+ * chunk away from the divergence instead of a whole run away.
+ */
+void
+dropDivergenceSnapshots(const std::vector<Program> &progs, Scheme scheme,
+                        bool shared_asid, std::uint64_t seed,
+                        std::size_t agree_chunks)
+{
+    const char *dir = std::getenv("MTRAP_FUZZ_SNAPSHOT_DIR");
+    if (!dir || !*dir)
+        return;
+    const unsigned cores = static_cast<unsigned>(progs.size());
+    for (const bool decoded : {false, true}) {
+        SystemConfig cfg = SystemConfig::forScheme(scheme, cores);
+        cfg.core.decodedFetch = decoded;
+        System sys(cfg);
+        for (unsigned c = 0; c < cores; ++c) {
+            ArchContext ctx;
+            ctx.program = &progs[c];
+            ctx.asid = shared_asid ? 1 : static_cast<Asid>(c + 1);
+            sys.core(c).setContext(ctx);
+        }
+        for (std::size_t chunk = 0; chunk < agree_chunks; ++chunk)
+            sys.run(500);
+        const std::string path = strfmt(
+            "%s/fuzz-divergence-%llu-%s.snap", dir,
+            static_cast<unsigned long long>(seed),
+            decoded ? "decoded" : "reference");
+        sys.saveSnapshotFile(path, seed);
+        std::fprintf(stderr,
+                     "fuzz: divergence snapshot %s (machine at last "
+                     "agreeing chunk %zu)\n",
+                     path.c_str(), agree_chunks);
+    }
+}
+
 void
 expectIdentical(const FuzzResult &ref, const FuzzResult &dec,
+                const std::vector<Program> &progs, bool shared_asid,
                 Scheme scheme, unsigned cores, std::uint64_t seed)
 {
     const std::string what =
         strfmt("scheme=%s cores=%u seed=%llu", schemeName(scheme), cores,
                static_cast<unsigned long long>(seed));
+    if (ref.trajectory != dec.trajectory) {
+        const std::size_t n = std::min(ref.chunkTrajectory.size(),
+                                       dec.chunkTrajectory.size());
+        std::size_t agree = 0;
+        while (agree < n
+               && ref.chunkTrajectory[agree] == dec.chunkTrajectory[agree])
+            ++agree;
+        dropDivergenceSnapshots(progs, scheme, shared_asid, seed, agree);
+    }
     ASSERT_EQ(ref.trajectory, dec.trajectory)
         << "commit-stream divergence: " << what;
     ASSERT_EQ(ref.regs, dec.regs) << "register divergence: " << what;
@@ -339,7 +395,7 @@ TEST_P(FuzzDifferentialTest, DecodedPathMatchesReferenceSingleCore)
         progs.push_back(fuzzProgram(seed, 16, 30));
         const FuzzResult ref = runFuzz(progs, scheme, false, false);
         const FuzzResult dec = runFuzz(progs, scheme, true, false);
-        expectIdentical(ref, dec, scheme, 1, seed);
+        expectIdentical(ref, dec, progs, false, scheme, 1, seed);
     }
 }
 
@@ -362,7 +418,8 @@ TEST_P(FuzzDifferentialTest, DecodedPathMatchesReferenceMultiCore)
             const bool shared = (i % 2) == 1;
             const FuzzResult ref = runFuzz(progs, scheme, false, shared);
             const FuzzResult dec = runFuzz(progs, scheme, true, shared);
-            expectIdentical(ref, dec, scheme, cores, seed);
+            expectIdentical(ref, dec, progs, shared, scheme, cores,
+                            seed);
         }
     }
 }

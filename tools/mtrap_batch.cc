@@ -29,21 +29,32 @@
  *   --trace-dir DIR      run every job with event tracing attached and
  *                        write DIR/<suite>_<index>.trace.json (Chrome
  *                        trace-event JSON, Perfetto-loadable) per job
+ *   --warm-snapshot DIR  cache warm machine state in DIR keyed by the
+ *                        (config, context) fingerprint pair: sweep
+ *                        points sharing warm state (e.g. fig5 and fig6
+ *                        baselines) warm up once and restore
+ *                        thereafter, bit-identically
+ *   --resume FILE        append each completed job to FILE and, on
+ *                        restart, skip the jobs already recorded — a
+ *                        killed shard finishes where it left off with
+ *                        byte-identical artifacts
  *
  * Per-job progress telemetry goes to stderr as each job completes:
  * job name, wall seconds, simulated kinst/s, done/total and an ETA.
  *
  * Determinism: results (and therefore --out/--csv artifacts) are
- * byte-identical for any --jobs value; so are --trace-dir files.
+ * byte-identical for any --jobs value; so are --trace-dir files,
+ * warm-forked runs and resumed runs.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/checked_io.hh"
 #include "common/log.hh"
 #include "common/parse.hh"
 #include "harness/suites.hh"
@@ -64,7 +75,8 @@ usage()
                  "FILE] [--csv FILE]\n"
                  "                   [--seed S] [--instructions N] "
                  "[--warmup N] [--no-tables]\n"
-                 "                   [--trace-dir DIR]\n");
+                 "                   [--trace-dir DIR] [--warm-snapshot "
+                 "DIR] [--resume FILE]\n");
     std::exit(1);
 }
 
@@ -100,19 +112,18 @@ writeArtifact(const ResultStore &store, const std::string &path, bool csv)
         csv ? store.writeCsv(std::cout) : store.writeJson(std::cout);
         return;
     }
-    std::ofstream os(path);
-    if (!os)
-        fatal("cannot open '%s' for writing", path.c_str());
-    csv ? store.writeCsv(os) : store.writeJson(os);
+    // Checked end to end: a full disk or yanked mount kills the run
+    // loudly instead of archiving a silently truncated result set.
+    CheckedOfstream os(path, "result artifact");
+    csv ? store.writeCsv(os.stream()) : store.writeJson(os.stream());
+    os.finish();
     std::fprintf(stderr, "mtrap_batch: wrote %s (%llu results)\n",
                  path.c_str(),
                  static_cast<unsigned long long>(store.size()));
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTool(int argc, char **argv)
 {
     std::vector<std::string> suites;
     unsigned jobs = 0;
@@ -122,6 +133,8 @@ main(int argc, char **argv)
     RunOptions opt; // defaults: kDefault{Warmup,Measure}Instructions
     bool tables = true;
     std::string trace_dir;
+    std::string warm_snapshot_dir;
+    std::string resume_manifest;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -157,6 +170,10 @@ main(int argc, char **argv)
             tables = false;
         } else if (arg == "--trace-dir") {
             trace_dir = next();
+        } else if (arg == "--warm-snapshot") {
+            warm_snapshot_dir = next();
+        } else if (arg == "--resume") {
+            resume_manifest = next();
         } else {
             usage();
         }
@@ -196,6 +213,8 @@ main(int argc, char **argv)
     SuiteRunOptions run_opt;
     run_opt.perJobProgress = true;
     run_opt.traceDir = trace_dir;
+    run_opt.warmSnapshotDir = warm_snapshot_dir;
+    run_opt.resumeManifest = resume_manifest;
 
     ResultStore store;
     int rc = 0;
@@ -214,4 +233,16 @@ main(int argc, char **argv)
     if (!out_csv.empty())
         writeArtifact(store, out_csv, /*csv=*/true);
     return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runTool(argc, argv);
+    } catch (const std::exception &e) {
+        mtrap::fatal("%s", e.what());
+    }
 }

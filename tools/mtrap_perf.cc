@@ -38,12 +38,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/checked_io.hh"
 #include "common/log.hh"
 #include "common/parse.hh"
 #include "perf/bench_compare.hh"
@@ -117,10 +119,8 @@ runComparison(const BenchFile &baseline, const BenchFile &candidate,
     return rep.pass ? 0 : 1;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTool(int argc, char **argv)
 {
     // --quick selects the preset the other knobs start from, wherever
     // it appears on the line; explicit knobs then always win. So
@@ -215,10 +215,11 @@ main(int argc, char **argv)
     if (out_path == "-") {
         writeBenchJson(results, opt, std::cout);
     } else {
-        std::ofstream os(out_path);
-        if (!os)
-            fatal("cannot open '%s' for writing", out_path.c_str());
-        writeBenchJson(results, opt, os);
+        // Checked: a truncated BENCH.json would poison the CI
+        // regression gate's baseline, so fail loudly instead.
+        CheckedOfstream os(out_path, "bench results");
+        writeBenchJson(results, opt, os.stream());
+        os.finish();
         std::fprintf(stderr, "mtrap_perf: wrote %s\n", out_path.c_str());
     }
 
@@ -236,4 +237,16 @@ main(int argc, char **argv)
             return rc;
     }
     return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runTool(argc, argv);
+    } catch (const std::exception &e) {
+        mtrap::fatal("%s", e.what());
+    }
 }

@@ -53,15 +53,23 @@
  *                        instructions of the measured phase
  *   --stats-out FILE     write the interval time-series CSV
  *                        (cycle,instructions,ipc,<counter columns>)
+ *
+ * Checkpointing options (see src/snapshot/ and README "Checkpointing"):
+ *   --snapshot-out FILE  save the warm machine (post-warmup, pre-stat-
+ *                        reset) as a versioned snapshot
+ *   --snapshot-in FILE   restore the warm machine from FILE instead of
+ *                        running the warmup phase; the measured phase
+ *                        is bit-identical to the monolithic run
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/checked_io.hh"
 #include "common/log.hh"
 #include "common/parse.hh"
 #include "harness/job.hh"
@@ -92,7 +100,9 @@ usage()
                  "[--sched-trace FILE]\n"
                  "                 [--trace FILE] [--trace-csv FILE]\n"
                  "                 [--stats-interval N] "
-                 "[--stats-out FILE]\n");
+                 "[--stats-out FILE]\n"
+                 "                 [--snapshot-out FILE] "
+                 "[--snapshot-in FILE]\n");
     std::exit(1);
 }
 
@@ -114,10 +124,9 @@ writeTraceOutputs(const RunOutput &out, const std::string &trace_path,
 {
     const Tracer *t = out.system->tracer();
     if (!trace_path.empty()) {
-        std::ofstream f(trace_path);
-        if (!f)
-            fatal("cannot open %s", trace_path.c_str());
-        writeChromeTrace(*t, out.statSeries.get(), f);
+        CheckedOfstream f(trace_path, "chrome trace");
+        writeChromeTrace(*t, out.statSeries.get(), f.stream());
+        f.finish();
         std::printf("chrome trace (%llu events, %llu dropped) written "
                     "to %s\n",
                     static_cast<unsigned long long>(t->recordedCount()),
@@ -125,27 +134,23 @@ writeTraceOutputs(const RunOutput &out, const std::string &trace_path,
                     trace_path.c_str());
     }
     if (!trace_csv_path.empty()) {
-        std::ofstream f(trace_csv_path);
-        if (!f)
-            fatal("cannot open %s", trace_csv_path.c_str());
-        writeTraceCsv(*t, f);
+        CheckedOfstream f(trace_csv_path, "event CSV");
+        writeTraceCsv(*t, f.stream());
+        f.finish();
         std::printf("event CSV written to %s\n", trace_csv_path.c_str());
     }
     if (!stats_out_path.empty()) {
-        std::ofstream f(stats_out_path);
-        if (!f)
-            fatal("cannot open %s", stats_out_path.c_str());
-        out.statSeries->writeCsv(f);
+        CheckedOfstream f(stats_out_path, "stat time-series");
+        out.statSeries->writeCsv(f.stream());
+        f.finish();
         std::printf("stat time-series (%zu intervals) written to %s\n",
                     out.statSeries->rows().size(),
                     stats_out_path.c_str());
     }
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTool(int argc, char **argv)
 {
     using namespace mtrap;
 
@@ -220,6 +225,10 @@ main(int argc, char **argv)
             opt.statsInterval = parseNumber(next());
         } else if (arg == "--stats-out") {
             stats_out_path = next();
+        } else if (arg == "--snapshot-out") {
+            opt.snapshotOut = next();
+        } else if (arg == "--snapshot-in") {
+            opt.snapshotIn = next();
         } else if (arg == "--baseline") {
             with_baseline = true;
         } else if (arg == "--stats") {
@@ -272,10 +281,9 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(s->idleSlots()));
 
         if (!sched_trace_path.empty()) {
-            std::ofstream f(sched_trace_path);
-            if (!f)
-                fatal("cannot open %s", sched_trace_path.c_str());
-            writeSchedTrace(*s, f);
+            CheckedOfstream f(sched_trace_path, "schedule trace");
+            writeSchedTrace(*s, f.stream());
+            f.finish();
             std::printf("schedule trace (%zu decisions) written to %s\n",
                         s->trace().size(), sched_trace_path.c_str());
         }
@@ -325,4 +333,18 @@ main(int argc, char **argv)
     if (json)
         dumpStatsJson(out.system->root(), std::cout);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Snapshot validation failures and checked-write errors surface as
+    // exceptions; turn them into a clean nonzero exit with the message.
+    try {
+        return runTool(argc, argv);
+    } catch (const std::exception &e) {
+        mtrap::fatal("%s", e.what());
+    }
 }
