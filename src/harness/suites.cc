@@ -9,8 +9,10 @@
 #include <set>
 
 #include "common/log.hh"
+#include "common/rng.hh"
 #include "harness/manifest.hh"
 #include "harness/sweep.hh"
+#include "sim/arrival.hh"
 #include "sim/mem_system.hh"
 #include "workload/attacks.hh"
 #include "workload/parsec_profiles.hh"
@@ -368,6 +370,173 @@ securitySuite(const RunOptions &opt, std::uint64_t seed)
     return s;
 }
 
+// ------------------------------------------------------- server suite
+
+/** The schemes compared under open-system load (a smaller set than the
+ *  figures: one representative per defence family keeps the load sweep
+ *  affordable). */
+const std::vector<Scheme> kServerSchemes = {
+    Scheme::Baseline,
+    Scheme::MuonTrap,
+    Scheme::InvisiSpecSpectre,
+    Scheme::SttSpectre,
+};
+
+/** One load level of the server sweep. */
+struct ServerLoadLevel
+{
+    const char *name;
+    ArrivalPattern pattern;
+    /** Mean inter-arrival gap as a multiple (percent) of
+     *  opt.measureInstructions, so the suite scales with
+     *  --instructions the way every other suite does. */
+    unsigned interarrivalPct;
+};
+
+const std::vector<ServerLoadLevel> &
+serverLoadLevels()
+{
+    // lo is comfortably under capacity (4 cores), hi oversubscribes it,
+    // and burst-hi offers the hi rate in bursts — same long-run load,
+    // much fatter latency tail.
+    static const std::vector<ServerLoadLevel> levels = {
+        {"poisson-lo", ArrivalPattern::Poisson, 200},
+        {"poisson-hi", ArrivalPattern::Poisson, 50},
+        {"burst-hi", ArrivalPattern::Burst, 50},
+    };
+    return levels;
+}
+
+/** Arrival shape of one load level. Scaled off the per-run instruction
+ *  budget so `--instructions` moves the whole suite together. Seeded
+ *  per *row*, never per column: every scheme in a row faces the
+ *  byte-identical offered load, so columns differ only by defence. */
+ArrivalParams
+serverArrivals(const ServerLoadLevel &level, const RunOptions &opt,
+               std::uint64_t seed, std::size_t row_index)
+{
+    ArrivalParams ap;
+    ap.seed = mixSeeds(0xa2217ull + row_index, seed);
+    ap.pattern = level.pattern;
+    ap.jobs = 12;
+    ap.meanInterarrival =
+        std::max<Cycle>(1, opt.measureInstructions
+                               * level.interarrivalPct / 100);
+    ap.serviceMinCommits = std::max<std::uint64_t>(
+        1, opt.measureInstructions / 2);
+    ap.serviceMaxCommits = std::max<std::uint64_t>(
+        ap.serviceMinCommits, opt.measureInstructions * 2);
+    ap.deadlineFactor = 6;
+    ap.maxWeight = 2;
+    return ap;
+}
+
+/**
+ * The open-system "server farm" sweep: a load ladder (rows) against a
+ * defence-scheme set (columns), each cell one runServerConfigured run
+ * on a 4-core machine. The table reports p95 sojourn time normalised
+ * to the scheduled Baseline of the same row — the defence's QoS
+ * overhead under that load — and the CSV carries the full percentile /
+ * occupancy / deadline metric set.
+ */
+Suite
+serverSuite(const RunOptions &opt, std::uint64_t seed)
+{
+    Suite s;
+    s.name = "server";
+
+    for (const ServerLoadLevel &level : serverLoadLevels()) {
+        const std::size_t row_index = &level - serverLoadLevels().data();
+        for (Scheme scheme : kServerSchemes) {
+            JobSpec j;
+            j.index = s.jobs.size();
+            j.suite = s.name;
+            j.row = level.name;
+            j.col = schemeName(scheme);
+            const ArrivalParams ap =
+                serverArrivals(level, opt, seed, row_index);
+            RunOptions ro = opt;
+            ro.seed = jobSeed(seed, j.index);
+            j.custom = [ap, ro, scheme](const JobSpec &) {
+                SchedParams sp;
+                sp.quantum = 20'000;
+                sp.affinity = true;
+                const SystemConfig cfg =
+                    SystemConfig::forScheme(scheme, 4);
+                ServerRunOutput out = runServerConfigured(
+                    cfg, sp, ap, ro, schemeName(scheme));
+                const ServerReport &rep = out.report;
+
+                JobResult r;
+                r.run.workload = "server";
+                r.run.configName = schemeName(scheme);
+                r.run.cycles = rep.makespan ? rep.makespan : 1;
+                r.run.ipc = rep.ipc;
+                r.instructions = rep.committed;
+                r.metrics["admitted"] =
+                    static_cast<double>(rep.admitted);
+                r.metrics["completed"] =
+                    static_cast<double>(rep.completed);
+                r.metrics["sojourn_p50"] =
+                    static_cast<double>(rep.sojournP50);
+                r.metrics["sojourn_p95"] =
+                    static_cast<double>(rep.sojournP95);
+                r.metrics["sojourn_p99"] =
+                    static_cast<double>(rep.sojournP99);
+                r.metrics["wait_p50"] =
+                    static_cast<double>(rep.waitP50);
+                r.metrics["wait_p95"] =
+                    static_cast<double>(rep.waitP95);
+                r.metrics["wait_p99"] =
+                    static_cast<double>(rep.waitP99);
+                r.metrics["deadline_miss_rate"] = rep.deadlineTotal
+                    ? static_cast<double>(rep.deadlineMisses)
+                          / static_cast<double>(rep.deadlineTotal)
+                    : 0.0;
+                r.metrics["occupancy"] = rep.occupancy;
+                r.metrics["throughput_per_mcycle"] =
+                    rep.throughputPerMcycle;
+                return r;
+            };
+            s.jobs.push_back(std::move(j));
+        }
+    }
+
+    s.render = [](const std::vector<JobResult> &rs) {
+        ReportTable t("Open-system server load sweep (4 cores): p95 "
+                      "sojourn time vs scheduled Baseline");
+        std::vector<std::string> hdr = {"load"};
+        for (Scheme scheme : kServerSchemes)
+            hdr.push_back(schemeName(scheme));
+        t.header(hdr);
+        for (const ServerLoadLevel &level : serverLoadLevels()) {
+            const JobResult *base =
+                find(rs, level.name, schemeName(Scheme::Baseline),
+                     "run");
+            if (!base || !base->ok)
+                fatal("server: missing baseline result for %s",
+                      level.name);
+            const double base_p95 = base->metrics.at("sojourn_p95");
+            std::vector<double> values;
+            for (Scheme scheme : kServerSchemes) {
+                const JobResult *r =
+                    find(rs, level.name, schemeName(scheme), "run");
+                if (!r || !r->ok)
+                    fatal("server: missing result for %s/%s",
+                          level.name, schemeName(scheme));
+                values.push_back(base_p95 > 0.0
+                                     ? r->metrics.at("sojourn_p95")
+                                           / base_p95
+                                     : 1.0);
+            }
+            t.rowNumeric(level.name, values);
+        }
+        t.geomeanRow();
+        return t;
+    };
+    return s;
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -375,7 +544,7 @@ suiteNames()
 {
     static const std::vector<std::string> names = {
         "fig3", "fig4", "fig5", "fig6",
-        "fig7", "fig8", "fig9", "sched", "security",
+        "fig7", "fig8", "fig9", "sched", "security", "server",
     };
     return names;
 }
@@ -425,8 +594,10 @@ buildSuite(const std::string &name, const RunOptions &opt,
         return schedSuite(opt, seed);
     if (name == "security")
         return securitySuite(opt, seed);
+    if (name == "server")
+        return serverSuite(opt, seed);
     fatal("unknown suite '%s' (try one of fig3..fig9, sched, security, "
-          "all)",
+          "server, all)",
           name.c_str());
 }
 

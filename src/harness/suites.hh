@@ -48,7 +48,8 @@ struct Suite
     bool progressByCol = false;
 };
 
-/** All suite names, figure order: fig3..fig9, security. */
+/** All suite names, figure order: fig3..fig9, then sched, security and
+ *  the open-system server sweep. */
 const std::vector<std::string> &suiteNames();
 
 /** Build one suite (fatal on unknown name). `seed` = 0 reproduces the

@@ -10,6 +10,7 @@
 
 #include "common/log.hh"
 #include "perf/odometer.hh"
+#include "sim/arrival.hh"
 #include "sim/json_stats.hh"
 #include "sim/runner.hh"
 #include "sim/scheduler.hh"
@@ -208,6 +209,40 @@ snapshotWarmForkBody(const PerfOptions &opt)
     }
 }
 
+/**
+ * Open-system server shape (sim/arrival.hh): a seeded arrival stream
+ * admits jobs into the gang scheduler mid-run, each running to a
+ * finite service demand with QoS attributes (weights, deadlines).
+ * Tracks the cost of arrival polling, mid-run admission (workload
+ * build + placement), weighted designation and job-record accounting
+ * on top of the usual scheduled simulation. Asserts every job
+ * completes, so a perf run can never bless a scheduler that strands
+ * work.
+ */
+void
+serverBody(const PerfOptions &opt, ArrivalPattern pattern)
+{
+    ArrivalParams ap;
+    ap.pattern = pattern;
+    ap.jobs = opt.quick ? 6 : 24;
+    ap.serviceMinCommits = opt.measureInstructions / 8 + 1;
+    ap.serviceMaxCommits = opt.measureInstructions / 2 + 1;
+    ap.meanInterarrival = opt.measureInstructions / 4 + 1;
+    ap.deadlineFactor = 6;
+    ap.maxWeight = 2;
+
+    SchedParams sp;
+    sp.quantum = 20'000;
+    sp.affinity = true;
+
+    const ServerRunOutput out = runServerConfigured(
+        SystemConfig::forScheme(Scheme::MuonTrap, 4), sp, ap, {},
+        "MuonTrap");
+    if (out.report.completed != ap.jobs)
+        throw std::runtime_error("server scenario: not every admitted "
+                                 "job completed");
+}
+
 void
 attackVignetteBody(const PerfOptions &opt)
 {
@@ -330,6 +365,28 @@ defaultScenarios()
         "snapshot save/restore cost and the warm-fork sweep shape)";
     snap.body = snapshotWarmForkBody;
     s.push_back(std::move(snap));
+
+    PerfScenario poisson;
+    poisson.name = "server-poisson-muontrap";
+    poisson.description =
+        "open-system server: Poisson job arrivals admitted mid-run "
+        "into four gang-scheduled MuonTrap cores (weighted quanta, "
+        "deadlines, cache-affinity migration)";
+    poisson.body = [](const PerfOptions &o) {
+        serverBody(o, ArrivalPattern::Poisson);
+    };
+    s.push_back(std::move(poisson));
+
+    PerfScenario burst;
+    burst.name = "server-burst-muontrap";
+    burst.description =
+        "open-system server under bursty arrivals: same offered load "
+        "as the Poisson scenario delivered in batches (queue build-up, "
+        "heavy migration and admission churn)";
+    burst.body = [](const PerfOptions &o) {
+        serverBody(o, ArrivalPattern::Burst);
+    };
+    s.push_back(std::move(burst));
 
     PerfScenario attack;
     attack.name = "attack-spectre-prime-probe";

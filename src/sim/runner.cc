@@ -10,12 +10,10 @@
 namespace mtrap
 {
 
-namespace
-{
-
-/** The RunOptions::seed re-randomisation shared by both run flavours. */
+/** The RunOptions::seed re-randomisation shared by every run flavour
+ *  (single, mix and the open-system server runs in sim/arrival.cc). */
 void
-applySeed(SystemConfig &c, std::uint64_t seed)
+applyRunSeed(SystemConfig &c, std::uint64_t seed)
 {
     if (!seed)
         return;
@@ -25,6 +23,9 @@ applySeed(SystemConfig &c, std::uint64_t seed)
     c.mem.mt.dataParams.seed = mixSeeds(c.mem.mt.dataParams.seed, seed);
     c.mem.mt.instParams.seed = mixSeeds(c.mem.mt.instParams.seed, seed);
 }
+
+namespace
+{
 
 /**
  * Context fingerprint of a single-workload run: everything besides the
@@ -141,7 +142,7 @@ runConfigured(const Workload &w, const SystemConfig &cfg,
     if (c.cores < w.threads())
         c.cores = w.threads();
     c.mem.cores = c.cores;
-    applySeed(c, opt.seed);
+    applyRunSeed(c, opt.seed);
     if (opt.referenceFetch)
         c.core.decodedFetch = false;
 
@@ -210,7 +211,7 @@ runMixConfigured(const std::vector<Workload> &mix, const SystemConfig &cfg,
     for (const Workload &w : mix)
         c.cores = std::max(c.cores, w.threads());
     c.mem.cores = c.cores;
-    applySeed(c, opt.seed);
+    applyRunSeed(c, opt.seed);
     if (opt.referenceFetch)
         c.core.decodedFetch = false;
 

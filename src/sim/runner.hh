@@ -119,6 +119,13 @@ struct RunOutput
     std::unique_ptr<StatSeries> statSeries;
 };
 
+/**
+ * Mix RunOptions::seed into every structure seed of `cfg` (caches,
+ * filter caches). No-op when seed == 0. Shared by the closed-system
+ * runners here and the open-system server runner (sim/arrival.hh).
+ */
+void applyRunSeed(SystemConfig &cfg, std::uint64_t seed);
+
 /** Run `w` under an explicit configuration. */
 RunOutput runConfigured(const Workload &w, const SystemConfig &cfg,
                         const RunOptions &opt = {},

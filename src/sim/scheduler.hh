@@ -52,10 +52,81 @@ struct SchedParams
     /** Migrate single-threaded tasks onto cores whose run queues have
      *  no runnable work left (gang members stay pinned). */
     bool migrate = true;
+    /**
+     * Cache-affinity-aware migration: when a starving core pulls work,
+     * prefer a task that last ran on that core (its L1/filter state may
+     * still be warm) over the default youngest-queued candidate. Off by
+     * default — the legacy donor choice is part of the pinned golden
+     * behaviour.
+     */
+    bool affinity = false;
     /** Record one SchedTraceRow per scheduling decision (mtrap_sim
      *  --sched-trace); off by default — the trace grows with run
      *  length. */
     bool trace = false;
+};
+
+/**
+ * Open-system admission attributes for one job. The default-constructed
+ * value reproduces closed-batch admission exactly (no arrival stamp, no
+ * service limit, weight 1, no deadline, no IO-wait), so every legacy
+ * call path is untouched.
+ */
+struct JobAdmit
+{
+    /** Cycle the job arrived (0 = present since construction). Admission
+     *  onto an idle core advances that core's clock here first, so a
+     *  job can never run before it arrived. */
+    Cycle arrivalCycle = 0;
+    /** Service demand in committed instructions: the job completes (is
+     *  force-retired) once it has committed this many. 0 = run to the
+     *  program's natural halt. */
+    std::uint64_t serviceLimit = 0;
+    /** Absolute completion deadline in cycles (0 = none). Purely an
+     *  accounting attribute: the scheduler reports misses, it does not
+     *  prioritise by deadline. */
+    Cycle deadline = 0;
+    /** Weighted quantum share: each thread gets `weight` consecutive
+     *  run-queue entries, i.e. a weight-2 job owns twice the slot share
+     *  of a weight-1 job on the same core. Must be >= 1. */
+    unsigned weight = 1;
+    /** IO-wait emulation: after every `sleepPeriodCommits` committed
+     *  instructions the task blocks (is skipped by designation) for
+     *  `sleepDurationCycles`, then requeues as ready. 0 = never. */
+    std::uint64_t sleepPeriodCommits = 0;
+    Cycle sleepDurationCycles = 0;
+};
+
+/**
+ * Feed of mid-run job arrivals (see src/sim/arrival.*). The scheduler
+ * polls it at decision-grid points — and when the whole machine runs
+ * dry — so admission lands at deterministic, chunking-invariant points
+ * of the committed-instruction stream.
+ */
+class ArrivalSource
+{
+  public:
+    virtual ~ArrivalSource() = default;
+    /** Cycle of the earliest not-yet-admitted arrival, 0 once drained. */
+    virtual Cycle nextArrivalCycle() const = 0;
+    /** Admit every arrival at or before `now` (calls back into
+     *  Scheduler::addJob, usually via System::addScheduledWorkload).
+     *  Returns the number of jobs admitted. */
+    virtual unsigned admitUpTo(Cycle now) = 0;
+};
+
+/** Per-job lifecycle accounting for open-system reporting. */
+struct JobRecord
+{
+    JobId job = 0;
+    Cycle arrival = 0;  ///< admission cycle (0 for batch jobs)
+    Cycle firstRun = 0; ///< cycle the job was first installed on a core
+    Cycle finish = 0;   ///< completion cycle (0 = still live)
+    Cycle deadline = 0; ///< 0 = none
+    std::uint64_t committed = 0;
+    unsigned weight = 1;
+    bool started = false;
+    bool done = false;
 };
 
 /** One scheduling decision (core→job occupancy at a decision slot). */
@@ -103,7 +174,41 @@ class Scheduler
      */
     JobId addJob(const std::vector<const Program *> &threads, Asid asid);
 
+    /**
+     * Open-system admission: like addJob, plus the arrival stamp,
+     * service limit, deadline, weight and IO-wait attributes of
+     * `admit`. Safe to call mid-run from an ArrivalSource callback (the
+     * scheduler only polls arrivals at decision points).
+     */
+    JobId addJob(const std::vector<const Program *> &threads, Asid asid,
+                 const JobAdmit &admit);
+
+    /**
+     * Attach a feed of mid-run arrivals. The scheduler polls it at
+     * every decision-grid point (admitting arrivals due by the deciding
+     * core's clock) and fast-forwards an entirely idle machine to the
+     * next arrival instead of stopping. Caller keeps ownership; the
+     * source must outlive the scheduler or be detached with nullptr.
+     */
+    void setArrivalSource(ArrivalSource *arrivals);
+
     std::size_t taskCount() const { return tasks_.size(); }
+
+    /** Per-job lifecycle records (arrival / first-run / finish /
+     *  committed), indexed by JobId. */
+    std::vector<JobRecord> jobRecords() const;
+
+    /** Cycles core `c` spent executing instructions (context-switch
+     *  and idle-slot cycles excluded) — the occupancy numerator. */
+    std::uint64_t busyCycles(CoreId c) const
+    {
+        return cores_.at(c).busyCycles;
+    }
+
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
 
     /** Core each thread of `job` was placed on (admission is
      *  deterministic, so this is reproducible run to run). */
@@ -174,6 +279,22 @@ class Scheduler
         /** Gang members are pinned to their core (never migrated). */
         bool gangMember = false;
         CoreId core = 0;
+
+        // Open-system attributes (defaults = closed-batch behaviour).
+        std::uint64_t serviceLimit = 0;
+        std::uint64_t committed = 0;
+        Cycle arrivalCycle = 0;
+        Cycle firstRunCycle = 0;
+        Cycle finishCycle = 0;
+        Cycle deadline = 0;
+        unsigned weight = 1;
+        std::uint64_t sleepPeriodCommits = 0;
+        Cycle sleepDurationCycles = 0;
+        std::uint64_t commitsTowardSleep = 0;
+        /** Sleeping (IO-wait) until this cycle; 0 = awake. */
+        Cycle sleepUntil = 0;
+        /** Core this task last executed on (affinity migration). */
+        CoreId lastCore = 0;
     };
 
     struct CoreState
@@ -187,6 +308,8 @@ class Scheduler
         std::uint64_t done = 0;
         /** No runnable entries; skip in selection until rebalanced. */
         bool parked = false;
+        /** Cycles spent executing (occupancy numerator). */
+        std::uint64_t busyCycles = 0;
     };
 
     /** Outcome of a scheduling decision on one core. */
@@ -216,6 +339,13 @@ class Scheduler
      *  on the next run() call so external chunking cannot perturb the
      *  decision grid. -1 = none. */
     int resumeCore_ = -1;
+
+    /** Mid-run arrival feed (not owned, not serialized: the restore
+     *  path re-attaches and replays its admissions). */
+    ArrivalSource *arrivals_ = nullptr;
+    /** True once an arrival source was attached: gates the open-system
+     *  trace events so legacy traces stay byte-identical. */
+    bool openSystem_ = false;
 
     std::uint64_t switches_ = 0;
     std::uint64_t migrations_ = 0;

@@ -172,6 +172,12 @@ System::attachTracer(const TraceParams &params)
 JobId
 System::addScheduledWorkload(const Workload &w)
 {
+    return addScheduledWorkload(w, JobAdmit{});
+}
+
+JobId
+System::addScheduledWorkload(const Workload &w, const JobAdmit &admit)
+{
     if (!sched_)
         fatal("system: attachScheduler before addScheduledWorkload");
     if (w.threads() > numCores())
@@ -185,7 +191,7 @@ System::addScheduledWorkload(const Workload &w)
     programs.reserve(owned.threads());
     for (const Program &p : owned.threadPrograms)
         programs.push_back(&p);
-    const JobId job = sched_->addJob(programs, w.asid);
+    const JobId job = sched_->addJob(programs, w.asid, admit);
     if (tracer_)
         tracer_->setJobLabel(job, owned.name);
     return job;

@@ -91,6 +91,11 @@ class System
      */
     JobId addScheduledWorkload(const Workload &w);
 
+    /** Open-system admission: like addScheduledWorkload plus the
+     *  arrival stamp / service limit / deadline / weight / IO-wait
+     *  attributes of `admit`. Called mid-run by an ArrivalSource. */
+    JobId addScheduledWorkload(const Workload &w, const JobAdmit &admit);
+
     /** Run `total_commits` instructions across all scheduled jobs (see
      *  Scheduler::run). */
     std::uint64_t runScheduled(std::uint64_t total_commits);

@@ -51,8 +51,11 @@ class SnapshotError : public std::runtime_error
     {}
 };
 
-/** Current snapshot format version; bump on any layout change. */
-constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/** Current snapshot format version; bump on any layout change.
+ *  v2: scheduler Task/CoreState gained the open-system fields (service
+ *  accounting, arrival/finish stamps, weights, sleep state, busy
+ *  cycles). */
+constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /** Section tags, one per top-level component (fixed save order). */
 enum SnapshotTag : std::uint32_t {
@@ -62,6 +65,9 @@ enum SnapshotTag : std::uint32_t {
     kTagScheduler = 3, // present iff a scheduler is attached
     kTagTracer = 4,    // present iff a tracer is attached
     kTagStats = 5,
+    /** Outer frame of an open-system server snapshot: admission count +
+     *  the embedded System image (sim/arrival.hh). */
+    kTagArrival = 6,
 };
 
 /** CRC-32 (IEEE 802.3, reflected) over `n` bytes, seeded by `crc`. */

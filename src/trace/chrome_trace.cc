@@ -117,7 +117,12 @@ writeChromeTrace(const Tracer &tracer, const StatSeries *series,
     };
     std::vector<Open> open(tracer.cores());
     for (const TraceEvent &e : tracer.schedBuffer().ordered()) {
-        if (e.kind == TraceEventKind::SchedMigrate) {
+        // Migrations, arrivals and completions are point events, not
+        // occupancy decisions: render as instants so they don't break
+        // the span state machine below.
+        if (e.kind == TraceEventKind::SchedMigrate
+            || e.kind == TraceEventKind::SchedArrive
+            || e.kind == TraceEventKind::SchedComplete) {
             events.push_back(instantEvent(e));
             continue;
         }

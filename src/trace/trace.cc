@@ -22,6 +22,8 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::SpecClear: return "spec_clear";
       case TraceEventKind::L2Miss: return "l2_miss";
       case TraceEventKind::BusNack: return "bus_nack";
+      case TraceEventKind::SchedArrive: return "sched_arrive";
+      case TraceEventKind::SchedComplete: return "sched_complete";
     }
     return "?";
 }

@@ -70,6 +70,13 @@ enum class TraceEventKind : std::uint8_t
     /** Bus NACKed a speculative request (MuonTrap coherency rules);
      *  arg0 = paddr. */
     BusNack,
+    /** Open-system arrival: job arg0 admitted mid-run; the event is
+     *  stamped with the arrival cycle (sched ring). */
+    SchedArrive,
+    /** Open-system completion: job arg0 finished its service demand
+     *  (natural halt or service-limit exhaustion); arg1 = thread
+     *  (sched ring). */
+    SchedComplete,
 };
 
 /** Printable lower-case kind name (CSV column / JSON event name). */

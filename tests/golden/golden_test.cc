@@ -6,7 +6,8 @@
  * Before this test, "all figure tables and artifacts are byte-identical
  * before/after" was a manual diffing ritual each perf PR repeated by
  * hand. Here ctest enforces it: each --suite row (fig3..fig9, security,
- * sched) runs a down-scaled but canonical sweep (2000 measured / 400
+ * sched, server) runs a down-scaled but canonical sweep (2000 measured /
+ * 400
  * warmup instructions, single worker, seed 0 — exactly the legacy
  * deterministic path) and serialises the raw results through
  * ResultStore::writeJson. The JSON must match tests/golden/<suite>.json

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -305,6 +306,63 @@ TEST(Suites, EverySuiteBuildsAndFig4Renders)
     EXPECT_EQ(base.kind, "baseline");
     EXPECT_GT(base.run.cycles, 0u);
     EXPECT_GT(mt.run.cycles, 0u);
+}
+
+// ------------------------------------------------------- server suite
+
+/** Serialise one pool run of the server suite (artifact bytes). */
+std::string
+serverSuiteJson(unsigned workers, const SuiteRunOptions &run_opt = {})
+{
+    const Suite suite = buildSuite("server", quick());
+    ExperimentPool pool(workers);
+    ResultStore store;
+    const int rc = runSuite(suite, pool, /*render_table=*/false, &store,
+                            run_opt);
+    EXPECT_EQ(rc, 0);
+    std::ostringstream os;
+    store.writeJson(os);
+    return os.str();
+}
+
+TEST(ServerSuite, ArtifactIsThreadCountInvariant)
+{
+    // The open-system determinism contract at the harness level: the
+    // arrival schedules, percentiles and the serialised artifact are
+    // byte-identical no matter how many workers ran the jobs.
+    const std::string one = serverSuiteJson(1);
+    const std::string two = serverSuiteJson(2);
+    const std::string four = serverSuiteJson(4);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, four);
+}
+
+TEST(ServerSuite, ResumeProducesByteIdenticalArtifact)
+{
+    const std::string oneshot = serverSuiteJson(1);
+
+    // First attempt: run only a prefix of the suite, recording results
+    // in a manifest (simulating a killed shard).
+    const std::string manifest =
+        ::testing::TempDir() + "server_resume.manifest";
+    std::remove(manifest.c_str());
+    {
+        Suite partial = buildSuite("server", quick());
+        partial.jobs.resize(partial.jobs.size() / 2);
+        ExperimentPool pool(2);
+        SuiteRunOptions ro;
+        ro.resumeManifest = manifest;
+        EXPECT_EQ(runSuite(partial, pool, false, nullptr, ro), 0);
+    }
+
+    // Second attempt: the full suite against the same manifest runs
+    // only the missing jobs; the merged artifact must match the
+    // uninterrupted run byte for byte.
+    SuiteRunOptions ro;
+    ro.resumeManifest = manifest;
+    const std::string resumed = serverSuiteJson(2, ro);
+    EXPECT_EQ(resumed, oneshot);
+    std::remove(manifest.c_str());
 }
 
 TEST(Seeding, SeededRunsAreReproducible)

@@ -12,8 +12,11 @@
  *
  * Options:
  *   --suite NAME         fig3|fig4|fig5|fig6|fig7|fig8|fig9|sched|
- *                        security|all (repeatable; "all" expands to
- *                        every suite)
+ *                        security|server|all (repeatable; "all"
+ *                        expands to every suite). "server" is the
+ *                        open-system load sweep: arrival-rate ladder x
+ *                        defence schemes, reporting sojourn-latency
+ *                        percentiles (see src/sim/arrival.hh)
  *   --jobs N             worker threads (default: hardware concurrency)
  *   --shard i/m          run only jobs k with k%m == i (0-based). Tables
  *                        need the full result set, so sharded runs emit

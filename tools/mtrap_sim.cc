@@ -38,9 +38,36 @@
  *                        (slot-aligned) co-scheduling
  *   --no-migrate         disable load-balancing migration onto idle
  *                        cores
+ *   --affinity           prefer migrating a job back onto the core that
+ *                        last ran it (cache-affinity-aware migration)
  *   --sched-trace FILE   dump one CSV row per scheduling decision
  *                        (cycle,slot,core,job,thread,action) for
  *                        schedule visualisation
+ *
+ * Open-system server options (see src/sim/arrival.hh; no --workload —
+ * jobs arrive continuously, run to a finite service demand and leave):
+ *   --arrivals N         enable server mode: admit N jobs over the run
+ *                        from a deterministic seeded arrival process,
+ *                        then print sojourn/wait latency percentiles,
+ *                        occupancy, throughput and deadline misses
+ *   --arrival-pattern P  poisson (default) | burst
+ *   --arrival-mean C     mean inter-arrival gap in cycles (default
+ *                        40000); the load knob
+ *   --arrival-seed S     arrival-schedule seed (default 1)
+ *   --arrival-mix NAME   add NAME to the profile mix jobs draw from
+ *                        (repeatable; default: a six-benchmark SPEC mix)
+ *   --burst-size N       jobs per burst (burst pattern, default 4)
+ *   --burst-spacing C    in-burst arrival spacing (default 200)
+ *   --service-min N      min per-job service demand, committed
+ *                        instructions (default 20000)
+ *   --service-max N      max per-job service demand (default 60000)
+ *   --deadline-factor F  per-job deadline = arrival + F * service
+ *                        cycles; 0 = no deadlines (default)
+ *   --max-weight W       per-job scheduler weight drawn from [1, W]
+ *                        (weighted quanta; default 1 = all equal)
+ *   --sleep-period N     every job sleeps after N commits (IO-wait
+ *                        emulation; default 0 = never)
+ *   --sleep-duration C   sleep length in cycles (default 0)
  *
  * Tracing & time-series options (see src/trace/):
  *   --trace FILE         record cycle-stamped events (context switches,
@@ -73,6 +100,7 @@
 #include "common/log.hh"
 #include "common/parse.hh"
 #include "harness/job.hh"
+#include "sim/arrival.hh"
 #include "sim/json_stats.hh"
 #include "sim/runner.hh"
 #include "trace/chrome_trace.hh"
@@ -97,12 +125,22 @@ usage()
                  "                 [--timeshare NAME]... [--cores N] "
                  "[--quantum C]\n"
                  "                 [--no-gang] [--no-migrate] "
-                 "[--sched-trace FILE]\n"
+                 "[--affinity] [--sched-trace FILE]\n"
                  "                 [--trace FILE] [--trace-csv FILE]\n"
                  "                 [--stats-interval N] "
                  "[--stats-out FILE]\n"
                  "                 [--snapshot-out FILE] "
-                 "[--snapshot-in FILE]\n");
+                 "[--snapshot-in FILE]\n"
+                 "   or: mtrap_sim --arrivals N [--arrival-pattern P] "
+                 "[--arrival-mean C]\n"
+                 "                 [--arrival-seed S] "
+                 "[--arrival-mix NAME]... [--burst-size N]\n"
+                 "                 [--burst-spacing C] [--service-min N] "
+                 "[--service-max N]\n"
+                 "                 [--deadline-factor F] [--max-weight W]"
+                 " [--sleep-period N]\n"
+                 "                 [--sleep-duration C] plus scheme/"
+                 "scheduler/trace options\n");
     std::exit(1);
 }
 
@@ -118,14 +156,15 @@ parseNumber(const std::string &s)
 
 /** Export whatever tracing/time-series outputs the flags asked for. */
 void
-writeTraceOutputs(const RunOutput &out, const std::string &trace_path,
+writeTraceOutputs(System &sys, const StatSeries *series,
+                  const std::string &trace_path,
                   const std::string &trace_csv_path,
                   const std::string &stats_out_path)
 {
-    const Tracer *t = out.system->tracer();
+    const Tracer *t = sys.tracer();
     if (!trace_path.empty()) {
         CheckedOfstream f(trace_path, "chrome trace");
-        writeChromeTrace(*t, out.statSeries.get(), f.stream());
+        writeChromeTrace(*t, series, f.stream());
         f.finish();
         std::printf("chrome trace (%llu events, %llu dropped) written "
                     "to %s\n",
@@ -141,11 +180,10 @@ writeTraceOutputs(const RunOutput &out, const std::string &trace_path,
     }
     if (!stats_out_path.empty()) {
         CheckedOfstream f(stats_out_path, "stat time-series");
-        out.statSeries->writeCsv(f.stream());
+        series->writeCsv(f.stream());
         f.finish();
         std::printf("stat time-series (%zu intervals) written to %s\n",
-                    out.statSeries->rows().size(),
-                    stats_out_path.c_str());
+                    series->rows().size(), stats_out_path.c_str());
     }
 }
 
@@ -165,6 +203,8 @@ runTool(int argc, char **argv)
     SchedParams sched;
     std::string sched_trace_path;
     std::string trace_path, trace_csv_path, stats_out_path;
+    bool server = false;
+    ArrivalParams arrivals;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -212,6 +252,44 @@ runTool(int argc, char **argv)
             sched.gang = false;
         } else if (arg == "--no-migrate") {
             sched.migrate = false;
+        } else if (arg == "--affinity") {
+            sched.affinity = true;
+        } else if (arg == "--arrivals") {
+            server = true;
+            arrivals.jobs = parseNumber(next());
+        } else if (arg == "--arrival-pattern") {
+            const std::string p = next();
+            if (p == "poisson")
+                arrivals.pattern = ArrivalPattern::Poisson;
+            else if (p == "burst")
+                arrivals.pattern = ArrivalPattern::Burst;
+            else
+                usage();
+        } else if (arg == "--arrival-mean") {
+            arrivals.meanInterarrival = parseNumber(next());
+        } else if (arg == "--arrival-seed") {
+            arrivals.seed = parseNumber(next());
+        } else if (arg == "--arrival-mix") {
+            arrivals.profiles.push_back(next());
+        } else if (arg == "--burst-size") {
+            arrivals.burstSize =
+                static_cast<unsigned>(parseNumber(next()));
+        } else if (arg == "--burst-spacing") {
+            arrivals.burstSpacing = parseNumber(next());
+        } else if (arg == "--service-min") {
+            arrivals.serviceMinCommits = parseNumber(next());
+        } else if (arg == "--service-max") {
+            arrivals.serviceMaxCommits = parseNumber(next());
+        } else if (arg == "--deadline-factor") {
+            arrivals.deadlineFactor =
+                static_cast<unsigned>(parseNumber(next()));
+        } else if (arg == "--max-weight") {
+            arrivals.maxWeight =
+                static_cast<unsigned>(parseNumber(next()));
+        } else if (arg == "--sleep-period") {
+            arrivals.sleepPeriodCommits = parseNumber(next());
+        } else if (arg == "--sleep-duration") {
+            arrivals.sleepDurationCycles = parseNumber(next());
         } else if (arg == "--sched-trace") {
             sched_trace_path = next();
             sched.trace = true;
@@ -239,13 +317,77 @@ runTool(int argc, char **argv)
             usage();
         }
     }
-    if (workload_name.empty())
+    if (workload_name.empty() && !server)
         usage();
     if (!stats_out_path.empty() && !opt.statsInterval)
         fatal("--stats-out needs --stats-interval");
-    if (timeshare.empty() &&
-        (cores || !sched.gang || !sched.migrate || sched.trace))
+    if (!server && timeshare.empty() &&
+        (cores || !sched.gang || !sched.migrate || sched.affinity
+         || sched.trace))
         warn("scheduler flags have no effect without --timeshare");
+
+    // Open-system server mode: no --workload, jobs come from the
+    // arrival process and run to their service demands.
+    if (server) {
+        if (!workload_name.empty() || !timeshare.empty())
+            fatal("--arrivals replaces --workload/--timeshare (jobs "
+                  "come from the arrival process; shape the mix with "
+                  "--arrival-mix)");
+
+        SystemConfig cfg =
+            SystemConfig::forScheme(scheme, cores ? cores : 4);
+        if (filter_size)
+            cfg.mem.mt.dataParams.sizeBytes = filter_size;
+        if (filter_assoc)
+            cfg.mem.mt.dataParams.assoc = filter_assoc;
+
+        ServerRunOutput out =
+            runServerConfigured(cfg, sched, arrivals, opt,
+                                schemeName(scheme));
+        std::printf("%s, %llu %s arrivals (mean gap %llu cycles) on "
+                    "%u cores, quantum %llu:\n",
+                    schemeName(scheme),
+                    static_cast<unsigned long long>(arrivals.jobs),
+                    arrivalPatternName(arrivals.pattern),
+                    static_cast<unsigned long long>(
+                        arrivals.meanInterarrival),
+                    out.system->numCores(),
+                    static_cast<unsigned long long>(sched.quantum));
+        out.report.print(std::cout);
+
+        const Scheduler *s = out.system->scheduler();
+        std::printf("context switches %llu, migrations %llu, idle "
+                    "slots %llu\n",
+                    static_cast<unsigned long long>(s->switches()),
+                    static_cast<unsigned long long>(s->migrations()),
+                    static_cast<unsigned long long>(s->idleSlots()));
+        if (!sched_trace_path.empty()) {
+            CheckedOfstream f(sched_trace_path, "schedule trace");
+            writeSchedTrace(*s, f.stream());
+            f.finish();
+            std::printf("schedule trace (%zu decisions) written to %s\n",
+                        s->trace().size(), sched_trace_path.c_str());
+        }
+        writeTraceOutputs(*out.system, out.statSeries.get(), trace_path,
+                          trace_csv_path, stats_out_path);
+
+        if (with_baseline && scheme != Scheme::Baseline) {
+            const ServerRunOutput base = runServerConfigured(
+                SystemConfig::forScheme(Scheme::Baseline,
+                                        cores ? cores : 4),
+                sched, arrivals, opt, schemeName(Scheme::Baseline));
+            if (base.report.sojournP95)
+                std::printf("p95 sojourn vs scheduled baseline: %.3f\n",
+                            static_cast<double>(out.report.sojournP95)
+                                / static_cast<double>(
+                                    base.report.sojournP95));
+        }
+        if (stats)
+            out.system->dumpStats(std::cout);
+        if (json)
+            dumpStatsJson(out.system->root(), std::cout);
+        return 0;
+    }
 
     // Multiprogrammed path: gang-schedule the whole mix.
     if (!timeshare.empty()) {
@@ -287,8 +429,8 @@ runTool(int argc, char **argv)
             std::printf("schedule trace (%zu decisions) written to %s\n",
                         s->trace().size(), sched_trace_path.c_str());
         }
-        writeTraceOutputs(out, trace_path, trace_csv_path,
-                          stats_out_path);
+        writeTraceOutputs(*out.system, out.statSeries.get(), trace_path,
+                          trace_csv_path, stats_out_path);
 
         if (with_baseline) {
             const RunResult base =
@@ -321,7 +463,8 @@ runTool(int argc, char **argv)
                 schemeName(scheme), w.name.c_str(),
                 static_cast<unsigned long long>(out.result.cycles),
                 out.result.ipc);
-    writeTraceOutputs(out, trace_path, trace_csv_path, stats_out_path);
+    writeTraceOutputs(*out.system, out.statSeries.get(), trace_path,
+                      trace_csv_path, stats_out_path);
 
     if (with_baseline) {
         const RunResult base = runScheme(w, Scheme::Baseline, opt);
