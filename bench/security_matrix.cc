@@ -1,15 +1,17 @@
 /**
  * @file
- * Security matrix: run all six paper attacks (plus the Spectre-v2 BTB
- * injection variant) against every scheme and print which leak.
+ * Security matrix: run all eleven attack choreographies (the six paper
+ * attacks, the Spectre-v2 BTB injection variant, and the cross-core
+ * bus-covert / prefetch-covert / L2 prime+probe / speculative-store
+ * channels) against the seven matrix schemes and print which leak.
  * Complements the gtest suite with a human-readable summary (the
  * paper's qualitative security claims, §4/§5).
  *
  * Each (scheme × attack) choreography is one harness job, so the whole
  * matrix fans out across `--jobs N` worker threads. The headline
- * property is asserted after the table: every attack leaks on the
- * baseline and is blocked by MuonTrap — exit nonzero otherwise so
- * CI-style use fails.
+ * property is asserted after the table: every cell matches its declared
+ * expected outcome (see tests/security/matrix_test.cc) — exit nonzero
+ * otherwise so CI-style use fails.
  */
 
 #include "bench_common.hh"

@@ -1,6 +1,7 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/log.hh"
 #include "perf/odometer.hh"
@@ -24,6 +25,20 @@ coreStatSchema()
     return s;
 }
 
+/**
+ * Fuzz-oracle self-test hook (tests/fuzz): with MTRAP_FUZZ_DELAY_MUTATION
+ * set, the decoded path's delay-on-miss completion is perturbed by one
+ * cycle so the differential fuzzer can demonstrate it would catch a
+ * latency bug in that branch. Read fresh on each use — the branch is
+ * cold (delay-on-miss scheme + shadowed L1 miss only) and the fuzz test
+ * toggles the variable at runtime.
+ */
+Cycle
+delayMutationHook()
+{
+    return std::getenv("MTRAP_FUZZ_DELAY_MUTATION") ? 1 : 0;
+}
+
 double
 coreIpc(const void *ctx)
 {
@@ -45,6 +60,7 @@ coreDefenseName(CoreDefense d)
       case CoreDefense::SttFuture: return "stt-future";
       case CoreDefense::InvisiSpecSpectre: return "invisispec-spectre";
       case CoreDefense::InvisiSpecFuture: return "invisispec-future";
+      case CoreDefense::DelayOnMiss: return "delay-on-miss";
     }
     return "?";
 }
@@ -69,6 +85,9 @@ Core::Core(CoreId id, const CoreParams &params, MemIface *mem,
       forwardedLoads(&stats_, "forwarded_loads",
                      "loads forwarded from the store buffer"),
       exposures(&stats_, "exposures", "InvisiSpec exposure accesses"),
+      delayedLoads(&stats_, "delayed_loads",
+                   "speculative L1-miss loads delayed until "
+                   "non-speculative (delay-on-miss)"),
       loadLatency(&stats_, "load_latency", "demand load latency"),
       ipc(&stats_, "ipc", "committed instructions per cycle",
           &coreIpc, this)
@@ -415,6 +434,13 @@ Core::memDataProbe(Addr vaddr, Cycle when)
 {
     return msys_ ? msys_->dataProbe(id_, ctx_.asid, vaddr, when)
                  : mem_->dataProbe(id_, ctx_.asid, vaddr, when);
+}
+
+bool
+Core::memDataHitsPrivate(Addr vaddr)
+{
+    return msys_ ? msys_->dataHitsPrivate(id_, ctx_.asid, vaddr)
+                 : mem_->dataHitsPrivate(id_, ctx_.asid, vaddr);
 }
 
 Cycle
@@ -1053,23 +1079,56 @@ Core::fetchOne()
                 break;
             }
 
+            // A load sits in the speculative shadow while an unresolved
+            // (mispredicted, still in flight) branch is older than it,
+            // or while it issues before an already-resolved branch's
+            // resolution cycle. Wrong-path loads are *always* shadowed:
+            // without the inWrongPath() term the defences below would
+            // be inert exactly on the attack path, because the
+            // mispredicted branch only updates lastBranchDone_ at the
+            // squash.
+            const bool spec_shadow =
+                inWrongPath() || lastBranchDone_ > issue;
             const bool is_invisispec =
                 params_.defense == CoreDefense::InvisiSpecSpectre ||
                 params_.defense == CoreDefense::InvisiSpecFuture;
-            if (is_invisispec && lastBranchDone_ > issue) {
+            if (is_invisispec && spec_shadow) {
                 // Speculative InvisiSpec load: non-mutating probe now,
                 // mutating exposure at the visibility point.
                 const Cycle probe_lat = memDataProbe(va, issue);
                 done = issue + probe_lat;
-                const Cycle expose_start =
-                    params_.defense == CoreDefense::InvisiSpecSpectre
-                        ? std::max(done, lastBranchDone_)
-                        : std::max(done, lastCommitC_);
-                DataAccessResult er = memDataAccess(
-                    va, pc, false, false, expose_start);
-                ++exposures;
-                e.commitReadyC = expose_start + er.latency;
-                e.tlbMiss = er.tlbMiss;
+                if (inWrongPath()) {
+                    // The exposure point falls after the squash: the
+                    // spec-buffer entry is dropped there and the
+                    // hierarchy is never touched.
+                    accessed = false;
+                } else {
+                    const Cycle expose_start =
+                        params_.defense == CoreDefense::InvisiSpecSpectre
+                            ? std::max(done, lastBranchDone_)
+                            : std::max(done, lastCommitC_);
+                    DataAccessResult er = memDataAccess(
+                        va, pc, false, false, expose_start);
+                    ++exposures;
+                    e.commitReadyC = expose_start + er.latency;
+                    e.tlbMiss = er.tlbMiss;
+                }
+            } else if (params_.defense == CoreDefense::DelayOnMiss &&
+                       spec_shadow && !memDataHitsPrivate(va)) {
+                // Delay-on-miss: private-hierarchy hits proceed below;
+                // a shadowed miss waits until it is non-speculative.
+                ++delayedLoads;
+                if (inWrongPath()) {
+                    // Stalls past the squash: never reaches the caches.
+                    done = specStack_.front().resolveAt;
+                    accessed = false;
+                } else {
+                    const Cycle start = std::max(issue, lastBranchDone_);
+                    DataAccessResult r = memDataAccess(
+                        va, pc, false, /*speculative=*/false, start);
+                    done = start + r.latency;
+                    e.tlbMiss = r.tlbMiss;
+                }
             } else {
                 DataAccessResult r = memDataAccess(
                     va, pc, false, /*speculative=*/true, issue);
@@ -1104,12 +1163,21 @@ Core::fetchOne()
                 ++wrongPathLoads;
 
             // STT taint: the loaded value is tainted until the load is
-            // no longer speculative.
+            // no longer speculative. On the wrong path that point is
+            // the squash itself, so the taint lower-bounds at the
+            // resolve cycle — dependent transmitters issue too late to
+            // beat the squash.
             Cycle taint = 0;
             if (params_.defense == CoreDefense::SttSpectre)
-                taint = std::max(lastBranchDone_, done);
+                taint = std::max({lastBranchDone_, done,
+                                  inWrongPath()
+                                      ? specStack_.front().resolveAt
+                                      : 0});
             else if (params_.defense == CoreDefense::SttFuture)
-                taint = std::max(lastCommitC_, done);
+                taint = std::max({lastCommitC_, done,
+                                  inWrongPath()
+                                      ? specStack_.front().resolveAt
+                                      : 0});
             writeReg(op.dst, value, done, taint);
         }
         break;
@@ -1412,23 +1480,50 @@ Core::fetchOneDecoded()
                 break;
             }
 
+            // Speculative-shadow condition: see the reference path for
+            // why inWrongPath() must be part of it.
+            const bool spec_shadow =
+                inWrongPath() || lastBranchDone_ > issue;
             const bool is_invisispec =
                 params_.defense == CoreDefense::InvisiSpecSpectre ||
                 params_.defense == CoreDefense::InvisiSpecFuture;
-            if (is_invisispec && lastBranchDone_ > issue) {
+            if (is_invisispec && spec_shadow) {
                 // Speculative InvisiSpec load: non-mutating probe now,
                 // mutating exposure at the visibility point.
                 const Cycle probe_lat = memDataProbe(va, issue);
                 done = issue + probe_lat;
-                const Cycle expose_start =
-                    params_.defense == CoreDefense::InvisiSpecSpectre
-                        ? std::max(done, lastBranchDone_)
-                        : std::max(done, lastCommitC_);
-                DataAccessResult er = memDataAccess(
-                    va, pc, false, false, expose_start);
-                ++exposures;
-                e.commitReadyC = expose_start + er.latency;
-                e.tlbMiss = er.tlbMiss;
+                if (inWrongPath()) {
+                    // The exposure point falls after the squash: the
+                    // spec-buffer entry is dropped there and the
+                    // hierarchy is never touched.
+                    accessed = false;
+                } else {
+                    const Cycle expose_start =
+                        params_.defense == CoreDefense::InvisiSpecSpectre
+                            ? std::max(done, lastBranchDone_)
+                            : std::max(done, lastCommitC_);
+                    DataAccessResult er = memDataAccess(
+                        va, pc, false, false, expose_start);
+                    ++exposures;
+                    e.commitReadyC = expose_start + er.latency;
+                    e.tlbMiss = er.tlbMiss;
+                }
+            } else if (params_.defense == CoreDefense::DelayOnMiss &&
+                       spec_shadow && !memDataHitsPrivate(va)) {
+                // Delay-on-miss: private-hierarchy hits proceed below;
+                // a shadowed miss waits until it is non-speculative.
+                ++delayedLoads;
+                if (inWrongPath()) {
+                    // Stalls past the squash: never reaches the caches.
+                    done = specStack_.front().resolveAt;
+                    accessed = false;
+                } else {
+                    const Cycle start = std::max(issue, lastBranchDone_);
+                    DataAccessResult r = memDataAccess(
+                        va, pc, false, /*speculative=*/false, start);
+                    done = start + r.latency + delayMutationHook();
+                    e.tlbMiss = r.tlbMiss;
+                }
             } else {
                 DataAccessResult r = memDataAccess(
                     va, pc, false, /*speculative=*/true, issue);
@@ -1462,12 +1557,19 @@ Core::fetchOneDecoded()
                 ++wrongPathLoads;
 
             // STT taint: the loaded value is tainted until the load is
-            // no longer speculative.
+            // no longer speculative (wrong path: the squash itself, so
+            // lower-bound at the resolve cycle).
             Cycle taint = 0;
             if (params_.defense == CoreDefense::SttSpectre)
-                taint = std::max(lastBranchDone_, done);
+                taint = std::max({lastBranchDone_, done,
+                                  inWrongPath()
+                                      ? specStack_.front().resolveAt
+                                      : 0});
             else if (params_.defense == CoreDefense::SttFuture)
-                taint = std::max(lastCommitC_, done);
+                taint = std::max({lastCommitC_, done,
+                                  inWrongPath()
+                                      ? specStack_.front().resolveAt
+                                      : 0});
             writeReg(op.dst, value, done, taint);
         }
         break;

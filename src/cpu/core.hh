@@ -21,7 +21,10 @@
  *    result.
  *  - InvisiSpec (Spectre/Future): speculative loads probe the hierarchy
  *    without mutating it and are *exposed* (replayed, mutating) at their
- *    visibility point; commit waits for the exposure.
+ *    visibility point; commit waits for the exposure. Wrong-path loads
+ *    only ever probe: their exposure point falls after the squash.
+ *  - Delay-on-miss: speculative loads that miss the private hierarchy
+ *    stall until non-speculative (wrong-path misses never access).
  *  - MuonTrap lives in the memory system; the core only reports commit,
  *    squash and domain-switch events through MemIface.
  */
@@ -53,6 +56,10 @@ enum class CoreDefense : std::uint8_t
     SttFuture,
     InvisiSpecSpectre,
     InvisiSpecFuture,
+    /** Delay-on-miss baseline: a speculative load that misses the
+     *  private hierarchy (filter + L1D) stalls until it is
+     *  non-speculative; wrong-path misses never reach the caches. */
+    DelayOnMiss,
 };
 
 const char *coreDefenseName(CoreDefense d);
@@ -339,6 +346,7 @@ class Core
     DataAccessResult memDataAccess(Addr vaddr, Addr pc, bool is_store,
                                    bool speculative, Cycle when);
     Cycle memDataProbe(Addr vaddr, Cycle when);
+    bool memDataHitsPrivate(Addr vaddr);
     Cycle memIfetchAccess(Addr vaddr, Cycle when);
     void memCommitData(Addr vaddr, Addr pc, bool is_store,
                        bool tlb_missed, Cycle when);
@@ -523,6 +531,7 @@ class Core
     Counter contextSwitches;
     Counter forwardedLoads;
     Counter exposures;
+    Counter delayedLoads;
     Average loadLatency;
     Formula ipc;
 };

@@ -48,6 +48,21 @@ class MemIface
     virtual Cycle dataProbe(CoreId core, Asid asid, Addr vaddr,
                             Cycle when) = 0;
 
+    /**
+     * Non-mutating hit check on the core's private data hierarchy
+     * (filter cache + L1D): would a demand load of `vaddr` hit without
+     * going to the bus? Drives the delay-on-miss defence
+     * (CoreDefense::DelayOnMiss). Defaults to "hit" so simple MemIface
+     * fakes never delay.
+     */
+    virtual bool dataHitsPrivate(CoreId core, Asid asid, Addr vaddr)
+    {
+        (void)core;
+        (void)asid;
+        (void)vaddr;
+        return true;
+    }
+
     /** Instruction fetch of the line containing `vaddr`. */
     virtual Cycle ifetchAccess(CoreId core, Asid asid, Addr vaddr,
                                Cycle when) = 0;

@@ -21,6 +21,7 @@ allSchemes()
         Scheme::InvisiSpecFuture,
         Scheme::SttSpectre,
         Scheme::SttFuture,
+        Scheme::DelayOnMiss,
     };
     return v;
 }
@@ -38,6 +39,7 @@ schemeName(Scheme s)
       case Scheme::InvisiSpecFuture: return "InvisiSpec-Future";
       case Scheme::SttSpectre: return "STT-Spectre";
       case Scheme::SttFuture: return "STT-Future";
+      case Scheme::DelayOnMiss: return "DelayOnMiss";
     }
     return "?";
 }
@@ -50,6 +52,7 @@ schemeCoreDefense(Scheme s)
       case Scheme::InvisiSpecFuture: return CoreDefense::InvisiSpecFuture;
       case Scheme::SttSpectre: return CoreDefense::SttSpectre;
       case Scheme::SttFuture: return CoreDefense::SttFuture;
+      case Scheme::DelayOnMiss: return CoreDefense::DelayOnMiss;
       default: return CoreDefense::None;
     }
 }

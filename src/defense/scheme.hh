@@ -30,6 +30,7 @@ enum class Scheme : std::uint8_t
     InvisiSpecFuture,
     SttSpectre,
     SttFuture,
+    DelayOnMiss,         ///< speculative L1-miss loads stall (baseline)
 };
 
 /** All schemes, in presentation order. */

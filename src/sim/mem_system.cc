@@ -681,6 +681,21 @@ MemSystem::dataProbe(CoreId core, Asid asid, Addr vaddr, Cycle when)
     return lat;
 }
 
+bool
+MemSystem::dataHitsPrivate(CoreId core, Asid asid, Addr vaddr)
+{
+    // Same CPU-side visibility rules as timeProbe's private prefix: a
+    // virtual-tag filter hit or a physical L1D hit counts; anything
+    // else would need the bus. Touches nothing.
+    const Addr paddr = vm_.translate(asid, vaddr);
+    MuonTrapCore &mt = *side_[core].mt;
+    if (FilterCache *fd = mt.dataFilter()) {
+        if (fd->lookupVirt(asid, vaddr, paddr))
+            return true;
+    }
+    return side_[core].l1d->peek(paddr) != nullptr;
+}
+
 Cycle
 MemSystem::timeProbe(CoreId core, Asid asid, Addr vaddr)
 {

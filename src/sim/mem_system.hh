@@ -72,6 +72,7 @@ class MemSystem final : public MemIface, public PtwAccessIface
                                 Cycle when) override;
     Cycle dataProbe(CoreId core, Asid asid, Addr vaddr,
                     Cycle when) override;
+    bool dataHitsPrivate(CoreId core, Asid asid, Addr vaddr) override;
     Cycle ifetchAccess(CoreId core, Asid asid, Addr vaddr,
                        Cycle when) override;
     void commitData(CoreId core, Asid asid, Addr vaddr, Addr pc,

@@ -57,6 +57,17 @@ paddrForSet(unsigned tag, unsigned set)
            + static_cast<Addr>(set) * kLineBytes;
 }
 
+/** Physical address with L2 set `set` (and L1 set `set % kL1Sets`) and
+ *  tag-disambiguator `tag`, in a second pinned region (attack 9). Tag
+ *  stride = one L2 way (256 KiB), preserving both set indices. */
+Addr
+paddrForL2Set(unsigned tag, unsigned set)
+{
+    return kPinBase + (1ull << 41)
+           + static_cast<Addr>(tag) * (kL2Sets * kLineBytes)
+           + static_cast<Addr>(set) * kLineBytes;
+}
+
 unsigned
 l1SetOf(Addr paddr)
 {
@@ -891,6 +902,357 @@ runSpectreBtbInjection(Scheme s, const MuonTrapConfig *mt_override)
     return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
 }
 
+// ===========================================================================
+// Attack 7: cross-core covert channel through the coherence bus
+// ===========================================================================
+
+AttackOutcome
+runBusCovertChannel(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "7:bus-covert";
+    out.scheme = schemeName(s);
+    out.detail = "committed cross-core covert channel: the sender's "
+                 "architectural store steals the receiver's M line, read "
+                 "back as store-ownership latency — outside every "
+                 "speculation defence's threat model (matrix negative "
+                 "control: all schemes leak)";
+
+    constexpr Addr shm_pa = kPinBase + (1ull << 40);
+
+    // Sender: commit a store to line[secret] (r1 = secret bit).
+    ProgramBuilder sb("sender7");
+    sb.andi(5, 1, 1);
+    sb.shli(5, 5, 6);               // *64: line select
+    sb.movi(22, static_cast<std::int64_t>(kShm));
+    sb.movi(3, 0x5e);
+    sb.store(3, 22, 0, 5, 0);
+    sb.halt();
+    const Program sender = sb.take();
+
+    // Receiver: take M ownership of both candidate lines.
+    ProgramBuilder rb("receiver7");
+    rb.movi(2, static_cast<std::int64_t>(kAShm));
+    rb.movi(3, 0x77);
+    rb.store(3, 2, 0);
+    rb.store(3, 2, 64);
+    rb.halt();
+    const Program receiver = rb.take();
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 2);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        vm.alias(kVictim, kShm, shm_pa, kPageBytes);
+        vm.alias(kAttacker, kAShm, shm_pa, kPageBytes);
+
+        // 1. Receiver takes M on both lines on its core.
+        runProgram(sys.core(1), receiver, kAttacker, 0);
+        // 2. Sender commits a store to line[secret], transferring
+        //    ownership across the bus.
+        runProgram(sys.core(0), sender, kVictim, secret);
+        // 3. Receiver times store ownership of both lines: the stolen
+        //    line needs the bus again.
+        const Cycle t0 = sys.mem().timeStoreProbe(1, kAttacker, kAShm);
+        const Cycle t1 = sys.mem().timeStoreProbe(1, kAttacker,
+                                                  kAShm + 64);
+        times[secret][0] = t0;
+        times[secret][1] = t1;
+        const bool slow0 = t0 > kFastThreshold;
+        const bool slow1 = t1 > kFastThreshold;
+        rec[secret] = (slow0 == slow1) ? 255 : (slow1 ? 1 : 0);
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
+// ===========================================================================
+// Attack 8: cross-core channel through shared prefetcher training state
+// ===========================================================================
+
+AttackOutcome
+runPrefetchCovertChannel(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "8:prefetch-covert";
+    out.scheme = schemeName(s);
+    out.detail = "the victim's speculative strides train the shared L2 "
+                 "prefetcher, which installs lines a *second core's* "
+                 "receiver can time — speculative training must not "
+                 "cross cores (prefetch on commit)";
+
+    constexpr Addr pf_pa = kPinBase + (1ull << 40) + (1ull << 39);
+    constexpr std::uint64_t kRegionGap = 16 * 1024;
+    constexpr std::uint64_t kLoopBytes = 4 * kLineBytes;
+    constexpr std::uint64_t kProbeOff = 5 * kLineBytes;
+
+    // Victim gadget: identical stride training to attack 5 — on the
+    // wrong path, loop a same-PC load over 4 lines of region[bit].
+    ProgramBuilder vb("victim8");
+    emitBoundsCheck(vb);
+    vb.movi(20, static_cast<std::int64_t>(kArray));
+    vb.load(4, 20, 0, 1, 0);
+    vb.andi(5, 4, 1);
+    vb.shli(5, 5, 14);              // *16KiB region select
+    vb.movi(22, static_cast<std::int64_t>(kPfRegion));
+    vb.add(22, 22, 5);
+    vb.movi(7, 0);
+    vb.movi(8, static_cast<std::int64_t>(kLoopBytes));
+    vb.label("loop");
+    vb.load(6, 22, 0, 7, 0);        // same PC every iteration
+    vb.addi(7, 7, kLineBytes);
+    vb.braLt("loop", 7, 8);
+    vb.label("done");
+    vb.halt();
+    const Program victim = vb.take();
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 2);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        vm.alias(kVictim, kPfRegion, pf_pa, 2 * kRegionGap);
+        vm.alias(kAttacker, kAPf, pf_pa, 2 * kRegionGap);
+        EvictionPlan ev = makeEvictionPlan(boundChainPaddrs(sys));
+        ev.aliases(vm);
+        setupVictimMemory(sys, secret);
+
+        Core &vcore = sys.core(0);
+        runProgram(vcore, victim, kVictim, 0);
+        for (std::uint64_t i = 8; i < 64; i += 8)
+            runProgram(vcore, victim, kVictim, i);
+        switchAndRun(vcore, ev.program, kAttacker, 0);
+        switchAndRun(vcore, victim, kVictim,
+                     static_cast<std::uint64_t>(kSecretIndex));
+        // Receiver on core 1 times the line beyond the victim's touches
+        // in each region: only the shared prefetcher could have brought
+        // it on chip, and the shared L2 makes it visible cross-core.
+        const Cycle t0 = sys.mem().timeProbe(1, kAttacker,
+                                             kAPf + kProbeOff);
+        const Cycle t1 = sys.mem().timeProbe(1, kAttacker,
+                                             kAPf + kRegionGap
+                                                 + kProbeOff);
+        times[secret][0] = t0;
+        times[secret][1] = t1;
+        // Training architecturally warms the bit=0 region's prefetch
+        // target; the secret is read off the bit=1 region alone.
+        rec[secret] = (t1 < kOnChipThreshold) ? 1 : 0;
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
+// ===========================================================================
+// Attack 9: prime-and-probe on the shared L2 (no flush primitive)
+// ===========================================================================
+
+AttackOutcome
+runL2PrimeProbe(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "9:l2-prime-probe";
+    out.scheme = schemeName(s);
+    out.detail = "pure set-conflict eviction timing on the shared L2: "
+                 "the victim's speculative fill evicts one way of an "
+                 "attacker-primed L2 set (both candidate lines share an "
+                 "L1 set, isolating the L2 conflict)";
+
+    // Two L2 sets that alias to the *same* L1 set (128 and 640 are both
+    // 128 mod 512) and whose line offsets are page-aligned.
+    constexpr unsigned kL2PSet0 = 128;
+    constexpr unsigned kL2PSet1 = 640;
+
+    const Addr probe_pa0 = paddrForL2Set(20, kL2PSet0);
+    const Addr probe_pa1 = paddrForL2Set(20, kL2PSet1);
+
+    struct Page { Addr va; Addr pa; };
+    std::vector<Page> primes;
+    unsigned page = 0;
+    for (unsigned b = 0; b < 2; ++b) {
+        const unsigned set = b ? kL2PSet1 : kL2PSet0;
+        for (unsigned w = 0; w < kL2Ways; ++w)
+            primes.push_back({kAPrime + page++ * kPageBytes,
+                              paddrForL2Set(w, set)});
+    }
+
+    // Victim gadget: the attack-1 secret-indexed probe load.
+    ProgramBuilder vb("victim9");
+    emitBoundsCheck(vb);
+    vb.movi(20, static_cast<std::int64_t>(kArray));
+    vb.load(4, 20, 0, 1, 0);
+    vb.andi(5, 4, 1);
+    vb.shli(5, 5, 12);              // *4096: selects the probe page
+    vb.movi(22, static_cast<std::int64_t>(kVProbe));
+    vb.load(6, 22, 0, 5, 0);
+    vb.label("done");
+    vb.halt();
+    const Program victim = vb.take();
+
+    ProgramBuilder ab("prime9");
+    for (const auto &p : primes) {
+        const Addr line_va = p.va + (p.pa & (kPageBytes - 1));
+        ab.movi(2, static_cast<std::int64_t>(line_va));
+        ab.load(3, 2, 0);
+    }
+    ab.halt();
+    const Program prime = ab.take();
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 1);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        vm.alias(kVictim, kVProbe, pageAlign(probe_pa0), kPageBytes);
+        vm.alias(kVictim, kVProbe + kPageBytes, pageAlign(probe_pa1),
+                 kPageBytes);
+        for (const auto &p : primes)
+            vm.alias(kAttacker, p.va, pageAlign(p.pa), kPageBytes);
+        EvictionPlan ev = makeEvictionPlan(boundChainPaddrs(sys));
+        ev.aliases(vm);
+        setupVictimMemory(sys, secret);
+
+        Core &core = sys.core(0);
+        runProgram(core, victim, kVictim, 0);
+        for (std::uint64_t i = 8; i < 64; i += 8)
+            runProgram(core, victim, kVictim, i);
+        switchAndRun(core, ev.program, kAttacker, 0);
+        runProgram(core, prime, kAttacker, 0);
+        switchAndRun(core, victim, kVictim,
+                     static_cast<std::uint64_t>(kSecretIndex));
+        ArchContext actx;
+        actx.program = &prime;
+        actx.asid = kAttacker;
+        core.contextSwitch(actx);
+        Cycle t[2] = {0, 0};
+        for (unsigned b = 0; b < 2; ++b) {
+            for (unsigned w = 0; w < kL2Ways; ++w) {
+                const Page &p = primes[b * kL2Ways + w];
+                const Addr line_va = p.va + (p.pa & (kPageBytes - 1));
+                t[b] = std::max(t[b], sys.mem().timeProbe(0, kAttacker,
+                                                          line_va));
+            }
+        }
+        times[secret][0] = t[0];
+        times[secret][1] = t[1];
+        // A line pushed all the way to DRAM marks the conflicted set.
+        const bool slow0 = t[0] > kOnChipThreshold;
+        const bool slow1 = t[1] > kOnChipThreshold;
+        rec[secret] = (slow0 == slow1) ? 255 : (slow1 ? 1 : 0);
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
+// ===========================================================================
+// Attack 10: speculative-store channel (store-to-load forwarding)
+// ===========================================================================
+
+AttackOutcome
+runSpecStoreChannel(Scheme s, const MuonTrapConfig *mt_override)
+{
+    AttackOutcome out;
+    out.attack = "10:spec-store";
+    out.scheme = schemeName(s);
+    out.detail = "a transient store is forwarded to a younger load, "
+                 "laundering the secret's taint before the probe load "
+                 "(the documented STT store-forwarding gap: STT leaks, "
+                 "the cache-isolation defences still block the channel)";
+
+    constexpr Addr kScratch = 0x59'0000'0000ull; // victim scratch slot
+
+    const Addr probe_pa0 = paddrForSet(11, kSet0);
+    const Addr probe_pa1 = paddrForSet(11, kSet1);
+
+    struct Page { Addr va; Addr pa; };
+    std::vector<Page> primes;
+    unsigned page = 0;
+    for (unsigned b = 0; b < 2; ++b) {
+        const unsigned set = b ? kSet1 : kSet0;
+        for (unsigned w = 0; w < kL1Ways; ++w)
+            primes.push_back({kAPrime + page++ * kPageBytes,
+                              paddrForSet(w, set)});
+    }
+
+    // Victim gadget: OOB load -> transient store -> forwarded load ->
+    // secret-indexed probe. The forwarded value arrives with the
+    // *store address* register's (clean) taint.
+    ProgramBuilder vb("victim10");
+    emitBoundsCheck(vb);
+    vb.movi(20, static_cast<std::int64_t>(kArray));
+    vb.load(4, 20, 0, 1, 0);        // r4 = array[r1] (secret when OOB)
+    vb.movi(23, static_cast<std::int64_t>(kScratch));
+    vb.store(4, 23, 0);             // transient store of the secret
+    vb.load(5, 23, 0);              // store-buffer forward
+    vb.andi(5, 5, 1);
+    vb.shli(5, 5, 12);
+    vb.movi(22, static_cast<std::int64_t>(kVProbe));
+    vb.load(6, 22, 0, 5, 0);        // touch probe[bit]
+    vb.label("done");
+    vb.halt();
+    const Program victim = vb.take();
+
+    ProgramBuilder ab("prime10");
+    for (const auto &p : primes) {
+        ab.movi(2, static_cast<std::int64_t>(p.va));
+        ab.load(3, 2, 0);
+    }
+    ab.halt();
+    const Program prime = ab.take();
+
+    unsigned rec[2];
+    Cycle times[2][2] = {{0, 0}, {0, 0}};
+    for (unsigned secret = 0; secret < 2; ++secret) {
+        SystemConfig sys_cfg = SystemConfig::forScheme(s, 1);
+        if (mt_override)
+            sys_cfg.mem.mt = *mt_override;
+        System sys(sys_cfg);
+        AddressSpace &vm = sys.mem().addressSpace();
+        vm.alias(kVictim, kVProbe, pageAlign(probe_pa0), kPageBytes);
+        vm.alias(kVictim, kVProbe + kPageBytes, pageAlign(probe_pa1),
+                 kPageBytes);
+        for (const auto &p : primes)
+            vm.alias(kAttacker, p.va, pageAlign(p.pa), kPageBytes);
+        EvictionPlan ev = makeEvictionPlan(boundChainPaddrs(sys));
+        ev.aliases(vm);
+        setupVictimMemory(sys, secret);
+        // Touch the scratch slot so its mapping exists before the run.
+        sys.mem().write(kVictim, kScratch, 0);
+
+        Core &core = sys.core(0);
+        runProgram(core, victim, kVictim, 0);
+        for (std::uint64_t i = 8; i < 64; i += 8)
+            runProgram(core, victim, kVictim, i);
+        switchAndRun(core, ev.program, kAttacker, 0);
+        runProgram(core, prime, kAttacker, 0);
+        switchAndRun(core, victim, kVictim,
+                     static_cast<std::uint64_t>(kSecretIndex));
+        ArchContext actx;
+        actx.program = &prime;
+        actx.asid = kAttacker;
+        core.contextSwitch(actx);
+        Cycle t[2] = {0, 0};
+        for (unsigned b = 0; b < 2; ++b)
+            for (unsigned w = 0; w < kL1Ways; ++w)
+                t[b] = std::max(t[b],
+                                sys.mem().timeProbe(
+                                    0, kAttacker,
+                                    primes[b * kL1Ways + w].va));
+        times[secret][0] = t[0];
+        times[secret][1] = t[1];
+        const bool slow0 = t[0] > kFastThreshold;
+        const bool slow1 = t[1] > kFastThreshold;
+        rec[secret] = (slow0 == slow1) ? 255 : (slow1 ? 1 : 0);
+    }
+    return finish(out, rec[0], rec[1], times[1][0], times[1][1]);
+}
+
 std::vector<AttackOutcome>
 runAllAttacks(Scheme s)
 {
@@ -902,7 +1264,54 @@ runAllAttacks(Scheme s)
         runPrefetcherAttack(s),
         runIcacheAttack(s),
         runSpectreBtbInjection(s),
+        runBusCovertChannel(s),
+        runPrefetchCovertChannel(s),
+        runL2PrimeProbe(s),
+        runSpecStoreChannel(s),
     };
+}
+
+bool
+expectedLeak(const std::string &attack, Scheme s)
+{
+    // The committed bus covert channel is architectural: outside every
+    // speculation defence's threat model.
+    if (attack == "7:bus-covert")
+        return true;
+    switch (s) {
+      case Scheme::Baseline:
+      case Scheme::InsecureL0:
+        return true;
+      case Scheme::MuonTrap:
+      case Scheme::MuonTrapClearMisspec:
+      case Scheme::MuonTrapParallel:
+        return false;
+      case Scheme::InvisiSpecSpectre:
+      case Scheme::InvisiSpecFuture:
+      case Scheme::DelayOnMiss:
+        // Load-side defences leave the instruction side unprotected.
+        return attack == "6:icache";
+      case Scheme::SttSpectre:
+      case Scheme::SttFuture:
+        // ... and STT additionally has the store-forwarding taint gap.
+        return attack == "6:icache" || attack == "10:spec-store";
+    }
+    return true;
+}
+
+const std::vector<Scheme> &
+securityMatrixSchemes()
+{
+    static const std::vector<Scheme> v = {
+        Scheme::Baseline,
+        Scheme::InsecureL0,
+        Scheme::MuonTrap,
+        Scheme::MuonTrapClearMisspec,
+        Scheme::InvisiSpecSpectre,
+        Scheme::SttSpectre,
+        Scheme::DelayOnMiss,
+    };
+    return v;
 }
 
 } // namespace mtrap

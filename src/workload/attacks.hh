@@ -99,8 +99,53 @@ AttackOutcome runSpectreBtbInjection(Scheme s,
                                      const MuonTrapConfig *mt_override
                                          = nullptr);
 
-/** All six paper attacks plus the v2 injection variant, in order. */
+/**
+ * Attack 7: cross-core covert channel through the coherence bus. The
+ * sender's *committed* store steals write ownership of a receiver-owned
+ * line; the receiver reads the bit off store-ownership latency. Pure
+ * architectural channel — the negative control of the matrix: every
+ * speculation defence leaks it, by design.
+ */
+AttackOutcome runBusCovertChannel(Scheme s,
+                                  const MuonTrapConfig *mt_override
+                                      = nullptr);
+
+/** Attack 8: cross-core channel through shared prefetcher training
+ *  state — the victim's speculative strides prefetch into the shared
+ *  L2, where a second core's receiver can time them. */
+AttackOutcome runPrefetchCovertChannel(Scheme s,
+                                       const MuonTrapConfig *mt_override
+                                           = nullptr);
+
+/** Attack 9: prime-and-probe on the shared L2 with no flush primitive:
+ *  pure set-conflict eviction timing. Both candidate lines share an L1
+ *  set, so only an L2 conflict explains the signal. */
+AttackOutcome runL2PrimeProbe(Scheme s,
+                              const MuonTrapConfig *mt_override
+                                  = nullptr);
+
+/** Attack 10: speculative-store channel — a transient store is
+ *  forwarded to a younger load, laundering the secret's taint before it
+ *  reaches the probe load (the documented STT forwarding gap). */
+AttackOutcome runSpecStoreChannel(Scheme s,
+                                  const MuonTrapConfig *mt_override
+                                      = nullptr);
+
+/** All paper attacks plus the v2 injection variant and the extended
+ *  choreographies (7-10), in matrix row order. */
 std::vector<AttackOutcome> runAllAttacks(Scheme s);
+
+/**
+ * Declared expected outcome for every (attack, scheme) cell of the
+ * security matrix: true = the attack leaks under that scheme. This is
+ * the contract the harness verdict and the security tests assert the
+ * live outcomes against (tests/security/matrix_test.cc pins the same
+ * table literally).
+ */
+bool expectedLeak(const std::string &attack, Scheme s);
+
+/** The scheme columns of the security matrix, in presentation order. */
+const std::vector<Scheme> &securityMatrixSchemes();
 
 } // namespace mtrap
 

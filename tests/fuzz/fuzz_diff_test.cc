@@ -300,7 +300,8 @@ runFuzz(const std::vector<Program> &progs, Scheme scheme, bool decoded,
     return r;
 }
 
-/** The schemes the fuzzer locks down (figures 3/4 five + baseline). */
+/** The schemes the fuzzer locks down (figures 3/4 five + baseline +
+ *  the delay-on-miss security baseline). */
 const std::vector<Scheme> &
 fuzzSchemes()
 {
@@ -308,6 +309,7 @@ fuzzSchemes()
         Scheme::Baseline,         Scheme::MuonTrap,
         Scheme::InvisiSpecSpectre, Scheme::InvisiSpecFuture,
         Scheme::SttSpectre,        Scheme::SttFuture,
+        Scheme::DelayOnMiss,
     };
     return s;
 }
@@ -433,6 +435,42 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return n;
     });
+
+/**
+ * Oracle self-test: prove the differential fuzzer would actually catch
+ * a latency bug in the delay-on-miss leg. MTRAP_FUZZ_DELAY_MUTATION
+ * perturbs the *decoded* path's delayed-load completion by one cycle
+ * (core.cc's delayMutationHook); the fuzzer must flag the divergence
+ * within a handful of seeds. If this fails, the DelayOnMiss rotation
+ * above is running on a code path the programs never reach — dead
+ * coverage, not real coverage.
+ */
+TEST(FuzzOracle, CatchesInjectedDelayOnMissLatencyMutation)
+{
+    struct EnvGuard
+    {
+        EnvGuard() { setenv("MTRAP_FUZZ_DELAY_MUTATION", "1", 1); }
+        ~EnvGuard() { unsetenv("MTRAP_FUZZ_DELAY_MUTATION"); }
+    } guard;
+
+    bool caught = false;
+    for (unsigned i = 0; i < 10 && !caught; ++i) {
+        const std::uint64_t seed =
+            mixSeeds(0xde1a ^ seedSalt(), i * 6151 + 17);
+        std::vector<Program> progs;
+        progs.push_back(fuzzProgram(seed, 16, 30));
+        const FuzzResult ref =
+            runFuzz(progs, Scheme::DelayOnMiss, false, false);
+        const FuzzResult dec =
+            runFuzz(progs, Scheme::DelayOnMiss, true, false);
+        caught = ref.trajectory != dec.trajectory
+                 || ref.statsJson != dec.statsJson;
+    }
+    EXPECT_TRUE(caught)
+        << "injected +1-cycle delay-on-miss mutation went undetected "
+           "across 10 seeds: the fuzzer is not exercising the "
+           "delayed-load leg";
+}
 
 /** The decode itself: kinds, latencies, FU selection, pre-resolved
  *  targets. */

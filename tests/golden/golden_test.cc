@@ -57,7 +57,14 @@ goldenOptions()
 std::string
 goldenPath(const std::string &suite)
 {
-    return std::string(MTRAP_GOLDEN_DIR) + "/" + suite + ".json";
+    // MTRAP_GOLDEN_DIR_OVERRIDE redirects reads/writes away from the
+    // source tree — tools/check_golden_regen.sh regenerates into two
+    // temp dirs and compares them byte for byte without dirtying the
+    // committed goldens.
+    const char *dir = std::getenv("MTRAP_GOLDEN_DIR_OVERRIDE");
+    if (!dir || !*dir)
+        dir = MTRAP_GOLDEN_DIR;
+    return std::string(dir) + "/" + suite + ".json";
 }
 
 /** Run one suite on a single worker and serialise its raw results. */

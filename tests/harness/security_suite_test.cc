@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Harness-level tests for the `--suite security` matrix: the suite
+ * warns (rather than silently ignoring) when --seed or --instructions
+ * are passed, its artifact is byte-identical regardless of the seed
+ * value, and the artifact is worker-count invariant (the attack
+ * choreographies and their stat metrics are deterministic under the
+ * pool).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/pool.hh"
+#include "harness/result_store.hh"
+#include "harness/suites.hh"
+#include "workload/attacks.hh"
+
+namespace mtrap::harness
+{
+namespace
+{
+
+/** Serialise one pool run of the security suite (artifact bytes). */
+std::string
+securitySuiteJson(unsigned workers, const RunOptions &opt = {},
+                  std::uint64_t seed = 0)
+{
+    const Suite suite = buildSuite("security", opt, seed);
+    ExperimentPool pool(workers);
+    ResultStore store;
+    const int rc = runSuite(suite, pool, /*render_table=*/false, &store);
+    EXPECT_EQ(rc, 0);
+    std::ostringstream os;
+    store.writeJson(os);
+    return os.str();
+}
+
+TEST(SecuritySuite, WarnsWhenSeedIsIgnored)
+{
+    ::testing::internal::CaptureStderr();
+    const Suite s = buildSuite("security", RunOptions{}, /*seed=*/7);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(s.jobs.empty());
+    EXPECT_NE(err.find("security suite ignores --seed"),
+              std::string::npos)
+        << "stderr was: " << err;
+}
+
+TEST(SecuritySuite, WarnsWhenInstructionsAreIgnored)
+{
+    RunOptions opt;
+    opt.measureInstructions = 1234;
+    ::testing::internal::CaptureStderr();
+    const Suite s = buildSuite("security", opt, /*seed=*/0);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(s.jobs.empty());
+    EXPECT_NE(err.find("security suite ignores --instructions"),
+              std::string::npos)
+        << "stderr was: " << err;
+}
+
+TEST(SecuritySuite, NoWarnOnDefaultOptions)
+{
+    ::testing::internal::CaptureStderr();
+    const Suite s = buildSuite("security", RunOptions{}, /*seed=*/0);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(s.jobs.empty());
+    EXPECT_EQ(err.find("security suite ignores"), std::string::npos)
+        << "stderr was: " << err;
+}
+
+TEST(SecuritySuite, MatrixCoversAllDeclaredCells)
+{
+    const Suite s = buildSuite("security", RunOptions{}, /*seed=*/0);
+    // >= 8 attacks x 7 schemes, column-major.
+    EXPECT_EQ(s.jobs.size(), 11u * securityMatrixSchemes().size());
+}
+
+TEST(SecuritySuite, ArtifactIgnoresSeedValue)
+{
+    // The attacks are fixed choreographies: --seed must not perturb a
+    // single byte of the artifact.
+    ::testing::internal::CaptureStderr(); // swallow the seed warn
+    const std::string seed0 = securitySuiteJson(2, RunOptions{}, 0);
+    const std::string seed7 = securitySuiteJson(2, RunOptions{}, 7);
+    ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(seed0, seed7);
+}
+
+TEST(SecuritySuite, ArtifactIsThreadCountInvariant)
+{
+    // Attack outcomes and their stat metrics must be byte-identical no
+    // matter how many workers ran the matrix.
+    const std::string one = securitySuiteJson(1);
+    const std::string two = securitySuiteJson(2);
+    const std::string four = securitySuiteJson(4);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, four);
+}
+
+} // namespace
+} // namespace mtrap::harness

@@ -13,6 +13,7 @@
 #include <sys/stat.h>
 
 #include <array>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -206,6 +207,13 @@ TEST(SnapshotRoundTrip, WarmForkCacheHitSkipsWarmupBitIdentically)
 {
     const std::string dir = testing::TempDir() + "warm-fork-cache";
     ::mkdir(dir.c_str(), 0755);
+    // The cache key (config + context fingerprint) does not cover the
+    // simulator's *code*, so a snapshot left by an older build would be
+    // restored here and diverge from the fresh monolithic run. Start
+    // from an empty cache: this test is about hit-vs-miss identity
+    // within one build, not cross-build reuse.
+    [[maybe_unused]] const int rc =
+        std::system(("rm -f '" + dir + "'/*.snap").c_str());
 
     const Workload w = buildSpecWorkload("mcf");
     const SystemConfig cfg =

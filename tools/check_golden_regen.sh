@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Golden regeneration idempotence check.
+#
+# Runs the golden regeneration (MTRAP_REGEN_GOLDEN=1) twice, each into
+# its own temp directory via MTRAP_GOLDEN_DIR_OVERRIDE, and asserts:
+#   1. the two regenerations are byte-identical file for file — regen
+#      has no hidden state, run-order dependence or nondeterminism;
+#   2. every regenerated file is byte-identical to the committed golden
+#      in tests/golden/ — so "regen then commit" is a no-op on a clean
+#      tree, and a drifted golden is caught even when the byte-compare
+#      in golden_test itself was skipped or regenerated over.
+#
+# Usage: check_golden_regen.sh /path/to/golden_test
+# The committed goldens are found relative to this script.
+set -u
+golden_test="${1:?usage: check_golden_regen.sh /path/to/golden_test}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+committed="$repo/tests/golden"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/a" "$tmp/b"
+
+for dir in a b; do
+    if ! MTRAP_REGEN_GOLDEN=1 MTRAP_GOLDEN_DIR_OVERRIDE="$tmp/$dir" \
+         "$golden_test" > "$tmp/$dir.log" 2>&1; then
+        echo "check_golden_regen: regeneration run '$dir' failed:"
+        tail -20 "$tmp/$dir.log"
+        exit 1
+    fi
+done
+
+fail=0
+shopt -s nullglob
+first=("$tmp"/a/*.json)
+if [ "${#first[@]}" -eq 0 ]; then
+    echo "check_golden_regen: regeneration produced no JSON files"
+    exit 1
+fi
+
+for f in "${first[@]}"; do
+    name="$(basename "$f")"
+    if ! cmp -s "$f" "$tmp/b/$name"; then
+        echo "check_golden_regen: $name differs between two regens"
+        fail=1
+    fi
+    if ! cmp -s "$f" "$committed/$name"; then
+        echo "check_golden_regen: $name differs from committed golden"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_golden_regen: FAILED"
+    exit 1
+fi
+echo "check_golden_regen: OK (${#first[@]} suites, two regens + committed all identical)"
